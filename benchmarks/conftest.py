@@ -1,0 +1,18 @@
+"""Benchmark fixtures: the four Table 5.1 data sets, built once per run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import DATASETS
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """name -> built ASGraph for all four paper data sets."""
+    return {ds.name: ds.build() for ds in DATASETS}
+
+
+@pytest.fixture(scope="session")
+def gao_2005(datasets):
+    return datasets["Gao 2005"]

@@ -1,0 +1,134 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+1. Closed-form three-phase routing vs the activation-based simulator —
+   identical stable BGP outcomes, very different speed.
+2. Contact order in the avoid-AS negotiation (near-first vs far-first) —
+   affects ASes-contacted counts (the Table 5.3 cost metric).
+3. Tunnel addressing schemes (§4.2) — state size vs topology exposure.
+"""
+
+import pytest
+
+from repro.bgp import RouterRoute, compute_routes
+from repro.convergence import (
+    GaoRexfordRanker,
+    GuidelineMode,
+    MiroConvergenceSystem,
+)
+from repro.experiments import render_table, run_negotiation_state, sample_triples
+from repro.intra import (
+    ASNetwork,
+    EgressRouterAddressing,
+    ExitLinkAddressing,
+    ReservedAddressScheme,
+)
+from repro.miro import ContactOrder
+from repro.topology import TINY, generate_topology
+
+
+class TestClosedFormVsSimulator:
+    def test_same_stable_state(self, benchmark):
+        graph = generate_topology(TINY, seed=21)
+        destination = graph.ases[0]
+
+        def closed_form():
+            return compute_routes(graph, destination)
+
+        table = benchmark(closed_form)
+
+        system = MiroConvergenceSystem(
+            graph, destinations=[destination], demands=[],
+            mode=GuidelineMode.GUIDELINE_B, ranker=GaoRexfordRanker(graph),
+        )
+        result = system.run(max_rounds=200)
+        assert result.converged
+        agreements = 0
+        for asn in graph.iter_ases():
+            selection = result.selection(asn, destination)
+            closed = table.best(asn)
+            assert (selection is None) == (closed is None or closed.length == 0 and asn != destination)
+            if selection is not None and closed is not None:
+                assert len(selection.path) == len(closed.path)
+                agreements += 1
+        assert agreements > 0
+
+
+class TestContactOrderAblation:
+    def test_near_first_contacts_fewer_or_equal(self, benchmark, gao_2005):
+        def run(order):
+            return run_negotiation_state(
+                gao_2005, n_destinations=6, sources_per_destination=10,
+                seed=99, order=order,
+            )
+
+        near = benchmark.pedantic(
+            run, args=(ContactOrder.NEAR_FIRST,), rounds=1, iterations=1
+        )
+        far = run(ContactOrder.FAR_FIRST)
+
+        print()
+        rows = []
+        for near_row, far_row in zip(near, far):
+            rows.append((
+                near_row.as_row()[0],
+                f"{near_row.ases_per_tuple:.2f}",
+                f"{far_row.ases_per_tuple:.2f}",
+            ))
+        print(render_table(
+            ["Policy", "AS#/tuple near-first", "AS#/tuple far-first"],
+            rows, title="Ablation: negotiation contact order",
+        ))
+
+        # success is order-independent; contact cost differs
+        for near_row, far_row in zip(near, far):
+            assert near_row.success_rate == pytest.approx(far_row.success_rate)
+
+
+class TestAddressingSchemes:
+    @pytest.fixture
+    def network(self):
+        network = ASNetwork(asn=1)
+        network.add_router("R1", router_id=1)
+        for i in range(2, 8):
+            name = f"R{i}"
+            network.add_router(name, router_id=i, is_edge=True)
+            network.add_intra_link("R1", name, cost=1)
+            for j in range(3):
+                network.add_exit_link(name, 100 + j, f"{name}-AS{100 + j}")
+        return network
+
+    def test_state_size_comparison(self, benchmark, network):
+        def build():
+            exit_scheme = ExitLinkAddressing(network, 10 ** 6)
+            egress_scheme = EgressRouterAddressing(network, 2 * 10 ** 6)
+            reserved = ReservedAddressScheme(network, 3 * 10 ** 6)
+            return exit_scheme, egress_scheme, reserved
+
+        exit_scheme, egress_scheme, reserved = benchmark.pedantic(
+            build, rounds=1, iterations=1
+        )
+
+        n_links = len(network.exit_links())
+        n_edge = len(network.edge_routers)
+        exit_addresses = len({
+            exit_scheme.address_for_link(l.link_name)
+            for l in network.exit_links()
+        })
+        egress_addresses = len({
+            egress_scheme.address_for_router(r) for r in network.edge_routers
+        })
+        print()
+        print(render_table(
+            ["Scheme", "Addresses", "Per-tunnel state", "Topology exposed"],
+            [
+                ("exit-link", exit_addresses, "none", "links"),
+                ("egress-router", egress_addresses, "directed fwd", "routers"),
+                ("reserved", 1, "ingress maps + directed fwd", "none"),
+            ],
+            title="Ablation: §4.2 tunnel addressing schemes",
+        ))
+
+        # the paper's trade-off: addresses shrink as state/opacity grow
+        assert exit_addresses == n_links
+        assert egress_addresses == n_edge
+        assert n_links > n_edge > 1

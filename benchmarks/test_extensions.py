@@ -1,0 +1,121 @@
+"""Extension experiments beyond the paper's numbered artifacts.
+
+* §3.3 multi-hop negotiation: the gain from letting responders recurse
+  one level (the paper predicts it is small, since on-path negotiation
+  with non-adjacent ASes already covers the chain cases).
+* Valley-free source routing: the policy-compliant ceiling — it must sit
+  between MIRO's flexible policy and unrestricted source routing,
+  quantifying Table 5.2's remark that unrestricted source routing wins by
+  "selecting paths that conflict with the business objectives for
+  intermediate ASes".
+"""
+
+from repro.experiments import (
+    render_table,
+    run_multihop_gain,
+    run_success_rates,
+    valley_free_source_routing_rate,
+)
+from repro.miro import ExportPolicy
+
+
+def test_multihop_negotiation_gain(benchmark, gao_2005):
+    def run():
+        return run_multihop_gain(
+            gao_2005, n_destinations=8, sources_per_destination=10, seed=31,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Policy", "depth-1", "depth-2", "gain", "neg#/tuple d1", "d2"],
+        [
+            (
+                row.policy.value,
+                f"{row.depth1_rate:.1%}",
+                f"{row.depth2_rate:.1%}",
+                f"{row.gain:+.1%}",
+                f"{row.depth1_negotiations:.1f}",
+                f"{row.depth2_negotiations:.1f}",
+            )
+            for row in rows
+        ],
+        title="Extension: §3.3 responder recursion",
+    ))
+
+    for row in rows:
+        # recursion can only help...
+        assert row.depth2_rate >= row.depth1_rate - 1e-9
+        # ...but costs strictly more negotiations when it runs
+        assert row.depth2_negotiations >= row.depth1_negotiations
+    # the paper's prediction: the incremental gain is modest
+    flexible = [r for r in rows if r.policy is ExportPolicy.FLEXIBLE][0]
+    assert flexible.gain < 0.35
+
+
+def test_valley_free_source_routing_ceiling(benchmark, gao_2005):
+    def run():
+        return valley_free_source_routing_rate(
+            gao_2005, n_destinations=8, sources_per_destination=10, seed=31,
+        )
+
+    valley_free = benchmark.pedantic(run, rounds=1, iterations=1)
+    rates = run_success_rates(
+        gao_2005, "Gao 2005", n_destinations=8,
+        sources_per_destination=10, seed=31,
+    )
+
+    print()
+    print(render_table(
+        ["Scheme", "Success"],
+        [
+            ("MIRO flexible /a", f"{rates.multi_flexible:.1%}"),
+            ("valley-free source routing", f"{valley_free:.1%}"),
+            ("unrestricted source routing", f"{rates.source_routing:.1%}"),
+        ],
+        title="Extension: the policy-compliant ceiling",
+    ))
+
+    # the sandwich: MIRO/a <= valley-free SR <= unrestricted SR
+    assert rates.multi_flexible <= valley_free + 1e-9
+    assert valley_free <= rates.source_routing + 1e-9
+
+
+def test_path_splicing_recovery(benchmark, gao_2005):
+    """§2.3's suggestion: MIRO's alternates as path splices.
+
+    Measures single-link-failure delivery without reconvergence: plain
+    BGP (slice 0 pinned) vs re-splicing over 2/4/6 slices.
+    """
+    from repro.bgp import compute_routes
+    from repro.miro import recovery_rate
+
+    destination = gao_2005.stubs()[0]
+    table = compute_routes(gao_2005, destination)
+
+    def run():
+        return {
+            n: recovery_rate(gao_2005, table, n_slices=n,
+                             n_failures=15, seed=3)
+            for n in (2, 4, 6)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Slices", "plain BGP", "with re-splicing"],
+        [
+            (n, f"{plain:.0%}", f"{spliced:.0%}")
+            for n, (plain, spliced) in sorted(results.items())
+        ],
+        title="Extension: path splicing over MIRO alternates",
+    ))
+
+    for n, (plain, spliced) in results.items():
+        assert spliced >= plain  # splicing never hurts
+    # with a few slices, a substantial share of broken paths self-heal
+    assert results[4][1] > 0.25
+    # more slices cannot reduce recovery
+    assert results[6][1] >= results[2][1] - 1e-9

@@ -1,0 +1,61 @@
+"""Fig. 5.1 — node-degree distribution.
+
+Regenerates the degree CCDF for each data set and checks the paper's
+reading: a small number of very-high-degree tier-1 nodes, a heavy tail,
+and most ASes having only a handful of neighbours.
+"""
+
+from repro.experiments import (
+    degree_distribution,
+    heavy_tail_summary,
+    path_length_stats,
+    render_series,
+    render_table,
+)
+from repro.topology import mean_degree
+
+
+def test_fig_5_1(benchmark, datasets):
+    def run():
+        return {
+            name: degree_distribution(graph, name)
+            for name, graph in datasets.items()
+        }
+
+    distributions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for name, dist in distributions.items():
+        rows.append((
+            name, dist.max_degree, f"{dist.mean_degree:.2f}",
+            f"{dist.fraction_core:.2%}",
+            f"{dist.fraction_above_core_fortieth:.2%}",
+        ))
+    print(render_table(
+        ["Dataset", "Max degree", "Mean degree", "core frac", "mid frac"],
+        rows,
+        title="Fig 5.1: Node-degree distribution summaries",
+    ))
+    for name, dist in distributions.items():
+        print(render_series(f"  CCDF {name}", dist.ccdf, max_points=10))
+
+    for name, graph in datasets.items():
+        dist = distributions[name]
+        # a small number of nodes have a large number of neighbours
+        assert dist.fraction_core < 0.08
+        assert dist.max_degree > 6 * mean_degree(graph)
+        # heavy tail: the top 1% of ASes touch a large share of all links
+        assert heavy_tail_summary(graph)["top1pct_link_share"] > 0.05
+
+
+def test_path_lengths_match_paper(benchmark, gao_2005):
+    """§7.4: 'the observed average AS path length is only 4'."""
+    stats = benchmark.pedantic(
+        path_length_stats, args=(gao_2005,),
+        kwargs={"n_destinations": 8}, rounds=1, iterations=1,
+    )
+    print(f"\nmean AS-path length: {stats.mean:.2f} "
+          f"(max {stats.max_length}, <=4 hops: "
+          f"{stats.fraction_at_most(4):.0%})")
+    assert 3.0 < stats.mean < 5.0

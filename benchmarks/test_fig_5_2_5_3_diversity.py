@@ -1,0 +1,56 @@
+"""Figs. 5.2 / 5.3 — number of available routes per (source, destination).
+
+Regenerates the six curves (1-hop vs on-path negotiation × strict /s,
+export /e, flexible /a) per data set, and checks the paper's findings:
+
+* only a small fraction of pairs have no alternate at all (paper: ~5% on
+  Gao 2005, ~13% on Agarwal 2004);
+* "path" negotiation exposes more routes than "1-hop" for flexible
+  policies;
+* the /e and /a curves are close — "most of the benefits of multipath
+  routing can be reaped without violating the export policy";
+* many pairs see tens of alternate routes.
+"""
+
+import pytest
+
+from repro.experiments import render_table, run_diversity
+
+
+@pytest.mark.parametrize("name", ["Gao 2005", "Agarwal 2004"])
+def test_fig_5_2_5_3(benchmark, datasets, name):
+    graph = datasets[name]
+
+    def run():
+        return run_diversity(
+            graph, n_destinations=10, sources_per_destination=20, seed=52
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for label in ("1-hop/s", "1-hop/e", "1-hop/a", "path/s", "path/e", "path/a"):
+        curve = series[label]
+        rows.append((
+            label,
+            f"{curve.fraction_no_alternate:.1%}",
+            f"{curve.median:.0f}",
+            f"{curve.quantile(0.75):.0f}",
+            f"{curve.quantile(0.95):.0f}",
+        ))
+    print(render_table(
+        ["Scenario", "no-alternate", "median", "p75", "p95"],
+        rows,
+        title=f"Fig 5.2/5.3: Number of available routes ({name})",
+    ))
+
+    # only a small fraction of pairs are stuck with the default route
+    assert series["1-hop/s"].fraction_no_alternate < 0.25
+    # /e ≈ /a: same-order medians
+    assert series["1-hop/e"].median <= series["1-hop/a"].median
+    assert series["1-hop/a"].median <= 4 * max(series["1-hop/e"].median, 1)
+    # flexible path negotiation exposes the most routes
+    assert series["path/a"].quantile(0.95) >= series["path/s"].quantile(0.95)
+    # a good share of pairs have several alternatives
+    assert series["1-hop/a"].fraction_with_at_least(3) > 0.3

@@ -1,0 +1,70 @@
+"""Figs. 5.6 / 5.7 — multi-homed stub ASes with power nodes.
+
+Regenerates the inbound-traffic-control curves: for each threshold t, the
+fraction of multi-homed stubs with at least one power node able to move
+≥ t of the inbound traffic, under {strict, flexible} × {convert_all,
+independent_selection}, plus the §5.4 power-node profile (high degree,
+mostly non-adjacent).
+"""
+
+import pytest
+
+from repro.experiments import render_table, run_traffic_control
+
+THRESHOLDS = (0.05, 0.10, 0.25, 0.35)
+
+
+@pytest.mark.parametrize("name", ["Gao 2005", "Gao 2003"])
+def test_fig_5_6_5_7(benchmark, datasets, name):
+    graph = datasets[name]
+
+    def run():
+        return run_traffic_control(
+            graph, n_stubs=20, seed=56, max_nodes=6, include_forced=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for (policy, model), curve in sorted(result.curves.items()):
+        points = dict(curve.points(THRESHOLDS))
+        rows.append((
+            f"{policy} {model}",
+            *(f"{points[t]:.0%}" for t in THRESHOLDS),
+        ))
+    print(render_table(
+        ["Policy/model"] + [f">= {t:.0%}" for t in THRESHOLDS],
+        rows,
+        title=f"Fig 5.6/5.7: Stubs with power nodes ({name}, "
+              f"{result.n_stubs} stubs)",
+    ))
+    if result.profile:
+        print(
+            f"power nodes: {result.profile.n_power_nodes}, "
+            f"high-degree: {result.profile.fraction_high_degree:.0%}, "
+            f"adjacent: {result.profile.fraction_immediate_neighbor:.0%}, "
+            f"two hops: {result.profile.fraction_two_hops:.0%}"
+        )
+
+    convert_flexible = dict(result.curves[("/a", "convert")].points(THRESHOLDS))
+    convert_strict = dict(result.curves[("/s", "convert")].points(THRESHOLDS))
+    independent_flexible = dict(
+        result.curves[("/a", "independent")].points(THRESHOLDS)
+    )
+
+    # most stubs can move >=10% of inbound traffic via one power node
+    assert convert_flexible[0.10] > 0.6
+    # flexible policy dominates strict
+    for t in THRESHOLDS:
+        assert convert_flexible[t] >= convert_strict[t] - 1e-9
+    # convert_all upper-bounds independent_selection
+    for t in THRESHOLDS:
+        assert convert_flexible[t] >= independent_flexible[t] - 1e-9
+    # the independent model still moves traffic for a majority of stubs
+    assert independent_flexible[0.05] > 0.4
+    # the §5.4 community-forcing model sits between the two bounds
+    forced_flexible = dict(result.curves[("/a", "forced")].points(THRESHOLDS))
+    for t in THRESHOLDS:
+        assert independent_flexible[t] - 1e-9 <= forced_flexible[t]
+        assert forced_flexible[t] <= convert_flexible[t] + 1e-9

@@ -1,0 +1,65 @@
+"""Figs. 7.1 / 7.2 and the Ch. 7 guideline theorems.
+
+Regenerates the divergence counterexamples (both oscillate with no
+guideline in force) and verifies by simulation that Guidelines B, C, D,
+and E each restore convergence — on the counterexamples and on random
+hierarchical topologies with random tunnel demands (Theorems 2–4).
+"""
+
+from repro.convergence import GuidelineMode
+from repro.experiments import (
+    render_table,
+    run_counterexamples,
+    run_guideline_sweep,
+)
+from repro.topology import TINY
+
+
+def test_fig_7_1_7_2_counterexamples(benchmark):
+    outcomes = benchmark.pedantic(
+        run_counterexamples, kwargs={"max_rounds": 100}, rounds=1, iterations=1
+    )
+
+    print()
+    print(render_table(
+        ["Figure", "Mode", "Converged", "Oscillating", "Rounds"],
+        [
+            (o.figure, o.mode.value, o.converged, o.oscillating, o.rounds)
+            for o in outcomes
+        ],
+        title="Fig 7.1/7.2: Counterexamples under each guideline",
+    ))
+
+    by_key = {(o.figure, o.mode): o for o in outcomes}
+    for figure in ("7.1", "7.2"):
+        unrestricted = by_key[(figure, GuidelineMode.UNRESTRICTED)]
+        assert not unrestricted.converged
+        assert unrestricted.oscillating  # a provable cycle
+        for mode in (
+            GuidelineMode.GUIDELINE_B, GuidelineMode.GUIDELINE_C,
+            GuidelineMode.GUIDELINE_D, GuidelineMode.GUIDELINE_E,
+        ):
+            assert by_key[(figure, mode)].converged
+
+
+def test_guideline_sweep_random_topologies(benchmark):
+    def run():
+        return run_guideline_sweep(
+            n_topologies=6, demands_per_topology=8, profile=TINY, seed=77,
+        )
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Guideline", "Runs", "Converged", "Mean rounds"],
+        [
+            (o.mode.value, o.runs, o.converged_runs, f"{o.mean_rounds:.1f}")
+            for o in outcomes
+        ],
+        title="Ch. 7: Guideline sweep on random topologies",
+    ))
+
+    for outcome in outcomes:
+        assert outcome.converged_runs == outcome.runs
+        assert outcome.mean_rounds < 30

@@ -1,0 +1,58 @@
+"""Scalability / overhead — the abstract's "reasonable overhead" claim.
+
+Not a numbered figure, but the paper's central scalability argument
+(§3.2): push-based dissemination of alternate routes moves a large
+multiple of BGP's messages, while MIRO's pull-based negotiations add only
+a few messages per requesting AS.  Also benchmarks raw event-driven BGP
+convergence (messages and wall-clock) across topology sizes.
+"""
+
+import pytest
+
+from repro.experiments import render_table, run_overhead_comparison
+from repro.experiments.datasets import DATASETS
+from repro.bgp import EventDrivenBGP
+
+
+@pytest.mark.parametrize("name", ["Gao 2000", "Gao 2005"])
+def test_control_plane_overhead(benchmark, datasets, name):
+    graph = datasets[name]
+
+    def run():
+        return run_overhead_comparison(
+            graph, n_destinations=6, sources_per_destination=8, seed=7,
+            max_push_path_length=5,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Protocol", "Messages", "vs BGP"],
+        comparison.as_rows(),
+        title=f"Control-plane overhead ({name}, "
+              f"{comparison.n_destinations} prefixes, "
+              f"{comparison.n_requests} MIRO requests)",
+    ))
+
+    # push-all moves a large multiple of BGP's messages...
+    assert comparison.push_all_blowup > 2.0
+    # ...MIRO adds only a small fraction on top of BGP
+    assert comparison.miro_overhead_fraction < 0.5
+    assert comparison.miro_total < comparison.push_all_messages
+
+
+def test_event_driven_bgp_convergence_speed(benchmark, gao_2005):
+    destinations = gao_2005.ases[:5]
+
+    def converge():
+        engine = EventDrivenBGP(gao_2005)
+        for destination in destinations:
+            engine.originate(destination)
+        return engine.run()
+
+    messages = benchmark(converge)
+    print(f"\nBGP quiesced after {messages} messages "
+          f"for {len(destinations)} prefixes on {len(gao_2005)} ASes")
+    # messages scale like O(prefixes × links), not worse
+    assert messages < 40 * gao_2005.num_links * len(destinations)

@@ -1,0 +1,58 @@
+"""Scaling of the core routing computation across the data-set sizes.
+
+Supports the §3.1 scalability argument: AS-level path-vector computation
+is cheap even as the topology grows — the closed form computes one
+destination's stable state in milliseconds on the largest profile, and
+the per-destination cost grows roughly linearly with topology size.
+"""
+
+import time
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.experiments import render_table
+
+
+def _mean_time_per_destination(graph, n: int = 10) -> float:
+    destinations = graph.ases[:n]
+    start = time.perf_counter()
+    for destination in destinations:
+        compute_routes(graph, destination)
+    return (time.perf_counter() - start) / len(destinations)
+
+
+def test_routing_scales_across_datasets(benchmark, datasets):
+    def run():
+        return {
+            name: _mean_time_per_destination(graph)
+            for name, graph in datasets.items()
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for name, graph in datasets.items():
+        rows.append((
+            name, len(graph), graph.num_links,
+            f"{times[name] * 1000:.2f} ms",
+        ))
+    print(render_table(
+        ["Dataset", "ASes", "links", "per-destination"],
+        rows, title="Routing computation scaling",
+    ))
+
+    # milliseconds, not seconds, on every profile
+    assert all(t < 0.25 for t in times.values())
+    # roughly linear in size: the largest graph costs less than ~8x the
+    # smallest per destination (sizes differ by ~2.4x)
+    smallest = times["Gao 2000"]
+    largest = times["Gao 2005"]
+    assert largest < 8 * smallest + 0.01
+
+
+def test_single_destination_benchmark(benchmark, gao_2005):
+    destination = gao_2005.ases[0]
+    table = benchmark(compute_routes, gao_2005, destination)
+    assert len(table.routed_ases()) == len(gao_2005)

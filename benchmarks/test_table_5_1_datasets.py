@@ -1,0 +1,37 @@
+"""Table 5.1 — attributes of the data sets.
+
+Regenerates the data-set attribute table (nodes, edges, P/C, peering,
+sibling links) for the four scaled-down snapshots and benchmarks topology
+generation itself.
+"""
+
+from repro.experiments import render_table, table_5_1_rows
+from repro.topology import GAO_2005, generate_topology
+
+
+def test_table_5_1(benchmark):
+    rows = benchmark.pedantic(table_5_1_rows, rounds=1, iterations=1)
+
+    print()
+    print(render_table(
+        ["Name", "# Nodes", "# Edges", "P/C links", "Peering", "Sibling"],
+        [r.as_row() for r in rows],
+        title="Table 5.1: Attributes of the data sets",
+    ))
+
+    by_name = {r.name: r for r in rows}
+    # the paper's growth trend across snapshots
+    assert by_name["Gao 2000"].n_ases < by_name["Gao 2003"].n_ases
+    assert by_name["Gao 2003"].n_ases < by_name["Gao 2005"].n_ases
+    # link-class ordering holds in every snapshot
+    for row in rows:
+        assert row.n_customer_provider > row.n_peering > row.n_sibling
+    # peering:P/C ratios stay in the paper's band (≈6–10%)
+    for row in rows:
+        ratio = row.n_peering / row.n_customer_provider
+        assert 0.02 < ratio < 0.25
+
+
+def test_generation_speed(benchmark):
+    graph = benchmark(generate_topology, GAO_2005, 7)
+    assert len(graph) == GAO_2005.n_ases

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Inside one AS: iBGP path diversity and tunnel termination (Ch. 4).
+
+Rebuilds the Fig. 4.1 scenario — edge routers R2/R3 select different AS
+paths for the same prefix — and then walks a packet through the §4.2
+reserved-address tunnel scheme: ingress rewriting at R1, directed
+forwarding at the egress, decapsulation on the exit link.
+
+Run:  python examples/intra_as_dataplane.py
+"""
+
+from repro.bgp import RouterRoute
+from repro.dataplane import Packet, format_ipv4, parse_ipv4
+from repro.intra import ASNetwork, ReservedAddressScheme, RoutingControlPlatform
+
+PREFIX = "12.34.0.0/16"
+V, W, U = 100, 200, 300
+
+
+def main() -> None:
+    # AS X: internal router R1, edge routers R2 (links to V and W) and R3
+    # (link to W), as in Fig. 4.1.
+    as_x = ASNetwork(asn=10)
+    as_x.add_router("R1", router_id=1)
+    as_x.add_router("R2", router_id=2, is_edge=True)
+    as_x.add_router("R3", router_id=3, is_edge=True)
+    as_x.add_intra_link("R1", "R2", cost=1)
+    as_x.add_intra_link("R1", "R3", cost=5)
+    as_x.add_intra_link("R2", "R3", cost=1)
+    as_x.add_exit_link("R2", V, "X-V")
+    as_x.add_exit_link("R2", W, "X-W@R2")
+    as_x.add_exit_link("R3", W, "X-W@R3")
+
+    # eBGP routes: R2 hears VU and WU, R3 hears WU (equal attributes).
+    as_x.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(V, U),
+                                      router_id=90))
+    as_x.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                      router_id=91))
+    as_x.learn_ebgp("R3", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                      router_id=92))
+
+    best = as_x.run_ibgp(PREFIX)
+    print("Fig. 4.1: per-router selections for", PREFIX)
+    for router in as_x.routers:
+        route = best[router]
+        print(f"    {router}: AS path {route.as_path} "
+              f"(egress {route.egress_router})")
+    print("Distinct AS paths in use simultaneously:",
+          as_x.selected_paths())
+
+    # The MIRO view (§4.1): every valid (path, egress) the AS can offer.
+    rcp = RoutingControlPlatform(
+        as_x, ReservedAddressScheme(as_x, parse_ipv4("12.34.56.100")),
+    )
+    print("\nAlternate routes the RCP can offer:")
+    for path, egress in rcp.alternate_routes(PREFIX):
+        print(f"    {path} via {egress}")
+
+    # A neighbour negotiates the hidden (V, U) path; the RCP binds it.
+    tunnel = rcp.create_tunnel(upstream_as=42, prefix=PREFIX,
+                               as_path=(V, U), egress_router="R2")
+    print(f"\nTunnel {tunnel.tunnel_id} created: path {tunnel.as_path}, "
+          f"exit link {tunnel.exit_link}")
+
+    # §4.2 walk-through: the upstream encapsulates toward the reserved
+    # address 12.34.56.100; R1 rewrites to the closest egress and R2
+    # direct-forwards onto X-V.
+    packet = Packet.make(
+        parse_ipv4("42.0.0.1"), parse_ipv4("12.34.56.78"),
+    ).encapsulate(
+        parse_ipv4("42.0.0.254"), rcp.scheme.reserved_address,
+        tunnel_id=tunnel.tunnel_id,
+    )
+    print("\nPacket enters AS X at R1:")
+    print(f"    outer dst {format_ipv4(packet.outer.destination)} "
+          f"(tunnel id {packet.outer.tunnel_id})")
+    delivery = rcp.scheme.deliver(packet, "R1")
+    print(f"    R1 rewrote the outer destination: {delivery.ingress_rewritten}")
+    print(f"    decapsulated at {delivery.egress_router}, "
+          f"leaves on {delivery.exit_link.link_name} toward AS "
+          f"{delivery.exit_link.neighbor_as}")
+    print(f"    inner dst {format_ipv4(delivery.packet.outer.destination)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Pricing alternate routes (§6.2.2): "innovative business models".
+
+A transit AS prices its alternates three ways — by business class (the
+§6.3 example), per hop, and with a premium multiplier for non-customer
+routes — and sells tunnels to the same population of requesters.  The
+ledger shows the revenue/deal-rate trade-off each model makes.
+
+Run:  python examples/route_economics.py
+"""
+
+from repro.bgp import compute_routes
+from repro.experiments import render_table
+from repro.miro import (
+    ClassBasedPricing,
+    ExportPolicy,
+    PerHopPricing,
+    PremiumPricing,
+    evaluate_pricing,
+)
+from repro.topology import GAO_2005, generate_topology
+
+
+def main() -> None:
+    graph = generate_topology(GAO_2005, seed=9)
+
+    # the responder: a well-connected transit AS; the market: the
+    # neighbours whose default paths cross it
+    responder = max(graph.ases, key=graph.degree)
+    destination = graph.stubs()[0]
+    table = compute_routes(graph, destination)
+    requesters = [
+        asn for asn in graph.neighbors(responder)
+        if table.best(asn) is not None and responder in table.best(asn).path
+    ][:30]
+    print(f"Responder: AS {responder} (degree {graph.degree(responder)}), "
+          f"destination AS {destination}, {len(requesters)} requesters")
+
+    models = [
+        ("class-based (§6.3)", ClassBasedPricing()),
+        ("per-hop", PerHopPricing(per_hop=40, setup_fee=20)),
+        ("premium x2", PremiumPricing(premium_multiplier=2.0)),
+    ]
+    rows = []
+    for label, pricing in models:
+        for ceiling in (150, 400):
+            outcome = evaluate_pricing(
+                table, responder, requesters, pricing,
+                policy=ExportPolicy.EXPORT, max_price=ceiling,
+            )
+            rows.append((
+                label, ceiling, outcome.deals,
+                f"{outcome.deal_rate:.0%}", outcome.revenue,
+                f"{outcome.mean_price:.0f}",
+            ))
+    print()
+    print(render_table(
+        ["Pricing model", "ceiling", "deals", "deal rate", "revenue",
+         "mean price"],
+        rows,
+        title="Selling alternate routes under different pricing models",
+    ))
+    print(
+        "\nHigher prices shrink the market (requesters have a ceiling) but"
+        "\nraise per-deal revenue — the §6.2.2 trade-off made concrete."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Gao–Rexford export and preference policies (§2.2.1).
+
+Export rules:
+* customer routes are advertised to every neighbour;
+* peer or provider routes are advertised to customers only;
+* all routes are advertised to siblings.
+
+Preference rule: customer routes > peer routes > provider routes.
+
+Sibling routes are classified by the first non-sibling link on the path
+(§2.2.1): e.g. a path whose links read sibling, sibling, peer, ... is a peer
+route; an all-sibling path is a customer route.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..errors import RoutingError
+from ..topology.graph import ASGraph
+from ..topology.relationships import Relationship
+from .route import Route, RouteClass
+
+_REL_TO_CLASS = {
+    Relationship.CUSTOMER: RouteClass.CUSTOMER,
+    Relationship.PEER: RouteClass.PEER,
+    Relationship.PROVIDER: RouteClass.PROVIDER,
+}
+
+
+def classify_path(graph: ASGraph, path: Tuple[int, ...]) -> RouteClass:
+    """Business class of an AS path held by ``path[0]``, sibling-resolved."""
+    if len(path) < 1:
+        raise RoutingError("cannot classify an empty path")
+    if len(path) == 1:
+        return RouteClass.ORIGIN
+    for here, nxt in zip(path, path[1:]):
+        rel = graph.relationship(here, nxt)
+        if rel is not Relationship.SIBLING:
+            return _REL_TO_CLASS[rel]
+    # all links are sibling links: treated as a customer route (§2.2.1)
+    return RouteClass.CUSTOMER
+
+
+def make_route(graph: ASGraph, path: Tuple[int, ...]) -> Route:
+    """Build a :class:`Route` for ``path``, classifying it on the fly."""
+    return Route(path=tuple(path), route_class=classify_path(graph, tuple(path)))
+
+
+def may_export(
+    graph: ASGraph, holder: int, neighbor: int, route_class: RouteClass
+) -> bool:
+    """May ``holder`` advertise a route of ``route_class`` to ``neighbor``?
+
+    Implements the export rules above.  The origin's null route counts as a
+    customer route (the origin advertises its own prefix to everyone).
+    """
+    rel = graph.relationship(holder, neighbor)
+    if rel is Relationship.SIBLING:
+        return True  # all routes are advertised to siblings
+    if rel is Relationship.CUSTOMER:
+        return True  # any route is advertised to a customer
+    # neighbour is a peer or provider: only customer (or origin) routes
+    return route_class in (RouteClass.CUSTOMER, RouteClass.ORIGIN)
+
+
+def exportable_route(
+    graph: ASGraph, route: Route, neighbor: int
+) -> Optional[Route]:
+    """The route ``neighbor`` would learn from ``route.holder``, or None.
+
+    Returns None if the export rules forbid it or if ``neighbor`` already
+    appears on the path (the receiver's implicit loop check, §2.1.1).
+    """
+    if not may_export(graph, route.holder, neighbor, route.route_class):
+        return None
+    if route.contains(neighbor):
+        return None
+    new_path = (neighbor,) + route.path
+    return make_route(graph, new_path)
+
+
+def select_best(routes: Iterable[Route]) -> Optional[Route]:
+    """The Gao–Rexford best route, or None if no candidates."""
+    best: Optional[Route] = None
+    for route in routes:
+        if best is None or route.preference_key() > best.preference_key():
+            best = route
+    return best

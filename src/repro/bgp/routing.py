@@ -1,0 +1,229 @@
+"""Stable-state BGP route computation under Gao–Rexford policies.
+
+For one destination AS, :func:`compute_routes` computes the route each AS
+selects in the unique stable state of the policy-routing system (the state
+the Ch. 7 proofs converge to), using the classic three-phase propagation:
+
+* **Phase 1** — customer routes climb the customer→provider hierarchy
+  (sibling links are transparent);
+* **Phase 2** — ASes with customer routes advertise them across peering
+  links;
+* **Phase 3** — every routed AS advertises its best route down to its
+  customers, chaining through further provider→customer links.
+
+Within a phase, routes are explored shortest-first with a deterministic
+lexicographic tie-break, which stands in for the lower steps of the BGP
+decision process (Table 2.1) and guarantees tree consistency: the path an
+AS adopts is always an extension of the next hop's own selected path.
+
+The optional ``pinned`` argument fixes selected routes at given ASes and
+lets everyone else re-select — the *independent_selection* model of §5.4.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import RoutingError, UnknownASError
+from ..topology.graph import ASGraph
+from ..topology.relationships import Relationship
+from .policy import exportable_route, make_route
+from .route import Route, RouteClass
+
+
+class RoutingTable:
+    """Stable BGP outcome for one destination AS.
+
+    ``best(asn)`` is the route the AS selected (None if unreachable);
+    ``candidates(asn)`` is the full set of routes the AS *learned* — one per
+    neighbour that exports its best route to it.  The candidate set is what
+    a MIRO responding AS can offer in a negotiation (§3.4).
+    """
+
+    def __init__(
+        self, graph: ASGraph, destination: int, best: Dict[int, Route]
+    ) -> None:
+        self._graph = graph
+        self._destination = destination
+        self._best = best
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    @property
+    def destination(self) -> int:
+        return self._destination
+
+    def best(self, asn: int) -> Optional[Route]:
+        """The route ``asn`` selected, or None if the destination is unreachable."""
+        if asn not in self._graph:
+            raise UnknownASError(asn)
+        return self._best.get(asn)
+
+    def default_path(self, source: int) -> Optional[Tuple[int, ...]]:
+        """The default BGP AS path from ``source`` to the destination."""
+        route = self.best(source)
+        return route.path if route is not None else None
+
+    def reachable(self, asn: int) -> bool:
+        return self.best(asn) is not None
+
+    def routed_ases(self) -> List[int]:
+        """All ASes that selected a route, ascending."""
+        return sorted(self._best)
+
+    def candidates(self, asn: int) -> List[Route]:
+        """All routes ``asn`` learns from its neighbours in the stable state.
+
+        One route per neighbour whose export policy permits the
+        advertisement and whose best path does not already contain ``asn``.
+        The AS's own selected route is among them.
+        """
+        if asn not in self._graph:
+            raise UnknownASError(asn)
+        learned: List[Route] = []
+        if asn == self._destination:
+            learned.append(self._best[asn])
+            return learned
+        for neighbor in self._graph.neighbors(asn):
+            route = self._best.get(neighbor)
+            if route is None:
+                continue
+            candidate = exportable_route(self._graph, route, asn)
+            if candidate is not None:
+                learned.append(candidate)
+        return learned
+
+    def items(self) -> Iterator[Tuple[int, Route]]:
+        return iter(self._best.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingTable(dest={self._destination}, "
+            f"routed={len(self._best)}/{len(self._graph)})"
+        )
+
+
+def compute_routes(
+    graph: ASGraph,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> RoutingTable:
+    """Compute the stable Gao–Rexford routing state for ``destination``.
+
+    ``pinned`` maps AS numbers to routes those ASes are forced to select
+    (they advertise the pinned route and never re-select); every other AS
+    selects normally.  Pinned routes must be held by the given AS and
+    target ``destination``.
+    """
+    if destination not in graph:
+        raise UnknownASError(destination)
+    pinned = dict(pinned or {})
+    for asn, route in pinned.items():
+        if route.holder != asn:
+            raise RoutingError(
+                f"pinned route {route} is not held by AS {asn}"
+            )
+        if route.destination != destination:
+            raise RoutingError(
+                f"pinned route {route} does not target AS {destination}"
+            )
+    if destination in pinned:
+        raise RoutingError("cannot pin a route at the destination itself")
+
+    best: Dict[int, Route] = dict(pinned)
+    best[destination] = Route((destination,), RouteClass.ORIGIN)
+
+    # ---- Phase 1: customer routes climb the hierarchy -----------------
+    heap: List[Tuple[int, Tuple[int, ...]]] = []
+    for asn, route in best.items():
+        if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+            heapq.heappush(heap, (route.length, route.path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    # ---- Phase 2: customer routes cross peering links -----------------
+    heap = []
+    for asn in list(best):
+        route = best[asn]
+        if route.route_class not in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+            continue
+        for peer in graph.peers(asn):
+            if peer in best:
+                continue
+            if route.contains(peer):
+                continue
+            path = (peer,) + route.path
+            heapq.heappush(heap, (len(path) - 1, path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    # ---- Phase 3: best routes flow down to customers -------------------
+    heap = []
+    for asn in list(best):
+        route = best[asn]
+        for customer in graph.customers(asn):
+            if customer in best:
+                continue
+            if route.contains(customer):
+                continue
+            path = (customer,) + route.path
+            heapq.heappush(heap, (len(path) - 1, path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    return RoutingTable(graph, destination, best)
+
+
+def _run_phase(
+    graph: ASGraph,
+    best: Dict[int, Route],
+    heap: List[Tuple[int, Tuple[int, ...]]],
+    expand,
+    fixed: Set[int],
+) -> None:
+    """Shortest-first relaxation for one propagation phase.
+
+    Pops (length, path) entries; the first entry popped for an AS not in
+    ``fixed`` becomes its selected route.  ``expand(asn)`` lists the
+    neighbours the adopted route propagates to within this phase.
+    """
+    while heap:
+        length, path = heapq.heappop(heap)
+        holder = path[0]
+        if holder in fixed:
+            # Routed in an earlier phase (or pinned): it will not adopt
+            # this route; only its own seeded best propagates from it.
+            if best[holder].path != path:
+                continue
+        elif holder in best:
+            continue  # already settled within this phase
+        else:
+            best[holder] = make_route(graph, path)
+        route = best[holder]
+        for neighbor in expand(holder):
+            if neighbor in best:
+                continue
+            if route.contains(neighbor):
+                continue
+            heapq.heappush(heap, (length + 1, (neighbor,) + route.path))
+
+
+def compute_all_routes(
+    graph: ASGraph, destinations: Optional[Iterable[int]] = None
+) -> Dict[int, RoutingTable]:
+    """Routing tables for many destinations (all ASes by default)."""
+    if destinations is None:
+        destinations = graph.ases
+    return {d: compute_routes(graph, d) for d in destinations}

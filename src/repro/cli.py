@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro topology    generate a topology, print its Table 5.1 attributes,
+                      optionally dump it in CAIDA format
+    repro route       compute and print routes toward one destination
+    repro avoid       run the avoid-an-AS application for one triple
+    repro experiment  regenerate a paper table/figure on a chosen profile
+
+Every command takes ``--profile``/``--seed`` (or ``--topology FILE`` to
+load a CAIDA-format dump) so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bgp import compute_routes
+from .errors import ReproError
+from .miro import ExportPolicy, NegotiationScope, miro_attempt, single_path_attempt
+from .sourcerouting import reachable_avoiding
+from .topology import PROFILES, generate_named, load, summarize
+from .topology import dumps as dump_topology
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="gao-2005", choices=sorted(PROFILES),
+        help="generator profile (default: gao-2005)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--topology", metavar="FILE",
+        help="load a CAIDA-format topology instead of generating one",
+    )
+
+
+def _build_graph(args: argparse.Namespace):
+    if args.topology:
+        return load(args.topology)
+    return generate_named(args.profile, seed=args.seed)
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    summary = summarize(graph, args.topology or args.profile)
+    print(f"name:               {summary.name}")
+    print(f"ASes:               {summary.n_ases}")
+    print(f"links:              {summary.n_links}")
+    print(f"customer-provider:  {summary.n_customer_provider}")
+    print(f"peering:            {summary.n_peering}")
+    print(f"sibling:            {summary.n_sibling}")
+    print(f"stub ASes:          {summary.n_stubs}")
+    print(f"multi-homed ASes:   {summary.n_multihomed}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(dump_topology(graph))
+        print(f"wrote topology to {args.out}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    table = compute_routes(graph, args.destination)
+    if args.source is not None:
+        route = table.best(args.source)
+        if route is None:
+            print(f"AS {args.source} has no route to AS {args.destination}")
+            return 1
+        print(" -> ".join(map(str, route.path)),
+              f"[{route.route_class.name.lower()}]")
+        for candidate in table.candidates(args.source):
+            if candidate.path != route.path:
+                print("alternate:", " -> ".join(map(str, candidate.path)),
+                      f"[{candidate.route_class.name.lower()}]")
+        return 0
+    for asn in table.routed_ases()[: args.limit]:
+        print(f"{asn:>6}: {' -> '.join(map(str, table.best(asn).path))}")
+    return 0
+
+
+def _cmd_avoid(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    table = compute_routes(graph, args.destination)
+    default = table.default_path(args.source)
+    if default is None:
+        print(f"AS {args.source} cannot reach AS {args.destination} at all")
+        return 1
+    print("default path:", " -> ".join(map(str, default)))
+    plain = single_path_attempt(table, args.source, args.avoid)
+    print(f"single-path BGP: {'ok via ' + '-'.join(map(str, plain.full_path)) if plain.success else 'cannot avoid'}")
+    policy = ExportPolicy.from_label(args.policy)
+    attempt = miro_attempt(
+        table, args.source, args.avoid, policy,
+        max_depth=args.max_depth,
+    )
+    if attempt.success:
+        print(
+            f"MIRO {policy.value}: success ({attempt.method}) via "
+            f"{' -> '.join(map(str, attempt.full_path))} "
+            f"[{attempt.negotiations} negotiations, "
+            f"{attempt.paths_received} paths received]"
+        )
+    else:
+        print(
+            f"MIRO {policy.value}: failed after {attempt.negotiations} "
+            f"negotiations"
+        )
+    reachable = reachable_avoiding(
+        graph, args.source, args.destination, args.avoid
+    )
+    print(f"source routing: {'possible' if reachable else 'impossible'}")
+    return 0 if attempt.success else 2
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        render_series,
+        render_table,
+        run_counterexamples,
+        run_diversity,
+        run_incremental_deployment,
+        run_negotiation_state,
+        run_overhead_comparison,
+        run_success_rates,
+        run_traffic_control,
+    )
+
+    graph = _build_graph(args)
+    name = args.topology or args.profile
+    which = args.which
+    if which == "table5.2":
+        rates = run_success_rates(graph, name, seed=args.seed)
+        print(render_table(
+            ["Name", "Single", "Multi/s", "Multi/e", "Multi/a", "Source"],
+            [rates.as_row()], title="Table 5.2",
+        ))
+    elif which == "table5.3":
+        rows = run_negotiation_state(graph, seed=args.seed)
+        print(render_table(
+            ["Policy", "Success Rate", "AS#/tuple", "Path#/tuple"],
+            [r.as_row() for r in rows], title="Table 5.3",
+        ))
+    elif which == "fig5.2":
+        series = run_diversity(graph, seed=args.seed)
+        rows = [
+            (label, f"{s.fraction_no_alternate:.1%}", f"{s.median:.0f}",
+             f"{s.quantile(0.95):.0f}")
+            for label, s in sorted(series.items())
+        ]
+        print(render_table(
+            ["Scenario", "no-alternate", "median", "p95"], rows,
+            title="Fig 5.2/5.3",
+        ))
+    elif which == "fig5.4":
+        curve = run_incremental_deployment(graph, seed=args.seed)
+        for policy in ExportPolicy:
+            print(render_series(
+                f"top-degree {policy.value}", curve.series(policy)
+            ))
+    elif which == "fig5.6":
+        result = run_traffic_control(graph, seed=args.seed)
+        for (policy, model), curve in sorted(result.curves.items()):
+            print(render_series(f"{policy} {model}", curve.points()))
+    elif which == "ch7":
+        for outcome in run_counterexamples():
+            state = "converged" if outcome.converged else "OSCILLATES"
+            print(f"fig {outcome.figure} {outcome.mode.value:>12}: {state} "
+                  f"({outcome.rounds} rounds)")
+    elif which == "overhead":
+        comparison = run_overhead_comparison(graph, seed=args.seed)
+        print(render_table(
+            ["Protocol", "Messages", "vs BGP"], comparison.as_rows(),
+            title="Control-plane overhead",
+        ))
+    elif which == "all":
+        from .experiments import full_report
+
+        print(full_report(graph, name, seed=args.seed))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown experiment {which!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIRO: multi-path interdomain routing — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topology = sub.add_parser("topology", help="generate/inspect a topology")
+    _add_topology_args(topology)
+    topology.add_argument("--out", help="dump CAIDA-format topology here")
+    topology.set_defaults(func=_cmd_topology)
+
+    route = sub.add_parser("route", help="compute BGP routes")
+    _add_topology_args(route)
+    route.add_argument("--destination", type=int, required=True)
+    route.add_argument("--source", type=int)
+    route.add_argument("--limit", type=int, default=20,
+                       help="rows to print without --source")
+    route.set_defaults(func=_cmd_route)
+
+    avoid = sub.add_parser("avoid", help="avoid-an-AS application")
+    _add_topology_args(avoid)
+    avoid.add_argument("--source", type=int, required=True)
+    avoid.add_argument("--destination", type=int, required=True)
+    avoid.add_argument("--avoid", type=int, required=True)
+    avoid.add_argument("--policy", default="/e",
+                       help="export policy: /s, /e, or /a (default /e)")
+    avoid.add_argument("--max-depth", type=int, default=1,
+                       help="negotiation depth (2 enables §3.3 recursion)")
+    avoid.set_defaults(func=_cmd_avoid)
+
+    experiment = sub.add_parser("experiment", help="regenerate a result")
+    _add_topology_args(experiment)
+    experiment.add_argument(
+        "which",
+        choices=["table5.2", "table5.3", "fig5.2", "fig5.4", "fig5.6",
+                 "ch7", "overhead", "all"],
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The Ch. 7 counterexample systems (Figs. 7.1 and 7.2).
+
+Each factory builds the exact topology, demands, and explicit preference
+lists from the dissertation, parameterised by the guideline mode, so the
+tests and the convergence benchmark can show: *unrestricted → oscillates;
+under the guideline → converges*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..topology.graph import ASGraph
+from .model import (
+    ExplicitRanker,
+    GaoRexfordRanker,
+    GuidelineMode,
+    PartialOrder,
+    TunnelDemand,
+)
+from .simulator import MiroConvergenceSystem
+
+# AS numbers used by both figures.
+A, B, C, D = 1, 2, 3, 4
+
+
+def fig_7_1_graph() -> ASGraph:
+    """Fig. 7.1: A, B, C are customers of D and peer with each other."""
+    graph = ASGraph()
+    for customer in (A, B, C):
+        graph.add_customer_link(D, customer)
+    graph.add_peer_link(A, B)
+    graph.add_peer_link(B, C)
+    graph.add_peer_link(C, A)
+    return graph
+
+
+def fig_7_1_system(mode: GuidelineMode) -> MiroConvergenceSystem:
+    """The Fig. 7.1 instance: each of A, B, C prefers a tunnel through its
+    clockwise peer to reach D over its own direct provider route.
+
+    The preference lists are the classic "bad gadget" shape: the 2-hop
+    path through the next peer, then the direct route, nothing else.
+    """
+    graph = fig_7_1_graph()
+    preferences: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {
+        (A, D): ((A, B, D), (A, D)),
+        (B, D): ((B, C, D), (B, D)),
+        (C, D): ((C, A, D), (C, D)),
+    }
+    ranker = ExplicitRanker(preferences, default=GaoRexfordRanker(graph))
+    demands = [
+        TunnelDemand(A, D, B),
+        TunnelDemand(B, D, C),
+        TunnelDemand(C, D, A),
+    ]
+    orders = None
+    if mode is GuidelineMode.GUIDELINE_D:
+        orders = {
+            A: PartialOrder(((B, D),)),
+            B: PartialOrder(((C, D),)),
+            C: PartialOrder(((A, D),)),
+        }
+    return MiroConvergenceSystem(
+        graph, destinations=[D], demands=demands, mode=mode, ranker=ranker,
+        partial_orders=orders,
+    )
+
+
+def fig_7_2_graph() -> ASGraph:
+    """Fig. 7.2: D is a customer of A, B, and C, who peer in a triangle."""
+    graph = ASGraph()
+    for provider in (A, B, C):
+        graph.add_customer_link(provider, D)
+    graph.add_peer_link(A, B)
+    graph.add_peer_link(B, C)
+    graph.add_peer_link(C, A)
+    return graph
+
+
+def fig_7_2_system(
+    mode: GuidelineMode,
+    partial_order: Tuple[Tuple[int, int], ...] = ((B, A), (C, B)),
+) -> MiroConvergenceSystem:
+    """The Fig. 7.2 instance: D prefers D(BA) over DA, D(CB) over DB, and
+    D(AC) over DC — each tunnel rides on D's route to the responder, so
+    without a guideline the withdrawals chase each other forever.
+
+    ``partial_order`` is D's Guideline-D order ≺ given as (smaller, larger)
+    pairs; the default allows the B→A and C→B tunnels and (since A ≺ C
+    cannot be added without a cycle) forbids the third.
+    """
+    graph = fig_7_2_graph()
+    preferences: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {
+        (D, A): ((D, B, A), (D, A)),
+        (D, B): ((D, C, B), (D, B)),
+        (D, C): ((D, A, C), (D, C)),
+        # the providers route to each other over their peer mesh
+        (A, B): ((A, B),), (A, C): ((A, C),),
+        (B, A): ((B, A),), (B, C): ((B, C),),
+        (C, A): ((C, A),), (C, B): ((C, B),),
+    }
+    ranker = ExplicitRanker(preferences, default=GaoRexfordRanker(graph))
+    demands = [
+        TunnelDemand(D, A, B),
+        TunnelDemand(D, B, C),
+        TunnelDemand(D, C, A),
+    ]
+    orders = None
+    if mode is GuidelineMode.GUIDELINE_D:
+        orders = {D: PartialOrder(partial_order)}
+
+    def no_transit_to_d(holder: int, neighbor: int, path) -> bool:
+        # The providers' BGP tables give D only the direct routes; their
+        # peer routes reach D exclusively through negotiation offers.
+        return not (neighbor == D and len(path) > 1)
+
+    return MiroConvergenceSystem(
+        graph,
+        destinations=[A, B, C],
+        demands=demands,
+        mode=mode,
+        ranker=ranker,
+        partial_orders=orders,
+        bgp_export_filter=no_transit_to_d,
+    )
+
+
+def bad_gadget_bgp_graph() -> ASGraph:
+    """Griffin's BAD GADGET expressed with peer links only — the pure-BGP
+    divergence (§2.2.3) MIRO inherits when Guideline A is violated."""
+    graph = ASGraph()
+    graph.add_peer_link(A, B)
+    graph.add_peer_link(B, C)
+    graph.add_peer_link(C, A)
+    for customer in (A, B, C):
+        graph.add_customer_link(customer, D)
+    return graph
+
+
+def bad_gadget_bgp_system() -> MiroConvergenceSystem:
+    """Pure-BGP bad gadget: rankings violate Guideline A (peer routes over
+    customer routes) and the system has no stable state even without any
+    tunnels."""
+    graph = bad_gadget_bgp_graph()
+    preferences = {
+        (A, D): ((A, B, D), (A, D)),
+        (B, D): ((B, C, D), (B, D)),
+        (C, D): ((C, A, D), (C, D)),
+    }
+
+    ranker = ExplicitRanker(preferences, default=GaoRexfordRanker(graph))
+    return MiroConvergenceSystem(
+        graph, destinations=[D], demands=[],
+        mode=GuidelineMode.UNRESTRICTED, ranker=ranker,
+    )

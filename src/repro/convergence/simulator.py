@@ -1,0 +1,390 @@
+"""Activation-based convergence simulator for MIRO (§7.1.2).
+
+The simulator executes the dissertation's asynchronous model: a (possibly
+random) *activation sequence* repeatedly activates ASes; an activated AS
+re-runs route selection for every destination from the routes its
+neighbours currently advertise plus the tunnels its standing demands can
+establish.  The run converges when a full fair round changes nothing, and
+is declared divergent when a state fingerprint repeats under a
+deterministic schedule (a provable cycle) or the round budget runs out.
+
+Layer semantics per :class:`~repro.convergence.model.GuidelineMode`:
+
+* ``UNRESTRICTED`` — one layer: an adopted tunnel *replaces* the AS's
+  selected route, and neighbours see (and responders offer) that selection.
+  This reproduces the Fig. 7.1 and Fig. 7.2 oscillations.
+* ``GUIDELINE_B`` — two layers: the BGP layer evolves untouched by
+  tunnels; tunnels are built only on responders' BGP selections and are
+  never advertised or offered onward.
+* ``GUIDELINE_C`` — as B, but an AS advertises its effective route
+  (possibly a tunnel) to *leaf* neighbours, and leaves advertise nothing.
+* ``GUIDELINE_D`` — strict (same-class) offers; tunnels may ride on other
+  routes, but an AS prefers a tunnel over BGP routes only where its
+  strict partial order allows (``first_downstream ≺ destination``).
+* ``GUIDELINE_E`` — strict offers; a tunnel's via path must be the AS's
+  own *BGP* route to the responder (never one of its own tunnels).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import ConvergenceError
+from ..topology.graph import ASGraph
+from ..topology.relationships import Relationship
+from .model import (
+    GuidelineMode,
+    PartialOrder,
+    Path,
+    Ranker,
+    Selection,
+    TunnelDemand,
+    path_class_rank,
+)
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of one simulation run."""
+
+    converged: bool
+    rounds: int
+    oscillating: bool
+    #: effective selection per (asn, destination) at the end of the run
+    final_state: Dict[Tuple[int, int], Optional[Selection]]
+
+    def selection(self, asn: int, destination: int) -> Optional[Selection]:
+        return self.final_state.get((asn, destination))
+
+
+class MiroConvergenceSystem:
+    """One MIRO system instance: topology, destinations, demands, mode."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        destinations: Sequence[int],
+        demands: Sequence[TunnelDemand],
+        mode: Union[GuidelineMode, Dict[int, GuidelineMode]],
+        ranker: Ranker,
+        partial_orders: Optional[Dict[int, PartialOrder]] = None,
+        bgp_export_filter: Optional[
+            Callable[[int, int, Path], bool]
+        ] = None,
+    ) -> None:
+        self.graph = graph
+        self.destinations = list(destinations)
+        self.demands = list(demands)
+        # §7.4: guidelines can be mixed and matched — ``mode`` is either a
+        # single system-wide guideline or a per-AS assignment (ASes not
+        # listed default to Guideline B, the most conservative).
+        if isinstance(mode, GuidelineMode):
+            self.mode = mode
+            self._modes: Dict[int, GuidelineMode] = {}
+        else:
+            self.mode = None  # type: ignore[assignment]
+            self._modes = dict(mode)
+        self.ranker = ranker
+        self.partial_orders = partial_orders or {}
+        #: extra per-link explicit export policy for BGP advertisements
+        #: (holder, neighbour, path) -> may advertise?  Tunnel offers are
+        #: not subject to it — that is exactly how the Fig. 7.2 providers
+        #: "agree to export all of their BGP routes to D" in negotiations
+        #: while D's BGP table holds only the direct routes.
+        self.bgp_export_filter = bgp_export_filter
+        for demand in self.demands:
+            if (
+                self._mode_of(demand.requester) is GuidelineMode.GUIDELINE_D
+                and demand.requester not in self.partial_orders
+            ):
+                raise ConvergenceError(
+                    f"Guideline D needs a partial order for AS "
+                    f"{demand.requester}"
+                )
+        # bgp[(asn, dest)] / effective[(asn, dest)]
+        self.bgp: Dict[Tuple[int, int], Optional[Selection]] = {}
+        self.effective: Dict[Tuple[int, int], Optional[Selection]] = {}
+        for dest in self.destinations:
+            for asn in graph.iter_ases():
+                origin = (
+                    Selection((asn,)) if asn == dest else None
+                )
+                self.bgp[(asn, dest)] = origin
+                self.effective[(asn, dest)] = origin
+
+    def _mode_of(self, asn: int) -> GuidelineMode:
+        """The guideline this AS follows (§7.4 allows mixing)."""
+        if self.mode is not None:
+            return self.mode
+        return self._modes.get(asn, GuidelineMode.GUIDELINE_B)
+
+    # ------------------------------------------------------------------
+    # advertisement / export
+    # ------------------------------------------------------------------
+    def _export_ok(self, holder: int, neighbor: int, path: Path) -> bool:
+        """Gao–Rexford export rule on an arbitrary path."""
+        if len(path) < 2:
+            return True  # origin route goes to everyone
+        rel = self.graph.relationship(holder, neighbor)
+        if rel in (Relationship.CUSTOMER, Relationship.SIBLING):
+            return True
+        return path_class_rank(self.graph, path) == 3
+
+    def _advertised(self, holder: int, neighbor: int, dest: int) -> Optional[Path]:
+        """The path ``holder`` currently advertises to ``neighbor``."""
+        mode = self._mode_of(holder)
+        if mode is GuidelineMode.UNRESTRICTED:
+            selection = self.effective[(holder, dest)]
+        elif mode is GuidelineMode.GUIDELINE_C:
+            if self.graph.is_stub(holder):
+                return None  # leaves advertise nothing (§7.3.2)
+            if self.graph.is_stub(neighbor):
+                selection = self.effective[(holder, dest)]
+            else:
+                selection = self.bgp[(holder, dest)]
+        elif mode in (GuidelineMode.GUIDELINE_D, GuidelineMode.GUIDELINE_E):
+            selection = self.bgp[(holder, dest)]
+            effective = self.effective[(holder, dest)]
+            if (
+                effective is not None
+                and effective.is_tunnel
+                and self._same_class_as_bgp(holder, dest, effective.path)
+            ):
+                selection = effective  # same-class tunnels may be advertised
+        else:  # GUIDELINE_B
+            selection = self.bgp[(holder, dest)]
+        if selection is None:
+            return None
+        path = selection.path
+        if neighbor in path:
+            return None
+        if not self._export_ok(holder, neighbor, path):
+            return None
+        if self.bgp_export_filter is not None and not self.bgp_export_filter(
+            holder, neighbor, path
+        ):
+            return None
+        return path
+
+    def _same_class_as_bgp(self, holder: int, dest: int, path: Path) -> bool:
+        bgp = self.bgp[(holder, dest)]
+        if bgp is None or len(bgp.path) < 2 or len(path) < 2:
+            return False
+        return path_class_rank(self.graph, path) == path_class_rank(
+            self.graph, bgp.path
+        )
+
+    # ------------------------------------------------------------------
+    # tunnel construction
+    # ------------------------------------------------------------------
+    def _via_path(self, requester: int, responder: int) -> Optional[Selection]:
+        """The route the requester uses to reach the responder.
+
+        When the responder's prefix is routed in the system, the tunnel
+        rides on the requester's route to it — the *effective* route in the
+        unrestricted and Guideline-D worlds (tunnels may ride tunnels), the
+        *BGP* route under Guidelines B/C/E.  An unrouted but adjacent
+        responder is reached over the direct link.
+        """
+        if responder in self.destinations:
+            if self._mode_of(requester) in (
+                GuidelineMode.UNRESTRICTED, GuidelineMode.GUIDELINE_D
+            ):
+                return self.effective[(requester, responder)]
+            # B, C, E: tunnels ride only on the BGP layer
+            return self.bgp[(requester, responder)]
+        if self.graph.has_link(requester, responder):
+            return Selection((requester, responder))
+        return None
+
+    def _offers(self, responder: int, dest: int, toward: Optional[int]) -> List[Path]:
+        """What the responder offers in a negotiation (its t_export)."""
+        mode = self._mode_of(responder)
+        pool: List[Selection] = []
+        bgp = self.bgp[(responder, dest)]
+        effective = self.effective[(responder, dest)]
+        if mode is GuidelineMode.UNRESTRICTED:
+            if effective is not None:
+                pool.append(effective)
+        elif mode in (GuidelineMode.GUIDELINE_B, GuidelineMode.GUIDELINE_C):
+            if bgp is not None:
+                pool.append(bgp)  # tunnels built on pure BGP routes only
+        else:  # D, E: strict policy — BGP route plus same-class tunnels
+            if bgp is not None:
+                pool.append(bgp)
+            if (
+                effective is not None
+                and effective.is_tunnel
+                and self._same_class_as_bgp(responder, dest, effective.path)
+            ):
+                pool.append(effective)
+        offers: List[Path] = []
+        for selection in pool:
+            path = selection.path
+            if mode in (GuidelineMode.GUIDELINE_D, GuidelineMode.GUIDELINE_E):
+                # strict policy also keeps conventional export toward the
+                # neighbour the requester's traffic arrives through
+                if toward is not None and not self._export_ok(
+                    responder, toward, path
+                ):
+                    continue
+            offers.append(path)
+        return offers
+
+    def _tunnel_candidates(self, asn: int, dest: int) -> List[Selection]:
+        candidates: List[Selection] = []
+        for demand in self.demands:
+            if demand.requester != asn or demand.destination != dest:
+                continue
+            via = self._via_path(asn, demand.responder)
+            if via is None:
+                continue
+            if (
+                self._mode_of(asn) is GuidelineMode.GUIDELINE_E
+                and via.is_tunnel
+            ):
+                continue  # Guideline E: no tunnel-on-own-tunnel
+            toward = via.path[-2] if len(via.path) >= 2 else None
+            for offered in self._offers(demand.responder, dest, toward):
+                if asn in offered:
+                    continue
+                full = via.path + offered[1:]
+                if self.ranker.rank(asn, dest, full) is None:
+                    continue
+                candidates.append(
+                    Selection(full, is_tunnel=True,
+                              first_downstream=demand.responder)
+                )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def activate(self, asn: int) -> bool:
+        """Re-run route selection at one AS; True if anything changed."""
+        changed = False
+        for dest in self.destinations:
+            if asn == dest:
+                continue
+            # --- BGP layer ---
+            bgp_candidates: List[Selection] = []
+            for neighbor in self.graph.neighbors(asn):
+                path = self._advertised(neighbor, asn, dest)
+                if path is None or asn in path:
+                    continue
+                bgp_candidates.append(Selection((asn,) + path))
+            new_bgp = self.ranker.best(asn, dest, bgp_candidates)
+            if new_bgp != self.bgp[(asn, dest)]:
+                self.bgp[(asn, dest)] = new_bgp
+                changed = True
+            # --- effective layer ---
+            effective_candidates: List[Selection] = []
+            if new_bgp is not None:
+                effective_candidates.append(new_bgp)
+            for tunnel in self._tunnel_candidates(asn, dest):
+                if (
+                    self._mode_of(asn) is GuidelineMode.GUIDELINE_D
+                    and new_bgp is not None
+                ):
+                    order = self.partial_orders.get(asn)
+                    if order is None or not order.allows(
+                        tunnel.first_downstream, dest
+                    ):
+                        continue  # may not prefer this tunnel over BGP routes
+                effective_candidates.append(tunnel)
+            new_effective = self.ranker.best(asn, dest, effective_candidates)
+            if new_effective != self.effective[(asn, dest)]:
+                self.effective[(asn, dest)] = new_effective
+                changed = True
+        return changed
+
+    def fingerprint(self) -> Tuple:
+        """Hashable snapshot of the whole system state."""
+        items = []
+        for key in sorted(self.bgp):
+            b = self.bgp[key]
+            e = self.effective[key]
+            items.append((
+                key,
+                None if b is None else b.path,
+                None if e is None else (e.path, e.is_tunnel),
+            ))
+        return tuple(items)
+
+    def run(
+        self,
+        max_rounds: int = 200,
+        seed: Optional[int] = None,
+        schedule: Optional[Sequence[Sequence[int]]] = None,
+    ) -> ConvergenceResult:
+        """Run fair activation rounds until stable or the budget runs out.
+
+        Each round activates every AS once.  With ``seed`` the per-round
+        order is shuffled (a random fair sequence); with ``schedule`` the
+        given round orders are used (then repeated round-robin); otherwise
+        ascending AS order is used.  Under a deterministic schedule a
+        repeated state fingerprint proves a cycle, reported as
+        ``oscillating=True``.
+        """
+        rng = random.Random(seed) if seed is not None else None
+        ases = self.graph.ases
+        seen: Dict[Tuple, int] = {}
+        deterministic = rng is None
+        for round_index in range(max_rounds):
+            if schedule is not None:
+                order = list(schedule[round_index % len(schedule)])
+            elif rng is not None:
+                order = ases[:]
+                rng.shuffle(order)
+            else:
+                order = ases
+            changed = False
+            for asn in order:
+                if self.activate(asn):
+                    changed = True
+            if not changed:
+                return ConvergenceResult(
+                    True, round_index + 1, False, dict(self.effective)
+                )
+            if deterministic and schedule is None:
+                mark = self.fingerprint()
+                if mark in seen:
+                    return ConvergenceResult(
+                        False, round_index + 1, True, dict(self.effective)
+                    )
+                seen[mark] = round_index
+        return ConvergenceResult(False, max_rounds, False, dict(self.effective))
+
+
+def proof_schedule(graph: ASGraph) -> List[List[int]]:
+    """The constructive two-phase activation order of the proofs (§7.2):
+    first up the customer→provider DAG, then back down."""
+    up = graph.provider_customer_dag_order()
+    return [up, list(reversed(up))]
+
+
+def proof_schedule_guideline_b(graph: ASGraph) -> List[List[int]]:
+    """Lemma 3's three phases: up the DAG, down the DAG, then any order
+    (the tunnel-settling phase)."""
+    up = graph.provider_customer_dag_order()
+    return [up, list(reversed(up)), sorted(graph.iter_ases())]
+
+
+def proof_schedule_guideline_c(graph: ASGraph) -> List[List[int]]:
+    """Lemma 5's four phases: up, down, non-leaf ASes, then leaf ASes."""
+    up = graph.provider_customer_dag_order()
+    non_leaves = [a for a in sorted(graph.iter_ases()) if not graph.is_stub(a)]
+    leaves = [a for a in sorted(graph.iter_ases()) if graph.is_stub(a)]
+    return [up, list(reversed(up)), non_leaves, leaves or non_leaves]
+
+
+def proof_schedule_strict(graph: ASGraph) -> List[List[int]]:
+    """The Lemma 8/10 schedules for the strict-policy guidelines (D/E):
+    up the DAG, then down it twice — the second downward pass is the
+    Lemma 10 "activate all prefixes ... for another time" round that
+    settles tunnels riding on routes fixed in the first."""
+    up = graph.provider_customer_dag_order()
+    down = list(reversed(up))
+    return [up, down, down]

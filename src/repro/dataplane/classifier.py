@@ -1,0 +1,107 @@
+"""Traffic classifiers and hash-based flow splitting (§3.5).
+
+The upstream AS "may apply local policies to direct some traffic along
+tunnels, and send the remaining packets via the default path", matching on
+header fields, or split traffic across paths with a flow hash so one flow
+always takes one path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import DataPlaneError
+from .packet import FlowKey, Packet
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """Match on any subset of the classifier fields; None = wildcard."""
+
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    protocol: Optional[int] = None
+    tos: Optional[int] = None
+    destination: Optional[int] = None
+
+    def matches(self, packet: Packet) -> bool:
+        flow = packet.flow
+        checks = (
+            (self.src_port, flow.src_port),
+            (self.dst_port, flow.dst_port),
+            (self.protocol, flow.protocol),
+            (self.tos, flow.tos),
+            (self.destination, packet.inner.destination),
+        )
+        return all(want is None or want == got for want, got in checks)
+
+
+@dataclass(frozen=True)
+class ClassifierEntry:
+    """rule → action label (e.g. a tunnel id, or "default")."""
+
+    rule: MatchRule
+    action: str
+
+
+class Classifier:
+    """First-match packet classifier, as installed by the upstream AS."""
+
+    def __init__(self, default_action: str = "default") -> None:
+        self._entries: List[ClassifierEntry] = []
+        self.default_action = default_action
+
+    def add(self, rule: MatchRule, action: str) -> None:
+        self._entries.append(ClassifierEntry(rule, action))
+
+    def classify(self, packet: Packet) -> str:
+        for entry in self._entries:
+            if entry.rule.matches(packet):
+                return entry.action
+        return self.default_action
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def flow_hash(packet: Packet) -> int:
+    """Deterministic hash of the five-tuple, stable across processes.
+
+    Uses a cryptographic digest rather than :func:`hash` so results do not
+    depend on interpreter hash randomisation.
+    """
+    flow = packet.flow
+    material = (
+        f"{packet.inner.source}/{packet.inner.destination}/"
+        f"{flow.src_port}/{flow.dst_port}/{flow.protocol}"
+    ).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+class HashSplitter:
+    """Split flows over paths in given proportions (§3.5's load balancing).
+
+    ``weights`` are relative shares per action label; a flow hash picks the
+    bucket, so all packets of one flow take the same path.
+    """
+
+    def __init__(self, weights: Sequence[Tuple[str, float]]) -> None:
+        if not weights:
+            raise DataPlaneError("need at least one (action, weight) pair")
+        total = sum(w for _, w in weights)
+        if total <= 0 or any(w < 0 for _, w in weights):
+            raise DataPlaneError("weights must be non-negative with positive sum")
+        self._cumulative: List[Tuple[float, str]] = []
+        acc = 0.0
+        for action, weight in weights:
+            acc += weight / total
+            self._cumulative.append((acc, action))
+
+    def pick(self, packet: Packet) -> str:
+        point = (flow_hash(packet) % 10_000) / 10_000
+        for bound, action in self._cumulative:
+            if point < bound:
+                return action
+        return self._cumulative[-1][1]

@@ -1,0 +1,212 @@
+"""IPv4 prefixes and longest-prefix-match forwarding tables (§1.1, §2.1.1).
+
+BGP distributes reachability per IP prefix and routers forward by
+longest-prefix match on the destination address; :class:`PrefixTable` is a
+binary trie implementing exactly that (the ``128.112.0.0/16`` vs
+``12.34.56.0/24`` example of §2.1.1 is reproduced in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..errors import DataPlaneError
+
+V = TypeVar("V")
+
+
+def parse_ipv4(text: str) -> int:
+    """Dotted-quad string → 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise DataPlaneError(f"bad IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise DataPlaneError(f"bad IPv4 address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise DataPlaneError(f"bad IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """32-bit integer → dotted-quad string."""
+    if not 0 <= value < 2 ** 32:
+        raise DataPlaneError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class IPv4Prefix:
+    """An IPv4 prefix such as ``128.112.0.0/16``."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise DataPlaneError(f"prefix length {self.length} out of range")
+        mask = self.mask
+        if self.network & ~mask & 0xFFFFFFFF:
+            raise DataPlaneError(
+                f"network {format_ipv4(self.network)} has bits outside /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means /32)."""
+        if "/" in text:
+            addr, _, length_text = text.partition("/")
+            try:
+                length = int(length_text)
+            except ValueError as exc:
+                raise DataPlaneError(f"bad prefix {text!r}") from exc
+        else:
+            addr, length = text, 32
+        network = parse_ipv4(addr) & _mask(length)
+        return cls(network, length)
+
+    @property
+    def mask(self) -> int:
+        return _mask(self.length)
+
+    def contains(self, address: int) -> bool:
+        """Does this prefix match the address?"""
+        return (address & self.mask) == self.network
+
+    def covers(self, other: "IPv4Prefix") -> bool:
+        """Is ``other`` a (non-strict) sub-prefix of this one?"""
+        return other.length >= self.length and self.contains(other.network)
+
+    @property
+    def first_address(self) -> int:
+        return self.network
+
+    @property
+    def last_address(self) -> int:
+        return self.network | (~self.mask & 0xFFFFFFFF)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+
+def _mask(length: int) -> int:
+    if not 0 <= length <= 32:
+        raise DataPlaneError(f"prefix length {length} out of range")
+    return ((1 << length) - 1) << (32 - length) if length else 0
+
+
+class _TrieNode(Generic[V]):
+    __slots__ = ("children", "value", "occupied")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.occupied = False
+
+
+class PrefixTable(Generic[V]):
+    """Longest-prefix-match table: prefix → arbitrary value (a binary trie)."""
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[V] = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert or replace the entry for ``prefix``."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if not node.occupied:
+            self._count += 1
+        node.value = value
+        node.occupied = True
+
+    def remove(self, prefix: IPv4Prefix) -> V:
+        """Remove the entry for ``prefix``; raises if absent."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                raise DataPlaneError(f"no entry for {prefix}")
+            node = child
+        if not node.occupied:
+            raise DataPlaneError(f"no entry for {prefix}")
+        value = node.value
+        node.occupied = False
+        node.value = None
+        self._count -= 1
+        return value  # type: ignore[return-value]
+
+    def exact(self, prefix: IPv4Prefix) -> Optional[V]:
+        """The value stored exactly at ``prefix``, or None."""
+        node = self._root
+        for bit in _bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.occupied else None
+
+    def lookup(self, address: int) -> Optional[Tuple[IPv4Prefix, V]]:
+        """Longest-prefix match for a destination address."""
+        node = self._root
+        best: Optional[Tuple[int, V]] = None
+        if node.occupied:
+            best = (0, node.value)  # the default route 0.0.0.0/0
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.occupied:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        return IPv4Prefix(address & _mask(length), length), value
+
+    def lookup_value(self, address: int) -> Optional[V]:
+        hit = self.lookup(address)
+        return hit[1] if hit else None
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, V]]:
+        """All entries, in trie (prefix) order."""
+        stack: List[Tuple[_TrieNode[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.occupied:
+                yield IPv4Prefix(network, length), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    shifted = network | (bit << (31 - length))
+                    stack.append((child, shifted, length + 1))
+
+
+def _bits(prefix: IPv4Prefix) -> Iterator[int]:
+    for depth in range(prefix.length):
+        yield (prefix.network >> (31 - depth)) & 1
+
+
+def prefix_for_as(asn: int) -> IPv4Prefix:
+    """The synthetic /16 each AS originates in our simulations (§5.1 has
+    each AS originate a single destination prefix).
+
+    AS ``n`` owns ``(1 + n>>8).(n & 0xff).0.0/16`` — distinct, valid, and
+    easy to recognise in traces.
+    """
+    if not 0 <= asn <= 0xFFFF:
+        raise DataPlaneError(f"AS number {asn} out of the 16-bit range")
+    return IPv4Prefix(((1 + (asn >> 8)) << 24) | ((asn & 0xFF) << 16), 16)

@@ -1,0 +1,110 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .avoidance import (
+    MultiHopGain,
+    NegotiationState,
+    SuccessRates,
+    run_multihop_gain,
+    run_negotiation_state,
+    run_success_rates,
+    valley_free_source_routing_rate,
+)
+from .convergence import (
+    CounterexampleOutcome,
+    SweepOutcome,
+    run_counterexamples,
+    run_guideline_sweep,
+)
+from .datasets import DATASETS, Dataset, SMALL_DATASET, table_5_1_rows
+from .degree import (
+    DegreeDistribution,
+    PathLengthStats,
+    degree_distribution,
+    heavy_tail_summary,
+    path_length_stats,
+)
+from .deployment import (
+    DEFAULT_FRACTIONS,
+    DeploymentCurve,
+    DeploymentPoint,
+    run_incremental_deployment,
+)
+from .diversity import DiversitySeries, run_diversity
+from .overhead import (
+    MESSAGES_PER_NEGOTIATION,
+    OverheadComparison,
+    bgp_message_count,
+    push_all_message_count,
+    run_overhead_comparison,
+)
+from .export import export_results, to_jsonable
+from .report import percent, render_series, render_table
+from .runner import full_report
+from .sampling import (
+    PairSample,
+    TripleSample,
+    ccdf_points,
+    cdf_points,
+    fraction_at_least,
+    sample_pairs,
+    sample_triples,
+)
+from .traffic import (
+    DEFAULT_THRESHOLDS,
+    PowerNodeProfile,
+    TrafficControlCurve,
+    TrafficControlResult,
+    run_traffic_control,
+)
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "SMALL_DATASET",
+    "table_5_1_rows",
+    "DegreeDistribution",
+    "degree_distribution",
+    "heavy_tail_summary",
+    "PathLengthStats",
+    "path_length_stats",
+    "DiversitySeries",
+    "run_diversity",
+    "SuccessRates",
+    "NegotiationState",
+    "run_success_rates",
+    "run_negotiation_state",
+    "DeploymentCurve",
+    "DeploymentPoint",
+    "DEFAULT_FRACTIONS",
+    "run_incremental_deployment",
+    "TrafficControlCurve",
+    "TrafficControlResult",
+    "PowerNodeProfile",
+    "DEFAULT_THRESHOLDS",
+    "run_traffic_control",
+    "CounterexampleOutcome",
+    "SweepOutcome",
+    "run_counterexamples",
+    "run_guideline_sweep",
+    "PairSample",
+    "TripleSample",
+    "sample_pairs",
+    "sample_triples",
+    "cdf_points",
+    "ccdf_points",
+    "fraction_at_least",
+    "render_table",
+    "render_series",
+    "percent",
+    "OverheadComparison",
+    "run_overhead_comparison",
+    "bgp_message_count",
+    "push_all_message_count",
+    "MESSAGES_PER_NEGOTIATION",
+    "full_report",
+    "export_results",
+    "to_jsonable",
+    "MultiHopGain",
+    "run_multihop_gain",
+    "valley_free_source_routing_rate",
+]

@@ -1,0 +1,147 @@
+"""Ch. 7 experiments — Figs. 7.1 / 7.2 and the guideline sweep.
+
+Beyond replaying the two counterexamples, the sweep builds random
+Gao–Rexford topologies with random tunnel demands and checks that every
+run under Guidelines B, C, D, and E converges (the paper's theorems), and
+that the unrestricted counterexamples provably oscillate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..convergence.examples import fig_7_1_system, fig_7_2_system
+from ..convergence.model import (
+    GaoRexfordRanker,
+    GuidelineMode,
+    PartialOrder,
+    TunnelDemand,
+)
+from ..convergence.simulator import ConvergenceResult, MiroConvergenceSystem
+from ..topology.generator import TINY, TopologyProfile, generate_topology
+from ..topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class CounterexampleOutcome:
+    figure: str
+    mode: GuidelineMode
+    converged: bool
+    oscillating: bool
+    rounds: int
+
+
+def run_counterexamples(max_rounds: int = 100) -> List[CounterexampleOutcome]:
+    """Replay Fig. 7.1 and Fig. 7.2 under every guideline mode."""
+    outcomes: List[CounterexampleOutcome] = []
+    for figure, factory in (("7.1", fig_7_1_system), ("7.2", fig_7_2_system)):
+        for mode in GuidelineMode:
+            result = factory(mode).run(max_rounds=max_rounds)
+            outcomes.append(
+                CounterexampleOutcome(
+                    figure, mode, result.converged, result.oscillating,
+                    result.rounds,
+                )
+            )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    mode: GuidelineMode
+    runs: int
+    converged_runs: int
+    mean_rounds: float
+
+
+def run_guideline_sweep(
+    n_topologies: int = 5,
+    demands_per_topology: int = 6,
+    profile: TopologyProfile = TINY,
+    seed: int = 0,
+    max_rounds: int = 120,
+    modes: Sequence[GuidelineMode] = (
+        GuidelineMode.GUIDELINE_B,
+        GuidelineMode.GUIDELINE_C,
+        GuidelineMode.GUIDELINE_D,
+        GuidelineMode.GUIDELINE_E,
+    ),
+) -> List[SweepOutcome]:
+    """Random-topology convergence check for the guideline theorems."""
+    rng = random.Random(seed)
+    results: Dict[GuidelineMode, List[ConvergenceResult]] = {m: [] for m in modes}
+    for index in range(n_topologies):
+        graph = generate_topology(profile, seed=seed + index)
+        destinations, demands = _random_demands(
+            graph, demands_per_topology, rng
+        )
+        for mode in modes:
+            orders: Optional[Dict[int, PartialOrder]] = None
+            if mode is GuidelineMode.GUIDELINE_D:
+                orders = _orders_for(demands)
+            system = MiroConvergenceSystem(
+                graph,
+                destinations=destinations,
+                demands=demands,
+                mode=mode,
+                ranker=GaoRexfordRanker(graph),
+                partial_orders=orders,
+            )
+            results[mode].append(system.run(max_rounds=max_rounds))
+    return [
+        SweepOutcome(
+            mode=mode,
+            runs=len(runs),
+            converged_runs=sum(1 for r in runs if r.converged),
+            mean_rounds=(
+                sum(r.rounds for r in runs) / len(runs) if runs else 0.0
+            ),
+        )
+        for mode, runs in results.items()
+    ]
+
+
+def _random_demands(
+    graph: ASGraph, count: int, rng: random.Random
+) -> Tuple[List[int], List[TunnelDemand]]:
+    """Random (requester, destination, responder) demands over a topology."""
+    ases = graph.ases
+    destinations: List[int] = []
+    demands: List[TunnelDemand] = []
+    attempts = 0
+    while len(demands) < count and attempts < 50 * count:
+        attempts += 1
+        requester, destination = rng.sample(ases, 2)
+        neighbors = [n for n in graph.neighbors(requester) if n != destination]
+        if not neighbors:
+            continue
+        responder = rng.choice(neighbors)
+        demands.append(TunnelDemand(requester, destination, responder))
+        if destination not in destinations:
+            destinations.append(destination)
+    return destinations, demands
+
+
+def _orders_for(demands: Sequence[TunnelDemand]) -> Dict[int, PartialOrder]:
+    """Build per-AS Guideline-D orders admitting each demand when acyclic.
+
+    Pairs that would make the relation cyclic are simply dropped — exactly
+    the Banker's-algorithm style, on-the-fly order maintenance §7.4
+    describes.
+    """
+    by_requester: Dict[int, List[Tuple[int, int]]] = {}
+    for demand in demands:
+        by_requester.setdefault(demand.requester, [])
+        candidate = by_requester[demand.requester] + [
+            (demand.responder, demand.destination)
+        ]
+        try:
+            PartialOrder(tuple(candidate))
+        except Exception:
+            continue  # adding this pair would create a cycle: forbid it
+        by_requester[demand.requester] = candidate
+    return {
+        asn: PartialOrder(tuple(pairs)) for asn, pairs in by_requester.items()
+    }

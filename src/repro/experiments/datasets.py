@@ -1,0 +1,60 @@
+"""The experiment data sets (Table 5.1).
+
+Each :class:`Dataset` pairs a generator profile with a seed, standing in
+for one of the paper's RouteViews snapshots (see DESIGN.md §1).  Tables
+and figures are produced per data set exactly as the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..topology.generator import (
+    AGARWAL_2004,
+    GAO_2000,
+    GAO_2003,
+    GAO_2005,
+    SMALL,
+    TopologyProfile,
+    generate_topology,
+)
+from ..topology.graph import ASGraph
+from ..topology.stats import TopologySummary, summarize
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One evaluation data set: a profile + seed, like a dated snapshot."""
+
+    name: str
+    profile: TopologyProfile
+    seed: int = 0
+
+    def build(self) -> ASGraph:
+        return _build_cached(self.profile.name, self.seed)
+
+
+@lru_cache(maxsize=16)
+def _build_cached(profile_name: str, seed: int) -> ASGraph:
+    from ..topology.generator import PROFILES
+
+    return generate_topology(PROFILES[profile_name], seed=seed)
+
+
+#: The four data sets of Table 5.1, in the paper's order.
+DATASETS: Tuple[Dataset, ...] = (
+    Dataset("Gao 2000", GAO_2000, seed=2000),
+    Dataset("Gao 2003", GAO_2003, seed=2003),
+    Dataset("Gao 2005", GAO_2005, seed=2005),
+    Dataset("Agarwal 2004", AGARWAL_2004, seed=2004),
+)
+
+#: Small data set for tests and quick runs.
+SMALL_DATASET = Dataset("small", SMALL, seed=42)
+
+
+def table_5_1_rows() -> List[TopologySummary]:
+    """The Table 5.1 attribute rows for all four data sets."""
+    return [summarize(ds.build(), ds.name) for ds in DATASETS]

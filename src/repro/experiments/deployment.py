@@ -1,0 +1,87 @@
+"""Figs. 5.4 / 5.5 — incremental deployment (§5.3.3).
+
+MIRO is deployed at a growing fraction of ASes, highest node degree first
+(the likely adoption order); the source may only negotiate with deployed
+ASes.  The y-axis is the success ratio relative to ubiquitous deployment
+under the most flexible policy.  The low-degree-first control shows that
+deploying at the edge first is nearly useless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..miro.avoidance import NegotiationScope, miro_attempt
+from ..miro.policies import ExportPolicy, all_policies
+from ..topology.graph import ASGraph
+from ..topology.stats import bottom_degree_ases, top_degree_ases
+from .sampling import TripleSample, sample_triples
+
+#: Deployment fractions swept by default (log-spaced like the paper's x-axis).
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.002, 0.01, 0.05, 0.2, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class DeploymentPoint:
+    fraction: float
+    #: success ratio relative to the ubiquitous/most-flexible baseline
+    ratio_by_policy: Dict[ExportPolicy, float]
+
+
+@dataclass(frozen=True)
+class DeploymentCurve:
+    strategy: str  # "top-degree" or "bottom-degree"
+    points: Tuple[DeploymentPoint, ...]
+
+    def series(self, policy: ExportPolicy) -> List[Tuple[float, float]]:
+        return [(p.fraction, p.ratio_by_policy[policy]) for p in self.points]
+
+
+def run_incremental_deployment(
+    graph: ASGraph,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    n_destinations: int = 10,
+    sources_per_destination: int = 15,
+    seed: int = 0,
+    strategy: str = "top-degree",
+    scope: NegotiationScope = NegotiationScope.ON_PATH,
+) -> DeploymentCurve:
+    """One Fig. 5.4 curve (all three policies at each fraction)."""
+    triples = list(
+        sample_triples(graph, n_destinations, sources_per_destination, seed=seed)
+    )
+    baseline = _successes(triples, ExportPolicy.FLEXIBLE, None, scope)
+    baseline = max(baseline, 1)
+
+    points: List[DeploymentPoint] = []
+    for fraction in fractions:
+        if strategy == "top-degree":
+            deployed: Set[int] = set(top_degree_ases(graph, fraction))
+        elif strategy == "bottom-degree":
+            deployed = set(bottom_degree_ases(graph, fraction))
+        else:
+            raise ValueError(f"unknown deployment strategy {strategy!r}")
+        ratios: Dict[ExportPolicy, float] = {}
+        for policy in all_policies():
+            wins = _successes(triples, policy, deployed, scope)
+            ratios[policy] = wins / baseline
+        points.append(DeploymentPoint(fraction, ratios))
+    return DeploymentCurve(strategy, tuple(points))
+
+
+def _successes(
+    triples: Sequence[TripleSample],
+    policy: ExportPolicy,
+    deployed,
+    scope: NegotiationScope,
+) -> int:
+    wins = 0
+    for triple in triples:
+        attempt = miro_attempt(
+            triple.table, triple.source, triple.avoid, policy,
+            scope=scope, deployed=deployed, include_single_path=False,
+        )
+        if attempt.success:
+            wins += 1
+    return wins

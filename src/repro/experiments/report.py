@@ -1,0 +1,52 @@
+"""Text rendering of experiment results: paper-style tables and CDF series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render an ASCII table like the paper's Tables 5.1–5.3."""
+    rows = [list(map(_fmt, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, points: Sequence[Tuple[float, float]], max_points: int = 12
+) -> str:
+    """Render a curve (e.g. a CDF) as a compact (x, y) listing."""
+    if not points:
+        return f"{name}: (empty)"
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        picked = [points[round(i * step)] for i in range(max_points)]
+    else:
+        picked = list(points)
+    body = "  ".join(f"({_fmt(x)},{_fmt(y)})" for x, y in picked)
+    return f"{name}: {body}"
+
+
+def percent(value: float) -> str:
+    return f"{100 * value:.1f}%"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)

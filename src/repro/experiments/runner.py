@@ -1,0 +1,137 @@
+"""Run the whole evaluation and render one text report.
+
+``full_report(graph)`` regenerates every paper artifact on one topology —
+what the ``repro experiment all`` CLI command and the EXPERIMENTS.md
+refresh use.  Sample sizes are deliberately modest; the per-figure
+benchmarks under ``benchmarks/`` are the canonical, assertion-carrying
+versions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..miro import ExportPolicy
+from ..topology.graph import ASGraph
+from ..topology.stats import summarize
+from .avoidance import run_negotiation_state, run_success_rates
+from .convergence import run_counterexamples, run_guideline_sweep
+from .degree import degree_distribution
+from .deployment import run_incremental_deployment
+from .diversity import run_diversity
+from .overhead import run_overhead_comparison
+from .report import render_series, render_table
+from .traffic import run_traffic_control
+
+
+def full_report(
+    graph: ASGraph,
+    name: str = "topology",
+    seed: int = 0,
+    n_destinations: int = 8,
+    sources_per_destination: int = 10,
+    n_stubs: int = 12,
+) -> str:
+    """Every table and figure on one topology, as one text report."""
+    sections: List[str] = []
+
+    summary = summarize(graph, name)
+    sections.append(render_table(
+        ["Name", "# Nodes", "# Edges", "P/C links", "Peering", "Sibling"],
+        [summary.as_row()],
+        title="Table 5.1: topology attributes",
+    ))
+
+    dist = degree_distribution(graph, name)
+    sections.append(render_series("Fig 5.1 degree CCDF", dist.ccdf))
+
+    series = run_diversity(
+        graph, n_destinations=n_destinations,
+        sources_per_destination=sources_per_destination, seed=seed,
+    )
+    sections.append(render_table(
+        ["Scenario", "no-alternate", "median", "p95"],
+        [
+            (label, f"{s.fraction_no_alternate:.1%}", f"{s.median:.0f}",
+             f"{s.quantile(0.95):.0f}")
+            for label, s in sorted(series.items())
+        ],
+        title="Fig 5.2/5.3: available routes",
+    ))
+
+    rates = run_success_rates(
+        graph, name, n_destinations=n_destinations,
+        sources_per_destination=sources_per_destination, seed=seed,
+    )
+    sections.append(render_table(
+        ["Name", "Single", "Multi/s", "Multi/e", "Multi/a", "Source"],
+        [rates.as_row()],
+        title="Table 5.2: avoid-an-AS success rates",
+    ))
+
+    state = run_negotiation_state(
+        graph, n_destinations=n_destinations,
+        sources_per_destination=sources_per_destination, seed=seed,
+    )
+    sections.append(render_table(
+        ["Policy", "Success Rate", "AS#/tuple", "Path#/tuple"],
+        [r.as_row() for r in state],
+        title="Table 5.3: negotiation state",
+    ))
+
+    deployment = run_incremental_deployment(
+        graph, n_destinations=n_destinations,
+        sources_per_destination=sources_per_destination, seed=seed,
+    )
+    lines = [
+        render_series(
+            f"Fig 5.4 top-degree {policy.value}", deployment.series(policy)
+        )
+        for policy in ExportPolicy
+    ]
+    sections.append("\n".join(lines))
+
+    traffic = run_traffic_control(graph, n_stubs=n_stubs, seed=seed)
+    sections.append(render_table(
+        ["Policy/model", ">= 10%", ">= 25%"],
+        [
+            (
+                f"{policy} {model}",
+                f"{dict(curve.points((0.10, 0.25)))[0.10]:.0%}",
+                f"{dict(curve.points((0.10, 0.25)))[0.25]:.0%}",
+            )
+            for (policy, model), curve in sorted(traffic.curves.items())
+        ],
+        title=f"Fig 5.6/5.7: inbound control ({traffic.n_stubs} stubs)",
+    ))
+
+    counterexamples = run_counterexamples()
+    sections.append(render_table(
+        ["Figure", "Mode", "Converged", "Rounds"],
+        [
+            (o.figure, o.mode.value, o.converged, o.rounds)
+            for o in counterexamples
+        ],
+        title="Fig 7.1/7.2: convergence",
+    ))
+
+    sweep = run_guideline_sweep(n_topologies=3, demands_per_topology=5,
+                                seed=seed)
+    sections.append(render_table(
+        ["Guideline", "Runs", "Converged"],
+        [(o.mode.value, o.runs, o.converged_runs) for o in sweep],
+        title="Ch. 7 guideline sweep",
+    ))
+
+    overhead = run_overhead_comparison(
+        graph, n_destinations=min(6, n_destinations),
+        sources_per_destination=sources_per_destination, seed=seed,
+        max_push_path_length=5,
+    )
+    sections.append(render_table(
+        ["Protocol", "Messages", "vs BGP"],
+        overhead.as_rows(),
+        title="Control-plane overhead (§3.2)",
+    ))
+
+    return "\n\n".join(sections)

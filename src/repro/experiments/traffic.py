@@ -1,0 +1,132 @@
+"""Figs. 5.6 / 5.7 — multi-homed stubs with power nodes (§5.4).
+
+For each sampled multi-homed stub, find its best power node under the
+strict and flexible policies and measure the movable inbound-traffic
+fraction under the convert_all and independent_selection models.  The
+figures plot, for each threshold t, the fraction of stubs with at least
+one power node able to move ≥ t of the inbound traffic; §5.4 also reports
+who the power nodes are (degree, hop distance from the stub).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..miro.policies import ExportPolicy
+from ..miro.traffic import StubControlResult, best_control_for_stub
+from ..topology.graph import ASGraph
+from .sampling import fraction_at_least
+
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.25, 0.35, 0.50)
+
+
+@dataclass(frozen=True)
+class TrafficControlCurve:
+    """One Fig. 5.6 curve: stub fraction vs movable-traffic threshold."""
+
+    policy: ExportPolicy
+    model: str  # "convert" or "independent"
+    #: best movable fraction per sampled stub
+    best_fractions: Tuple[float, ...]
+
+    def points(
+        self, thresholds: Sequence[float] = DEFAULT_THRESHOLDS
+    ) -> List[Tuple[float, float]]:
+        return [
+            (t, fraction_at_least(self.best_fractions, t)) for t in thresholds
+        ]
+
+
+@dataclass(frozen=True)
+class PowerNodeProfile:
+    """§5.4's closing statistics on who the power nodes are."""
+
+    n_power_nodes: int
+    fraction_high_degree: float
+    fraction_immediate_neighbor: float
+    fraction_two_hops: float
+    mean_degree: float
+
+
+@dataclass(frozen=True)
+class TrafficControlResult:
+    curves: Dict[Tuple[str, str], TrafficControlCurve]  # (policy label, model)
+    profile: Optional[PowerNodeProfile]
+    n_stubs: int
+
+
+def run_traffic_control(
+    graph: ASGraph,
+    n_stubs: int = 25,
+    seed: int = 0,
+    max_nodes: int = 8,
+    policies: Sequence[ExportPolicy] = (
+        ExportPolicy.STRICT, ExportPolicy.FLEXIBLE
+    ),
+    include_forced: bool = False,
+) -> TrafficControlResult:
+    """Run the §5.4 evaluation over sampled multi-homed stubs.
+
+    With ``include_forced`` a third curve per policy is produced for the
+    community-value model (the §5.4 aside), which sits between the two
+    bounds.
+    """
+    rng = random.Random(seed)
+    stubs = graph.multihomed_stubs()
+    sample = rng.sample(stubs, min(n_stubs, len(stubs)))
+
+    curves: Dict[Tuple[str, str], TrafficControlCurve] = {}
+    power_nodes: List[Tuple[int, int, int]] = []  # (node, degree, distance)
+    for policy in policies:
+        convert: List[float] = []
+        independent: List[float] = []
+        forced: List[float] = []
+        for stub in sample:
+            result = best_control_for_stub(
+                graph, stub, policy, max_nodes=max_nodes,
+                include_forced=include_forced,
+            )
+            convert.append(result.convert_all)
+            independent.append(result.independent)
+            forced.append(result.forced)
+            if policy is ExportPolicy.FLEXIBLE and result.best_option is not None:
+                option = result.best_option
+                power_nodes.append(
+                    (
+                        option.power_node,
+                        graph.degree(option.power_node),
+                        option.distance,
+                    )
+                )
+        curves[(policy.value, "convert")] = TrafficControlCurve(
+            policy, "convert", tuple(convert)
+        )
+        curves[(policy.value, "independent")] = TrafficControlCurve(
+            policy, "independent", tuple(independent)
+        )
+        if include_forced:
+            curves[(policy.value, "forced")] = TrafficControlCurve(
+                policy, "forced", tuple(forced)
+            )
+
+    profile: Optional[PowerNodeProfile] = None
+    if power_nodes:
+        max_degree = max(graph.degree(a) for a in graph.iter_ases())
+        high_threshold = max(3, round(max_degree * 0.5))
+        n = len(power_nodes)
+        profile = PowerNodeProfile(
+            n_power_nodes=n,
+            fraction_high_degree=sum(
+                1 for _, d, _ in power_nodes if d > high_threshold
+            ) / n,
+            fraction_immediate_neighbor=sum(
+                1 for _, _, dist in power_nodes if dist == 1
+            ) / n,
+            fraction_two_hops=sum(
+                1 for _, _, dist in power_nodes if dist == 2
+            ) / n,
+            mean_degree=sum(d for _, d, _ in power_nodes) / n,
+        )
+    return TrafficControlResult(curves, profile, len(sample))

@@ -1,0 +1,34 @@
+"""Intra-AS architecture (Ch. 4): routers, iBGP, tunnel endpoint
+addressing, directed forwarding, and the Routing Control Platform."""
+
+from .interconnect import EBGPSession, Internetwork
+from .network import ASNetwork, ExitLink, Router
+from .rcp import ManagedTunnel, RoutingControlPlatform
+from .relay import RelayedOffer, RelayedTunnel, RouterNegotiationRelay
+from .tunneling import (
+    Delivery,
+    TunnelIngressFilter,
+    DirectedForwardingTable,
+    EgressRouterAddressing,
+    ExitLinkAddressing,
+    ReservedAddressScheme,
+)
+
+__all__ = [
+    "ASNetwork",
+    "Router",
+    "ExitLink",
+    "Delivery",
+    "DirectedForwardingTable",
+    "ExitLinkAddressing",
+    "EgressRouterAddressing",
+    "TunnelIngressFilter",
+    "ReservedAddressScheme",
+    "RoutingControlPlatform",
+    "ManagedTunnel",
+    "RouterNegotiationRelay",
+    "RelayedOffer",
+    "RelayedTunnel",
+    "Internetwork",
+    "EBGPSession",
+]

@@ -1,0 +1,291 @@
+"""Router-level model of one AS (§4.1, Fig. 4.1).
+
+An :class:`ASNetwork` holds the routers of a single AS, their IGP topology,
+and the eBGP routes learned at its edge routers.  :meth:`ASNetwork.run_ibgp`
+runs full-mesh iBGP to a fixed point: every router applies the Table 2.1
+decision process over its own eBGP-learned routes plus the routes other
+routers advertise over iBGP, with eBGP preferred over iBGP (step 5) and the
+IGP distance to the egress point as tie-break (step 6).  That machinery is
+what makes R1/R2/R3 in Fig. 4.1 select different AS paths simultaneously.
+
+The MIRO extension of §4.1 — "an AS is allowed to advertise any valid AS
+path on any of its edge routers" — is :meth:`ASNetwork.available_paths`:
+the set of (path, egress router) alternatives an AS can offer in a
+negotiation even when iBGP hides them from the default selection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.decision import RouterRoute, SessionType, decide
+from ..errors import RoutingError, TopologyError
+
+
+@dataclass(frozen=True)
+class Router:
+    """One router: ``router_id`` breaks BGP ties, ``is_edge`` marks border
+    routers holding eBGP sessions."""
+
+    name: str
+    router_id: int
+    is_edge: bool = False
+
+
+@dataclass(frozen=True)
+class ExitLink:
+    """A link from an edge router to a neighbouring AS."""
+
+    router: str
+    neighbor_as: int
+    link_name: str
+
+
+class ASNetwork:
+    """The routers, IGP, and BGP state of one AS."""
+
+    def __init__(self, asn: int) -> None:
+        self.asn = asn
+        self._routers: Dict[str, Router] = {}
+        self._igp: Dict[str, Dict[str, int]] = {}
+        self._exit_links: Dict[str, ExitLink] = {}
+        # router -> list of eBGP-learned candidate routes
+        self._ebgp_routes: Dict[str, List[RouterRoute]] = {}
+        self._best: Dict[str, RouterRoute] = {}
+        self._igp_cache: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_router(self, name: str, router_id: int, is_edge: bool = False) -> Router:
+        if name in self._routers:
+            raise TopologyError(f"router {name!r} already exists in AS {self.asn}")
+        if any(r.router_id == router_id for r in self._routers.values()):
+            raise TopologyError(f"duplicate router id {router_id} in AS {self.asn}")
+        router = Router(name, router_id, is_edge)
+        self._routers[name] = router
+        self._igp[name] = {}
+        self._ebgp_routes[name] = []
+        return router
+
+    def router(self, name: str) -> Router:
+        if name not in self._routers:
+            raise TopologyError(f"no router {name!r} in AS {self.asn}")
+        return self._routers[name]
+
+    @property
+    def routers(self) -> List[str]:
+        return sorted(self._routers)
+
+    @property
+    def edge_routers(self) -> List[str]:
+        return sorted(n for n, r in self._routers.items() if r.is_edge)
+
+    def add_intra_link(self, a: str, b: str, cost: int = 1) -> None:
+        """Bidirectional IGP adjacency with the given metric."""
+        self.router(a)
+        self.router(b)
+        if cost <= 0:
+            raise TopologyError("IGP cost must be positive")
+        self._igp[a][b] = cost
+        self._igp[b][a] = cost
+        self._igp_cache.clear()
+
+    def add_exit_link(self, router: str, neighbor_as: int, link_name: str) -> ExitLink:
+        """Register a link to a neighbouring AS at an edge router."""
+        if not self.router(router).is_edge:
+            raise TopologyError(f"router {router!r} is not an edge router")
+        if link_name in self._exit_links:
+            raise TopologyError(f"exit link {link_name!r} already exists")
+        link = ExitLink(router, neighbor_as, link_name)
+        self._exit_links[link_name] = link
+        return link
+
+    def exit_links(self, router: Optional[str] = None) -> List[ExitLink]:
+        links = sorted(self._exit_links.values(), key=lambda l: l.link_name)
+        if router is None:
+            return links
+        return [l for l in links if l.router == router]
+
+    def exit_link(self, link_name: str) -> ExitLink:
+        if link_name not in self._exit_links:
+            raise TopologyError(f"no exit link {link_name!r} in AS {self.asn}")
+        return self._exit_links[link_name]
+
+    def igp_distance(self, a: str, b: str) -> int:
+        """Shortest IGP metric between two routers (Dijkstra, cached)."""
+        self.router(a)
+        self.router(b)
+        if a not in self._igp_cache:
+            self._igp_cache[a] = self._dijkstra(a)
+        distances = self._igp_cache[a]
+        if b not in distances:
+            raise RoutingError(
+                f"router {b!r} is IGP-unreachable from {a!r} in AS {self.asn}"
+            )
+        return distances[b]
+
+    def _dijkstra(self, start: str) -> Dict[str, int]:
+        distances = {start: 0}
+        heap: List[Tuple[int, str]] = [(0, start)]
+        done: Set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for neighbor, cost in self._igp[node].items():
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return distances
+
+    # ------------------------------------------------------------------
+    # BGP
+    # ------------------------------------------------------------------
+    def learn_ebgp(self, router: str, route: RouterRoute) -> None:
+        """Record a route received over an eBGP session at an edge router.
+
+        The route's ``egress_router`` and ``session`` are normalised: as
+        stored, it egresses here and was learned over eBGP.
+        """
+        if not self.router(router).is_edge:
+            raise TopologyError(f"router {router!r} is not an edge router")
+        normalised = RouterRoute(
+            prefix=route.prefix,
+            as_path=route.as_path,
+            local_pref=route.local_pref,
+            origin=route.origin,
+            med=route.med,
+            session=SessionType.EBGP,
+            igp_distance=0,
+            router_id=route.router_id,
+            peer_address=route.peer_address,
+            egress_router=router,
+        )
+        self._ebgp_routes[router].append(normalised)
+        self._best.clear()
+
+    def withdraw_ebgp(self, router: str, as_path: Tuple[int, ...], prefix: str) -> None:
+        """Withdraw a previously learned eBGP route."""
+        before = self._ebgp_routes[router]
+        after = [
+            r for r in before if not (r.as_path == as_path and r.prefix == prefix)
+        ]
+        if len(after) == len(before):
+            raise RoutingError(
+                f"router {router!r} holds no route {as_path} for {prefix}"
+            )
+        self._ebgp_routes[router] = after
+        self._best.clear()
+
+    def run_ibgp(
+        self, prefix: str, max_rounds: int = 50, add_path: bool = False
+    ) -> Dict[str, RouterRoute]:
+        """Full-mesh iBGP to a fixed point; returns best route per router.
+
+        Each round, every router decides over (a) its local eBGP routes and
+        (b) routes re-advertised over iBGP — by default each other router's
+        current best; with ``add_path`` (the BGP ADD-PATH capability §4.1
+        points to) every eBGP-learned route at every router, so non-default
+        paths are visible without an RCP.  Routers with no candidates are
+        absent from the result.
+        """
+        best: Dict[str, RouterRoute] = {}
+        self._add_path_rib: Dict[str, List[RouterRoute]] = {}
+        for _ in range(max_rounds):
+            changed = False
+            for name in self.routers:
+                candidates = [
+                    r for r in self._ebgp_routes[name] if r.prefix == prefix
+                ]
+                for other in self.routers:
+                    if other == name:
+                        continue
+                    if add_path:
+                        reflected = [
+                            r for r in self._ebgp_routes[other]
+                            if r.prefix == prefix
+                        ]
+                    else:
+                        other_best = best.get(other)
+                        # iBGP reflects only eBGP-learned bests in a mesh
+                        if (
+                            other_best is None
+                            or other_best.session is not SessionType.EBGP
+                        ):
+                            continue
+                        reflected = [other_best]
+                    for route in reflected:
+                        candidates.append(
+                            RouterRoute(
+                                prefix=route.prefix,
+                                as_path=route.as_path,
+                                local_pref=route.local_pref,
+                                origin=route.origin,
+                                med=route.med,
+                                session=SessionType.IBGP,
+                                igp_distance=self.igp_distance(name, other),
+                                router_id=self._routers[other].router_id,
+                                peer_address=route.peer_address,
+                                egress_router=other,
+                            )
+                        )
+                if not candidates:
+                    continue
+                self._add_path_rib[name] = candidates
+                winner, _ = decide(candidates)
+                if best.get(name) != winner:
+                    best[name] = winner
+                    changed = True
+            if not changed:
+                self._best = dict(best)
+                return best
+        raise RoutingError(
+            f"iBGP did not stabilise within {max_rounds} rounds in AS {self.asn}"
+        )
+
+    def known_paths(self, router: str, prefix: str) -> List[Tuple[int, ...]]:
+        """Distinct AS paths visible at one router after :meth:`run_ibgp`.
+
+        Under ADD-PATH this includes every alternate learned anywhere in
+        the AS; under plain iBGP only the reflected bests.
+        """
+        self.router(router)
+        rib = getattr(self, "_add_path_rib", {}).get(router, [])
+        seen: List[Tuple[int, ...]] = []
+        for route in rib:
+            if route.prefix == prefix and route.as_path not in seen:
+                seen.append(route.as_path)
+        return seen
+
+    def best(self, router: str) -> Optional[RouterRoute]:
+        """The router's selected route after the last :meth:`run_ibgp`."""
+        self.router(router)
+        return self._best.get(router)
+
+    def selected_paths(self) -> Set[Tuple[int, ...]]:
+        """Distinct AS paths selected across routers (Fig. 4.1's diversity)."""
+        return {r.as_path for r in self._best.values()}
+
+    def available_paths(self, prefix: str) -> List[Tuple[Tuple[int, ...], str]]:
+        """All valid (AS path, egress router) pairs the AS can offer (§4.1).
+
+        Every eBGP-learned route at every edge router is a valid path the
+        AS may advertise in a MIRO negotiation, whether or not the default
+        iBGP selection uses it.
+        """
+        available: List[Tuple[Tuple[int, ...], str]] = []
+        seen: Set[Tuple[Tuple[int, ...], str]] = set()
+        for router in self.edge_routers:
+            for route in self._ebgp_routes[router]:
+                if route.prefix != prefix:
+                    continue
+                key = (route.as_path, router)
+                if key not in seen:
+                    seen.add(key)
+                    available.append(key)
+        return available

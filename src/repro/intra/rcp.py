@@ -1,0 +1,118 @@
+"""A Routing Control Platform for MIRO (§4.1's second implementation option).
+
+Instead of having every router handle negotiation requests, "a separate
+service, such as the Routing Control Platform (RCP), can manage the
+interdomain routing information on behalf of the routers": it sees every
+eBGP-learned route in the AS, answers alternate-route requests, and
+installs the data-plane state (tunnel mappings, directed forwarding) in the
+routers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NegotiationError, TunnelError
+from .network import ASNetwork
+from .tunneling import ReservedAddressScheme
+
+
+@dataclass(frozen=True)
+class ManagedTunnel:
+    """A tunnel the RCP created and is keeping alive."""
+
+    tunnel_id: int
+    prefix: str
+    as_path: Tuple[int, ...]
+    egress_router: str
+    exit_link: str
+    upstream_as: int
+
+
+class RoutingControlPlatform:
+    """Central per-AS controller for MIRO negotiations and tunnel state."""
+
+    def __init__(
+        self, network: ASNetwork, scheme: Optional[ReservedAddressScheme] = None
+    ) -> None:
+        self.network = network
+        self.scheme = scheme
+        self._ids = itertools.count(1)
+        self._tunnels: Dict[int, ManagedTunnel] = {}
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def alternate_routes(self, prefix: str) -> List[Tuple[Tuple[int, ...], str]]:
+        """All (AS path, egress router) pairs the AS can offer for a prefix.
+
+        This is the §4.1 property that the RCP makes trivial: it already
+        knows every eBGP-learned route at every edge router, so no iBGP
+        extension is needed to expose non-default paths.
+        """
+        return self.network.available_paths(prefix)
+
+    def handle_request(
+        self, upstream_as: int, prefix: str, avoid: Tuple[int, ...] = ()
+    ) -> List[Tuple[Tuple[int, ...], str]]:
+        """Answer a negotiation request: offered (path, egress) pairs."""
+        offers = [
+            (path, egress)
+            for path, egress in self.alternate_routes(prefix)
+            if not any(asn in path for asn in avoid)
+        ]
+        return offers
+
+    def create_tunnel(
+        self,
+        upstream_as: int,
+        prefix: str,
+        as_path: Tuple[int, ...],
+        egress_router: str,
+    ) -> ManagedTunnel:
+        """Allocate an id and install data-plane state for a chosen path."""
+        if (as_path, egress_router) not in self.alternate_routes(prefix):
+            raise NegotiationError(
+                f"({as_path}, {egress_router!r}) is not an offerable route "
+                f"for {prefix}"
+            )
+        next_hop_as = as_path[0]
+        links = [
+            l for l in self.network.exit_links(egress_router)
+            if l.neighbor_as == next_hop_as
+        ]
+        if not links:
+            raise TunnelError(
+                f"egress router {egress_router!r} has no link to AS {next_hop_as}"
+            )
+        exit_link = links[0]
+        tunnel_id = next(self._ids)
+        if self.scheme is not None:
+            self.scheme.install_tunnel(tunnel_id, [exit_link.link_name])
+        tunnel = ManagedTunnel(
+            tunnel_id=tunnel_id,
+            prefix=prefix,
+            as_path=as_path,
+            egress_router=egress_router,
+            exit_link=exit_link.link_name,
+            upstream_as=upstream_as,
+        )
+        self._tunnels[tunnel_id] = tunnel
+        return tunnel
+
+    def tear_down(self, tunnel_id: int) -> ManagedTunnel:
+        if tunnel_id not in self._tunnels:
+            raise TunnelError(f"RCP manages no tunnel {tunnel_id}")
+        tunnel = self._tunnels.pop(tunnel_id)
+        if self.scheme is not None:
+            self.scheme.egress.directed.remove(tunnel.egress_router, tunnel_id)
+        return tunnel
+
+    def tunnels(self) -> List[ManagedTunnel]:
+        return sorted(self._tunnels.values(), key=lambda t: t.tunnel_id)
+
+    def tunnels_using_path(self, as_path: Tuple[int, ...]) -> List[ManagedTunnel]:
+        """Tunnels that would be torn down if ``as_path`` failed (§4.3)."""
+        return [t for t in self._tunnels.values() if t.as_path == as_path]

@@ -1,0 +1,140 @@
+"""Router-level negotiation relay — §4.1's first implementation option.
+
+Without an RCP, "the customer may request alternate routes from R1, which
+in turn requests alternate routes from its iBGP neighbors R2 and R3.  If
+the client selects the alternate route, R1 propagates the tunnel
+identifier and instructs R2 to install the necessary data-plane state".
+
+:class:`RouterNegotiationRelay` implements exactly that flow, counting
+the intra-AS control messages it costs — the measurable difference from
+the RCP, which already holds every route and needs no polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NegotiationError, TunnelError
+from .network import ASNetwork
+from .tunneling import ReservedAddressScheme
+
+
+@dataclass(frozen=True)
+class RelayedOffer:
+    """One alternate collected by the entry router."""
+
+    as_path: Tuple[int, ...]
+    egress_router: str
+
+
+@dataclass(frozen=True)
+class RelayedTunnel:
+    """Tunnel state created through the relay."""
+
+    tunnel_id: int
+    prefix: str
+    as_path: Tuple[int, ...]
+    entry_router: str
+    egress_router: str
+    exit_link: str
+    upstream_as: int
+
+
+class RouterNegotiationRelay:
+    """Entry-router-driven negotiation across an AS's iBGP mesh."""
+
+    def __init__(
+        self, network: ASNetwork, scheme: Optional[ReservedAddressScheme] = None
+    ) -> None:
+        self.network = network
+        self.scheme = scheme
+        self._ids = itertools.count(1)
+        self._tunnels: Dict[int, RelayedTunnel] = {}
+        #: intra-AS control messages exchanged (request + response per
+        #: polled edge router, plus one install instruction per tunnel)
+        self.control_messages = 0
+
+    def collect_offers(
+        self,
+        entry_router: str,
+        prefix: str,
+        avoid: Tuple[int, ...] = (),
+    ) -> List[RelayedOffer]:
+        """The entry router polls every edge router for its eBGP routes.
+
+        Each polled router costs a request and a response message over the
+        iBGP mesh (the entry router itself answers locally for free).
+        """
+        self.network.router(entry_router)
+        offers: List[RelayedOffer] = []
+        for edge in self.network.edge_routers:
+            if edge != entry_router:
+                self.control_messages += 2  # poll + reply
+            for as_path, egress in self.network.available_paths(prefix):
+                if egress != edge:
+                    continue
+                if any(asn in as_path for asn in avoid):
+                    continue
+                offer = RelayedOffer(as_path, egress)
+                if offer not in offers:
+                    offers.append(offer)
+        return offers
+
+    def select(
+        self,
+        entry_router: str,
+        offer: RelayedOffer,
+        prefix: str,
+        upstream_as: int,
+    ) -> RelayedTunnel:
+        """The client picked an offer: the entry router allocates the id
+        and instructs the egress router to install directed-forwarding
+        state (one more control message)."""
+        self.network.router(entry_router)
+        if (offer.as_path, offer.egress_router) not in self.network.available_paths(prefix):
+            raise NegotiationError(
+                f"offer {offer} is not available for {prefix}"
+            )
+        next_hop_as = offer.as_path[0]
+        links = [
+            l for l in self.network.exit_links(offer.egress_router)
+            if l.neighbor_as == next_hop_as
+        ]
+        if not links:
+            raise TunnelError(
+                f"egress {offer.egress_router!r} has no link to AS {next_hop_as}"
+            )
+        exit_link = links[0]
+        tunnel_id = next(self._ids)
+        if offer.egress_router != entry_router:
+            self.control_messages += 1  # the install instruction
+        if self.scheme is not None:
+            self.scheme.install_tunnel(tunnel_id, [exit_link.link_name])
+        tunnel = RelayedTunnel(
+            tunnel_id=tunnel_id,
+            prefix=prefix,
+            as_path=offer.as_path,
+            entry_router=entry_router,
+            egress_router=offer.egress_router,
+            exit_link=exit_link.link_name,
+            upstream_as=upstream_as,
+        )
+        self._tunnels[tunnel_id] = tunnel
+        return tunnel
+
+    def tear_down(self, tunnel_id: int) -> RelayedTunnel:
+        if tunnel_id not in self._tunnels:
+            raise TunnelError(f"relay manages no tunnel {tunnel_id}")
+        tunnel = self._tunnels.pop(tunnel_id)
+        if tunnel.egress_router != tunnel.entry_router:
+            self.control_messages += 1  # the removal instruction
+        if self.scheme is not None:
+            self.scheme.egress.directed.remove(
+                tunnel.egress_router, tunnel_id
+            )
+        return tunnel
+
+    def tunnels(self) -> List[RelayedTunnel]:
+        return sorted(self._tunnels.values(), key=lambda t: t.tunnel_id)

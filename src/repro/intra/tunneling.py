@@ -1,0 +1,284 @@
+"""Tunnel endpoint addressing and directed forwarding (§4.2).
+
+Three ways the downstream AS can terminate tunnels, with the paper's
+trade-offs:
+
+* :class:`ExitLinkAddressing` — every exit link gets its own reserved IP
+  address; the address alone encodes the exit link (most addresses, most
+  topology exposed, no per-tunnel state at the egress).
+* :class:`EgressRouterAddressing` — one address per egress router; the
+  egress router consults a directed-forwarding table (tunnel id → exit
+  link) to pick the exit link (fewer addresses, needs per-tunnel state).
+* :class:`ReservedAddressScheme` — a single special address for all
+  tunnels; each ingress router maps tunnel id → set of egress-router
+  addresses, picks the IGP-closest, and rewrites the outer destination
+  (no topology exposed, but data-plane rewriting at every ingress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dataplane.packet import Packet
+from ..dataplane.prefix import IPv4Prefix
+from ..errors import DataPlaneError, TunnelError
+from .network import ASNetwork, ExitLink
+
+
+class TunnelIngressFilter:
+    """Packet filters guarding exposed tunnel addresses (§4.2).
+
+    Exposing per-exit-link or per-egress-router addresses "poses security
+    challenges as anyone can send packets to these addresses and issue a
+    DoS attack.  Advanced packet filters or network capabilities can be
+    used to prevent this problem."  This is the packet-filter variant:
+    each tunnel address only accepts traffic whose outer source falls in
+    a registered upstream prefix.
+    """
+
+    def __init__(self) -> None:
+        self._allowed: Dict[int, List[IPv4Prefix]] = {}
+
+    def authorize(self, tunnel_address: int, source_prefix: IPv4Prefix) -> None:
+        """Allow a source prefix to use one tunnel address."""
+        self._allowed.setdefault(tunnel_address, []).append(source_prefix)
+
+    def revoke(self, tunnel_address: int) -> None:
+        """Drop every authorization for an address (tunnel teardown)."""
+        self._allowed.pop(tunnel_address, None)
+
+    def permits(self, packet: Packet) -> bool:
+        """Is this tunnelled packet's outer source authorized?
+
+        Addresses with no registered prefix reject everything — the safe
+        default for a DoS-guarded deployment.
+        """
+        prefixes = self._allowed.get(packet.outer.destination, [])
+        return any(p.contains(packet.outer.source) for p in prefixes)
+
+    def check(self, packet: Packet) -> None:
+        if not self.permits(packet):
+            raise DataPlaneError(
+                f"unauthorized source for tunnel address "
+                f"{packet.outer.destination}"
+            )
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Result of handing a tunnelled packet to the downstream AS.
+
+    ``exit_link`` is where the decapsulated packet leaves the AS;
+    ``egress_router`` is where decapsulation happened; ``ingress_rewritten``
+    marks the reserved-address scheme's rewrite step.
+    """
+
+    packet: Packet
+    exit_link: ExitLink
+    egress_router: str
+    ingress_rewritten: bool = False
+
+
+class ExitLinkAddressing:
+    """One reserved IP address per exit link.
+
+    Pass an optional :class:`TunnelIngressFilter` to enforce the §4.2
+    anti-DoS source check before decapsulation.
+    """
+
+    def __init__(
+        self,
+        network: ASNetwork,
+        base_address: int,
+        ingress_filter: Optional[TunnelIngressFilter] = None,
+    ) -> None:
+        self.network = network
+        self.ingress_filter = ingress_filter
+        self._link_to_address: Dict[str, int] = {}
+        self._address_to_link: Dict[int, str] = {}
+        for offset, link in enumerate(network.exit_links()):
+            address = base_address + offset
+            self._link_to_address[link.link_name] = address
+            self._address_to_link[address] = link.link_name
+
+    def address_for_link(self, link_name: str) -> int:
+        if link_name not in self._link_to_address:
+            raise TunnelError(f"no tunnel address for exit link {link_name!r}")
+        return self._link_to_address[link_name]
+
+    def addresses_for_next_hop(self, neighbor_as: int) -> List[int]:
+        """What the downstream AS advertises when this neighbour is the
+        tunnel's next-hop AS (§4.2's 12.34.56.102/103 example)."""
+        return sorted(
+            self._link_to_address[l.link_name]
+            for l in self.network.exit_links()
+            if l.neighbor_as == neighbor_as
+        )
+
+    def deliver(self, packet: Packet, ingress_router: str) -> Delivery:
+        """Decapsulate at the egress router encoded in the outer address."""
+        self.network.router(ingress_router)
+        link_name = self._address_to_link.get(packet.outer.destination)
+        if link_name is None:
+            raise DataPlaneError(
+                f"outer destination is not a tunnel address: "
+                f"{packet.outer.destination}"
+            )
+        if self.ingress_filter is not None:
+            self.ingress_filter.check(packet)
+        link = self.network.exit_link(link_name)
+        return Delivery(
+            packet=packet.decapsulate(),
+            exit_link=link,
+            egress_router=link.router,
+        )
+
+
+class DirectedForwardingTable:
+    """Per-egress-router map: tunnel id → exit link (footnote 1 of §4.1:
+    "directed forwarding" is already implemented in some routers)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int], str] = {}
+
+    def install(self, router: str, tunnel_id: int, link_name: str) -> None:
+        key = (router, tunnel_id)
+        if key in self._entries:
+            raise TunnelError(
+                f"tunnel {tunnel_id} already directed at router {router!r}"
+            )
+        self._entries[key] = link_name
+
+    def remove(self, router: str, tunnel_id: int) -> None:
+        key = (router, tunnel_id)
+        if key not in self._entries:
+            raise TunnelError(f"no directed entry for tunnel {tunnel_id} at {router!r}")
+        del self._entries[key]
+
+    def lookup(self, router: str, tunnel_id: int) -> str:
+        key = (router, tunnel_id)
+        if key not in self._entries:
+            raise TunnelError(f"no directed entry for tunnel {tunnel_id} at {router!r}")
+        return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class EgressRouterAddressing:
+    """One reserved IP address per egress router + directed forwarding."""
+
+    def __init__(self, network: ASNetwork, base_address: int) -> None:
+        self.network = network
+        self.directed = DirectedForwardingTable()
+        self._router_to_address: Dict[str, int] = {}
+        self._address_to_router: Dict[int, str] = {}
+        for offset, router in enumerate(network.edge_routers):
+            address = base_address + offset
+            self._router_to_address[router] = address
+            self._address_to_router[address] = router
+
+    def address_for_router(self, router: str) -> int:
+        if router not in self._router_to_address:
+            raise TunnelError(f"router {router!r} has no tunnel address")
+        return self._router_to_address[router]
+
+    def addresses_for_next_hop(self, neighbor_as: int) -> List[int]:
+        routers = {
+            l.router for l in self.network.exit_links()
+            if l.neighbor_as == neighbor_as
+        }
+        return sorted(self._router_to_address[r] for r in routers)
+
+    def install_tunnel(self, tunnel_id: int, link_name: str) -> None:
+        """Bind a tunnel id to an exit link at that link's egress router."""
+        link = self.network.exit_link(link_name)
+        self.directed.install(link.router, tunnel_id, link_name)
+
+    def deliver(self, packet: Packet, ingress_router: str) -> Delivery:
+        self.network.router(ingress_router)
+        egress = self._address_to_router.get(packet.outer.destination)
+        if egress is None:
+            raise DataPlaneError(
+                f"outer destination is not an egress-router address: "
+                f"{packet.outer.destination}"
+            )
+        tunnel_id = packet.outer.tunnel_id
+        if tunnel_id is None:
+            raise DataPlaneError("tunnelled packet carries no tunnel id")
+        link_name = self.directed.lookup(egress, tunnel_id)
+        return Delivery(
+            packet=packet.decapsulate(),
+            exit_link=self.network.exit_link(link_name),
+            egress_router=egress,
+        )
+
+
+class ReservedAddressScheme:
+    """A single reserved address for all tunnels; ingress routers rewrite.
+
+    Each ingress router holds (tunnel id → set of egress-router addresses)
+    and rewrites the outer destination to the IGP-closest egress; the
+    egress router then uses directed forwarding (the §4.2 12.34.56.100
+    walk-through, reproduced in the tests).
+    """
+
+    def __init__(
+        self,
+        network: ASNetwork,
+        reserved_address: int,
+        egress_addressing: Optional[EgressRouterAddressing] = None,
+    ) -> None:
+        self.network = network
+        self.reserved_address = reserved_address
+        self.egress = egress_addressing or EgressRouterAddressing(
+            network, reserved_address + 1
+        )
+        # ingress router -> tunnel id -> egress router names
+        self._maps: Dict[str, Dict[int, Set[str]]] = {}
+
+    def install_tunnel(
+        self, tunnel_id: int, link_names: List[str]
+    ) -> None:
+        """Install the mapping at *every* router (any may be an ingress) and
+        the directed-forwarding entries at the egress routers."""
+        if not link_names:
+            raise TunnelError("a tunnel needs at least one exit link")
+        egress_routers: Set[str] = set()
+        for link_name in link_names:
+            link = self.network.exit_link(link_name)
+            self.egress.directed.install(link.router, tunnel_id, link_name)
+            egress_routers.add(link.router)
+        for router in self.network.routers:
+            self._maps.setdefault(router, {})[tunnel_id] = egress_routers
+
+    def deliver(self, packet: Packet, ingress_router: str) -> Delivery:
+        self.network.router(ingress_router)
+        if packet.outer.destination != self.reserved_address:
+            raise DataPlaneError(
+                "outer destination is not the reserved tunnel address"
+            )
+        tunnel_id = packet.outer.tunnel_id
+        if tunnel_id is None:
+            raise DataPlaneError("tunnelled packet carries no tunnel id")
+        mapping = self._maps.get(ingress_router, {})
+        if tunnel_id not in mapping:
+            raise TunnelError(
+                f"ingress {ingress_router!r} has no mapping for tunnel {tunnel_id}"
+            )
+        # pick the IGP-closest egress router, deterministic on ties
+        egress_router = min(
+            mapping[tunnel_id],
+            key=lambda r: (self.network.igp_distance(ingress_router, r), r),
+        )
+        rewritten = packet.rewrite_outer_destination(
+            self.egress.address_for_router(egress_router)
+        )
+        delivery = self.egress.deliver(rewritten, ingress_router)
+        return Delivery(
+            packet=delivery.packet,
+            exit_link=delivery.exit_link,
+            egress_router=delivery.egress_router,
+            ingress_rewritten=True,
+        )

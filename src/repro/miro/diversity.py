@@ -1,0 +1,71 @@
+"""Path-diversity counting (§5.2, Figs. 5.2/5.3).
+
+For a (source, destination) pair, count the distinct AS paths available to
+the source under MIRO, in the paper's two negotiation scenarios:
+
+* **1-hop** — the source negotiates with any immediate neighbour;
+* **path** — the source negotiates with any AS on its default BGP path.
+
+Every available route is a full source→destination AS path; the default
+route and the BGP-announced candidates are included in the count (the
+paper's "(5 %, 1)" reading means 5 % of pairs have *only* their default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..bgp.routing import RoutingTable
+from .avoidance import NegotiationScope
+from .policies import ExportPolicy, offered_routes
+
+
+def available_paths(
+    table: RoutingTable,
+    source: int,
+    policy: ExportPolicy,
+    scope: NegotiationScope,
+    deployed: Optional[Set[int]] = None,
+) -> Set[Tuple[int, ...]]:
+    """All distinct AS paths the source can use toward the destination."""
+    paths: Set[Tuple[int, ...]] = set()
+    for candidate in table.candidates(source):
+        paths.add(candidate.path)
+
+    if scope is NegotiationScope.ONE_HOP:
+        for neighbor in table.graph.neighbors(source):
+            if deployed is not None and neighbor not in deployed:
+                continue
+            for offer in offered_routes(
+                table, neighbor, policy, toward=source
+            ):
+                if source in offer.path:
+                    continue
+                paths.add((source,) + offer.path)
+    else:
+        default = table.default_path(source)
+        if default is not None:
+            for i in range(1, len(default)):
+                responder = default[i]
+                if deployed is not None and responder not in deployed:
+                    continue
+                via = default[: i + 1]
+                for offer in offered_routes(
+                    table, responder, policy, toward=via[-2]
+                ):
+                    full = via + offer.path[1:]
+                    if full.count(source) > 1:
+                        continue
+                    paths.add(full)
+    return paths
+
+
+def count_available_paths(
+    table: RoutingTable,
+    source: int,
+    policy: ExportPolicy,
+    scope: NegotiationScope,
+    deployed: Optional[Set[int]] = None,
+) -> int:
+    """Number of distinct available routes (the Fig. 5.2 metric)."""
+    return len(available_paths(table, source, policy, scope, deployed))

@@ -1,0 +1,214 @@
+"""The §6.2.2 economic framework around negotiations.
+
+The paper intentionally leaves the economy open ("any notion of price
+would work as long as both parties agree on it") but sketches the moving
+parts, all implemented here:
+
+* pricing models the responding AS attaches to offered routes — e.g.
+  "sell all customer routes for a lower price and all peer routes for a
+  higher price" (:class:`ClassBasedPricing`), per-hop transit pricing
+  (:class:`PerHopPricing`), or premium-only access
+  (:class:`PremiumPricing`);
+* the requesting AS's valuation: it "picks a candidate based on both
+  local preference and cost" (:func:`utility_rank`);
+* a :class:`Ledger` recording agreed prices, so an AS can evaluate a
+  pricing strategy's revenue over a workload of negotiations (the
+  "innovative business models" the paper gestures at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.route import Route, RouteClass
+from ..bgp.routing import RoutingTable
+from ..errors import NegotiationError
+from .negotiation import (
+    NegotiationOutcome,
+    OfferedRoute,
+    ResponderConfig,
+    RouteConstraint,
+    negotiate,
+)
+from .policies import ExportPolicy
+
+
+class PricingModel:
+    """Base interface: a price for each route the responder may offer."""
+
+    def price(self, route: Route) -> int:
+        raise NotImplementedError
+
+    def as_price_function(self) -> Callable[[Route], int]:
+        return self.price
+
+
+@dataclass(frozen=True)
+class ClassBasedPricing(PricingModel):
+    """The §6.3 scheme: one price per business class.
+
+    Defaults mirror the paper's example — customer routes 120, peer routes
+    180; provider routes (whose transit the responder itself pays for) are
+    priced highest.
+    """
+
+    customer_price: int = 120
+    peer_price: int = 180
+    provider_price: int = 400
+
+    def price(self, route: Route) -> int:
+        if route.route_class in (RouteClass.CUSTOMER, RouteClass.ORIGIN):
+            return self.customer_price
+        if route.route_class is RouteClass.PEER:
+            return self.peer_price
+        return self.provider_price
+
+
+@dataclass(frozen=True)
+class PerHopPricing(PricingModel):
+    """Transit priced per AS hop, plus a flat setup fee."""
+
+    per_hop: int = 25
+    setup_fee: int = 50
+
+    def price(self, route: Route) -> int:
+        return self.setup_fee + self.per_hop * route.length
+
+
+@dataclass(frozen=True)
+class PremiumPricing(PricingModel):
+    """"Advertise other (less preferred) routes only to neighbours that
+    subscribe to a premium service" (§3.4): non-customer routes carry a
+    premium multiplier on top of a base model."""
+
+    base: PricingModel = field(default_factory=ClassBasedPricing)
+    premium_multiplier: float = 2.0
+
+    def price(self, route: Route) -> int:
+        value = self.base.price(route)
+        if route.route_class is RouteClass.CUSTOMER:
+            return value
+        return int(value * self.premium_multiplier)
+
+
+def utility_rank(
+    preference_weight: float = 1.0, price_weight: float = 1.0
+) -> Callable[[OfferedRoute], Tuple]:
+    """A requester ranking balancing local preference against cost.
+
+    Lower key = preferred: the requester minimises
+    ``price_weight * price - preference_weight * local_pref`` with
+    deterministic tie-breaks, i.e. it will pay more only for routes it
+    genuinely prefers.
+    """
+
+    def rank(offered: OfferedRoute) -> Tuple:
+        score = (
+            price_weight * offered.price
+            - preference_weight * offered.route.local_pref
+        )
+        return (score, offered.route.length, offered.route.path)
+
+    return rank
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    requester: int
+    responder: int
+    destination: int
+    path: Tuple[int, ...]
+    price: int
+
+
+class Ledger:
+    """Accounting of agreed tunnel prices across negotiations."""
+
+    def __init__(self) -> None:
+        self._entries: List[LedgerEntry] = []
+
+    def record(self, outcome: NegotiationOutcome) -> None:
+        if not outcome.established or outcome.tunnel is None:
+            raise NegotiationError("only established tunnels are recorded")
+        tunnel = outcome.tunnel
+        self._entries.append(
+            LedgerEntry(
+                requester=tunnel.upstream,
+                responder=tunnel.downstream,
+                destination=tunnel.destination,
+                path=tunnel.path,
+                price=tunnel.price,
+            )
+        )
+
+    @property
+    def entries(self) -> Tuple[LedgerEntry, ...]:
+        return tuple(self._entries)
+
+    def revenue_of(self, responder: int) -> int:
+        return sum(e.price for e in self._entries if e.responder == responder)
+
+    def spend_of(self, requester: int) -> int:
+        return sum(e.price for e in self._entries if e.requester == requester)
+
+    def total_volume(self) -> int:
+        return sum(e.price for e in self._entries)
+
+
+@dataclass(frozen=True)
+class MarketOutcome:
+    """Result of evaluating one pricing model over a request workload."""
+
+    deals: int
+    attempts: int
+    revenue: int
+    mean_price: float
+
+    @property
+    def deal_rate(self) -> float:
+        return self.deals / self.attempts if self.attempts else 0.0
+
+
+def evaluate_pricing(
+    table: RoutingTable,
+    responder: int,
+    requesters: Sequence[int],
+    pricing: PricingModel,
+    policy: ExportPolicy = ExportPolicy.EXPORT,
+    max_price: Optional[int] = None,
+    constraint: Optional[RouteConstraint] = None,
+) -> MarketOutcome:
+    """Run one responder's pricing model against a set of requesters.
+
+    Each requester (must be adjacent or on-path for the via resolution)
+    attempts one negotiation under a shared price ceiling; the outcome
+    aggregates deal rate and revenue — enough to compare strategies like
+    :class:`ClassBasedPricing` vs :class:`PremiumPricing`.
+    """
+    ledger = Ledger()
+    deals = 0
+    attempts = 0
+    for requester in requesters:
+        attempts += 1
+        config = ResponderConfig(price_for=pricing.as_price_function())
+        try:
+            outcome = negotiate(
+                table, requester, responder, policy,
+                constraint=constraint,
+                responder_config=config,
+                max_price=max_price,
+                rank=utility_rank(),
+            )
+        except NegotiationError:
+            continue  # requester cannot reach the responder
+        if outcome.established:
+            deals += 1
+            ledger.record(outcome)
+    revenue = ledger.revenue_of(responder)
+    return MarketOutcome(
+        deals=deals,
+        attempts=attempts,
+        revenue=revenue,
+        mean_price=revenue / deals if deals else 0.0,
+    )

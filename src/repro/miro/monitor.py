@@ -1,0 +1,171 @@
+"""Automated negotiation triggering (§6.2.1).
+
+"Negotiations should only be triggered if none of the current routes
+satisfy the desired property.  Whenever the routes or the policies change,
+the router should check the triggering conditions, then initiate a
+negotiation when the conditions are satisfied."
+
+:class:`PolicyMonitor` wires a compiled requester policy (from the Ch. 6
+configuration language) into a live :class:`~repro.miro.runtime.MiroRuntime`:
+it watches the AS's route changes, evaluates the trigger rules, picks
+responders (the ASes "between itself and [the avoided AS] on any of the
+current candidate paths"), and drives the negotiations — the software the
+paper imagines "on the routers or end hosts [that] can automatically
+monitor current routing situations and conduct the negotiations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.route import Route
+from ..errors import NegotiationError
+from ..policylang.config import NegotiationSpec, RequesterPolicy
+from .policies import ExportPolicy
+from .runtime import EstablishedTunnel, MiroRuntime
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One action the monitor took."""
+
+    kind: str  # "triggered", "established", "failed", "satisfied"
+    destination: int
+    responder: Optional[int] = None
+    detail: str = ""
+
+
+class PolicyMonitor:
+    """Watches one AS's routes and negotiates per its configured policy."""
+
+    def __init__(
+        self,
+        runtime: MiroRuntime,
+        asn: int,
+        policy: RequesterPolicy,
+        export_policy: ExportPolicy = ExportPolicy.EXPORT,
+        watched_destinations: Optional[Set[int]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.asn = asn
+        self.policy = policy
+        self.export_policy = export_policy
+        self.watched = watched_destinations
+        self.events: List[MonitorEvent] = []
+        self._pending: Set[int] = set()
+        self._teardowns_seen = 0
+        runtime.engine.add_listener(self._on_route_change)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _on_route_change(self, asn, destination, old, new) -> None:
+        if asn != self.asn:
+            return
+        if self.watched is not None and destination not in self.watched:
+            return
+        self._pending.add(destination)
+
+    def pending_destinations(self) -> Set[int]:
+        return set(self._pending)
+
+    # ------------------------------------------------------------------
+    # the §6.2.1 loop
+    # ------------------------------------------------------------------
+    def poll(self) -> List[MonitorEvent]:
+        """Check triggers for every destination whose routes changed.
+
+        A torn-down tunnel counts as a change too (§4.3 teardown is how
+        the AS learns its negotiated path died even when its own BGP
+        routes are untouched).  Returns the events generated this round
+        (also appended to :attr:`events`).
+        """
+        # notice our tunnels that were torn down since the last poll
+        for tunnel in self.runtime.torn_down[self._teardowns_seen:]:
+            if tunnel.upstream == self.asn and (
+                self.watched is None or tunnel.destination in self.watched
+            ):
+                self._pending.add(tunnel.destination)
+        self._teardowns_seen = len(self.runtime.torn_down)
+
+        produced: List[MonitorEvent] = []
+        for destination in sorted(self._pending):
+            produced.extend(self._check_destination(destination))
+        self._pending.clear()
+        self.events.extend(produced)
+        return produced
+
+    def _check_destination(self, destination: int) -> List[MonitorEvent]:
+        candidates = self.runtime.engine.candidates(self.asn, destination)
+        # tunnels the AS already holds count as satisfying routes
+        tunnel_routes = self._tunnel_routes(destination)
+        spec = self.policy.should_negotiate(
+            list(candidates) + tunnel_routes
+        )
+        if spec is None:
+            return [MonitorEvent("satisfied", destination)]
+        events: List[MonitorEvent] = [
+            MonitorEvent("triggered", destination, detail=spec.name)
+        ]
+        events.extend(self._negotiate(destination, spec))
+        return events
+
+    def _tunnel_routes(self, destination: int) -> List[Route]:
+        from ..bgp.policy import make_route
+
+        routes: List[Route] = []
+        for record in self.runtime.live_tunnels():
+            if record.requester != self.asn:
+                continue
+            if record.destination != destination:
+                continue
+            path = record.tunnel.end_to_end_path
+            if len(set(path)) == len(path):  # representable as a Route
+                try:
+                    routes.append(make_route(self.runtime.graph, path))
+                except Exception:
+                    continue
+        return routes
+
+    def _responders_for(self, destination: int, spec: NegotiationSpec) -> List[int]:
+        """ASes between us and the avoided AS on any candidate path."""
+        responders: List[int] = []
+        for candidate in self.runtime.engine.candidates(self.asn, destination):
+            path = candidate.path
+            cutoffs = [
+                path.index(asn) for asn in spec.avoid if asn in path
+            ]
+            cutoff = min(cutoffs) if cutoffs else len(path) - 1
+            for asn in path[1:cutoff]:
+                if asn not in responders:
+                    responders.append(asn)
+        return responders
+
+    def _negotiate(
+        self, destination: int, spec: NegotiationSpec
+    ) -> List[MonitorEvent]:
+        events: List[MonitorEvent] = []
+        for responder in self._responders_for(destination, spec):
+            try:
+                record = self.runtime.establish(
+                    self.asn, responder, destination,
+                    self.export_policy, constraint=spec.constraint(),
+                )
+            except NegotiationError as exc:
+                events.append(MonitorEvent(
+                    "failed", destination, responder, detail=str(exc)
+                ))
+                continue
+            if record is not None:
+                events.append(MonitorEvent(
+                    "established", destination, responder,
+                    detail="-".join(map(str, record.tunnel.path)),
+                ))
+                return events
+            events.append(MonitorEvent("failed", destination, responder))
+        if not any(e.kind == "established" for e in events):
+            events.append(MonitorEvent(
+                "failed", destination, detail="no responder could help"
+            ))
+        return events

@@ -1,0 +1,384 @@
+"""Bilateral MIRO negotiation (§3.3, Fig. 4.2).
+
+The control-plane exchange between a *requesting* AS and a *responding* AS:
+
+1. the requester sends a :class:`RouteRequest` for a destination prefix,
+   optionally carrying the desired properties (a :class:`RouteConstraint`)
+   and a price ceiling;
+2. the responder answers with a :class:`RouteOffer` — the subset of its
+   candidate routes consistent with its local export policy, each
+   optionally tagged with a price — or a :class:`Decline`;
+3. the requester picks one candidate and sends a :class:`TunnelAccept`;
+4. the responder allocates a tunnel identifier and replies with a
+   :class:`TunnelGrant`; both ends install tunnel state.
+
+:func:`negotiate` drives the whole exchange in one call; the
+:class:`RequestingAgent` / :class:`RespondingAgent` state machines expose
+the individual steps for finer-grained use (and enforce legal ordering).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.route import Route
+from ..bgp.routing import RoutingTable
+from ..errors import NegotiationError
+from .policies import ExportPolicy, offered_routes
+from .tunnels import Tunnel, TunnelTable
+
+
+@dataclass(frozen=True)
+class RouteConstraint:
+    """Desired properties of the alternate routes (§6.2.1).
+
+    ``avoid`` lists ASes that must not appear on the offered path;
+    ``max_length`` bounds the AS-path length; ``require_transit``
+    lists ASes that must appear.
+    """
+
+    avoid: Tuple[int, ...] = ()
+    max_length: Optional[int] = None
+    require_transit: Tuple[int, ...] = ()
+
+    def satisfied_by(self, route: Route) -> bool:
+        if any(route.contains(asn) for asn in self.avoid):
+            return False
+        if self.max_length is not None and route.length > self.max_length:
+            return False
+        return all(route.contains(asn) for asn in self.require_transit)
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    requester: int
+    responder: int
+    destination: int
+    constraint: Optional[RouteConstraint] = None
+    max_price: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class OfferedRoute:
+    route: Route
+    price: int = 0
+
+
+@dataclass(frozen=True)
+class RouteOffer:
+    responder: int
+    requester: int
+    destination: int
+    routes: Tuple[OfferedRoute, ...]
+
+
+@dataclass(frozen=True)
+class Decline:
+    responder: int
+    requester: int
+    destination: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class TunnelAccept:
+    requester: int
+    responder: int
+    destination: int
+    path: Tuple[int, ...]
+    agreed_price: int = 0
+
+
+@dataclass(frozen=True)
+class TunnelGrant:
+    responder: int
+    requester: int
+    tunnel_id: int
+    path: Tuple[int, ...]
+
+
+class NegotiationState(enum.Enum):
+    IDLE = "idle"
+    REQUESTED = "requested"
+    OFFERED = "offered"
+    ACCEPTED = "accepted"
+    ESTABLISHED = "established"
+    DECLINED = "declined"
+
+
+PriceFunction = Callable[[Route], int]
+
+
+@dataclass
+class ResponderConfig:
+    """Accept rules of the responding AS (§6.2.1).
+
+    ``max_tunnels`` caps active tunnels; ``accept_from`` (when given)
+    whitelists requesters; ``rate_limit`` is the §6.2.1 "rate limit for
+    establishing new tunnels" — at most N accepted requests per rolling
+    window of the given seconds; ``apply_constraint`` controls whether the
+    requester's constraint is applied before responding (§6.2.2 notes the
+    responder *may* apply it to avoid sending useless candidates).
+    """
+
+    max_tunnels: int = 1000
+    accept_from: Optional[Set[int]] = None
+    apply_constraint: bool = True
+    price_for: PriceFunction = lambda route: 0
+    #: (max accepted requests, window length in seconds), or None
+    rate_limit: Optional[Tuple[int, float]] = None
+
+
+class RespondingAgent:
+    """The responding AS's side of negotiations, bound to a routing table."""
+
+    def __init__(
+        self,
+        asn: int,
+        table: RoutingTable,
+        policy: ExportPolicy,
+        config: Optional[ResponderConfig] = None,
+        tunnel_table: Optional[TunnelTable] = None,
+    ) -> None:
+        self.asn = asn
+        self.table = table
+        self.policy = policy
+        self.config = config or ResponderConfig()
+        self.tunnels = tunnel_table or TunnelTable(asn)
+        self._accept_times: List[float] = []
+
+    def handle_request(
+        self, request: RouteRequest, toward: Optional[int] = None,
+        now: float = 0.0,
+    ):
+        """Answer a request with a :class:`RouteOffer` or :class:`Decline`.
+
+        ``toward`` is the neighbour through which the requester's traffic
+        arrives (defaults to the requester itself when adjacent); ``now``
+        feeds the rate limiter.
+        """
+        if request.responder != self.asn:
+            raise NegotiationError(
+                f"request addressed to AS {request.responder}, "
+                f"but this agent is AS {self.asn}"
+            )
+        if request.destination != self.table.destination:
+            raise NegotiationError(
+                f"agent holds routes for AS {self.table.destination}, "
+                f"request is for AS {request.destination}"
+            )
+        allowed = self.config.accept_from
+        if allowed is not None and request.requester not in allowed:
+            return Decline(self.asn, request.requester, request.destination,
+                           "requester not accepted by local policy")
+        if len(self.tunnels) >= self.config.max_tunnels:
+            return Decline(self.asn, request.requester, request.destination,
+                           "tunnel limit reached")
+        if self.config.rate_limit is not None:
+            limit, window = self.config.rate_limit
+            self._accept_times = [
+                t for t in self._accept_times if now - t < window
+            ]
+            if len(self._accept_times) >= limit:
+                return Decline(
+                    self.asn, request.requester, request.destination,
+                    "negotiation rate limit reached",
+                )
+            self._accept_times.append(now)
+        if toward is None and self.table.graph.has_link(self.asn, request.requester):
+            toward = request.requester
+        candidates = offered_routes(self.table, self.asn, self.policy, toward)
+        if self.config.apply_constraint and request.constraint is not None:
+            candidates = [
+                r for r in candidates if request.constraint.satisfied_by(r)
+            ]
+        priced = tuple(
+            OfferedRoute(route=r, price=self.config.price_for(r))
+            for r in candidates
+        )
+        if request.max_price is not None:
+            priced = tuple(o for o in priced if o.price <= request.max_price)
+        if not priced:
+            return Decline(self.asn, request.requester, request.destination,
+                           "no candidate routes satisfy the request")
+        return RouteOffer(self.asn, request.requester, request.destination, priced)
+
+    def handle_accept(self, accept: TunnelAccept) -> TunnelGrant:
+        """Allocate a tunnel id and install downstream state (Fig. 4.2)."""
+        if accept.responder != self.asn:
+            raise NegotiationError("accept addressed to a different AS")
+        tunnel_id = self.tunnels.allocate_id()
+        tunnel = Tunnel(
+            tunnel_id=tunnel_id,
+            upstream=accept.requester,
+            downstream=self.asn,
+            destination=accept.destination,
+            path=accept.path,
+            via_path=(),
+            price=accept.agreed_price,
+        )
+        self.tunnels.install(tunnel)
+        return TunnelGrant(self.asn, accept.requester, tunnel_id, accept.path)
+
+
+#: Requester's candidate-ranking function: smaller key = preferred.
+RankFunction = Callable[[OfferedRoute], Tuple]
+
+
+def default_rank(offered: OfferedRoute) -> Tuple:
+    """Prefer cheaper, then shorter, then lexicographically smaller paths."""
+    return (offered.price, offered.route.length, offered.route.path)
+
+
+class RequestingAgent:
+    """The requesting AS's side of one negotiation (a state machine)."""
+
+    def __init__(
+        self,
+        asn: int,
+        tunnel_table: Optional[TunnelTable] = None,
+        rank: RankFunction = default_rank,
+    ) -> None:
+        self.asn = asn
+        self.tunnels = tunnel_table or TunnelTable(asn)
+        self.rank = rank
+        self.state = NegotiationState.IDLE
+        self._request: Optional[RouteRequest] = None
+        self._chosen: Optional[OfferedRoute] = None
+
+    def make_request(
+        self,
+        responder: int,
+        destination: int,
+        constraint: Optional[RouteConstraint] = None,
+        max_price: Optional[int] = None,
+    ) -> RouteRequest:
+        if self.state is not NegotiationState.IDLE:
+            raise NegotiationError(f"cannot request in state {self.state}")
+        self._request = RouteRequest(
+            self.asn, responder, destination, constraint, max_price
+        )
+        self.state = NegotiationState.REQUESTED
+        return self._request
+
+    def handle_response(self, response) -> Optional[TunnelAccept]:
+        """Process the offer/decline; return an accept or None on decline."""
+        if self.state is not NegotiationState.REQUESTED:
+            raise NegotiationError(f"unexpected response in state {self.state}")
+        if isinstance(response, Decline):
+            self.state = NegotiationState.DECLINED
+            return None
+        if not isinstance(response, RouteOffer):
+            raise NegotiationError(f"unexpected message {type(response).__name__}")
+        assert self._request is not None
+        candidates = list(response.routes)
+        if self._request.constraint is not None:
+            # The requester re-filters: the responder may have skipped the
+            # constraint (the Ch. 7 model even assumes it does).
+            candidates = [
+                o for o in candidates
+                if self._request.constraint.satisfied_by(o.route)
+            ]
+        if self._request.max_price is not None:
+            candidates = [
+                o for o in candidates if o.price <= self._request.max_price
+            ]
+        if not candidates:
+            self.state = NegotiationState.DECLINED
+            return None
+        self._chosen = min(candidates, key=self.rank)
+        self.state = NegotiationState.ACCEPTED
+        return TunnelAccept(
+            requester=self.asn,
+            responder=response.responder,
+            destination=response.destination,
+            path=self._chosen.route.path,
+            agreed_price=self._chosen.price,
+        )
+
+    def handle_grant(
+        self, grant: TunnelGrant, via_path: Tuple[int, ...]
+    ) -> Tunnel:
+        """Install upstream tunnel state; ``via_path`` is our path to the
+        downstream AS (recorded for teardown on route change)."""
+        if self.state is not NegotiationState.ACCEPTED:
+            raise NegotiationError(f"unexpected grant in state {self.state}")
+        assert self._request is not None and self._chosen is not None
+        tunnel = Tunnel(
+            tunnel_id=grant.tunnel_id,
+            upstream=self.asn,
+            downstream=grant.responder,
+            destination=self._request.destination,
+            path=grant.path,
+            via_path=via_path,
+            price=self._chosen.price,
+        )
+        self.tunnels.install(tunnel)
+        self.state = NegotiationState.ESTABLISHED
+        return tunnel
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of one full negotiation exchange."""
+
+    established: bool
+    tunnel: Optional[Tunnel]
+    offered_count: int
+    reason: Optional[str] = None
+
+
+def negotiate(
+    table: RoutingTable,
+    requester: int,
+    responder: int,
+    policy: ExportPolicy,
+    constraint: Optional[RouteConstraint] = None,
+    toward: Optional[int] = None,
+    via_path: Optional[Tuple[int, ...]] = None,
+    responder_config: Optional[ResponderConfig] = None,
+    max_price: Optional[int] = None,
+    rank: RankFunction = default_rank,
+) -> NegotiationOutcome:
+    """Drive one complete negotiation and return the outcome.
+
+    ``via_path`` is the requester's path to the responder (defaults to the
+    requester's default BGP path truncated at the responder, if the
+    responder lies on it, else the direct link).
+    """
+    graph = table.graph
+    if via_path is None:
+        default = table.default_path(requester)
+        if default and responder in default:
+            via_path = default[: default.index(responder) + 1]
+        elif graph.has_link(requester, responder):
+            via_path = (requester, responder)
+        else:
+            raise NegotiationError(
+                f"no known path from AS {requester} to responder AS {responder}"
+            )
+    if toward is None:
+        toward = via_path[-2] if len(via_path) >= 2 else None
+
+    responding = RespondingAgent(
+        responder, table, policy, config=responder_config
+    )
+    requesting = RequestingAgent(requester, rank=rank)
+    request = requesting.make_request(
+        responder, table.destination, constraint, max_price
+    )
+    response = responding.handle_request(request, toward=toward)
+    if isinstance(response, Decline):
+        requesting.handle_response(response)
+        return NegotiationOutcome(False, None, 0, response.reason)
+    accept = requesting.handle_response(response)
+    if accept is None:
+        return NegotiationOutcome(
+            False, None, len(response.routes),
+            "no offered route satisfies the requester",
+        )
+    grant = responding.handle_accept(accept)
+    tunnel = requesting.handle_grant(grant, via_path=via_path)
+    return NegotiationOutcome(True, tunnel, len(response.routes))

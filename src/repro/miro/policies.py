@@ -1,0 +1,119 @@
+"""MIRO alternate-route export policies (§3.4, §5.1).
+
+When a responding AS receives a negotiation request, it chooses which of
+its *learned* alternate routes to offer.  The paper evaluates three
+policies:
+
+* **STRICT** (``/s``) — offer only alternates with the same local
+  preference (business class) as the current default route, and only ones
+  the conventional export rules would allow toward the requester.
+* **EXPORT** (``/e``) — offer every alternate the conventional export
+  rules allow toward the requester.
+* **FLEXIBLE** (``/a``) — offer every alternate, ignoring business
+  relationships (the upper bound on exposable diversity).
+
+For a non-adjacent requester, the export rules are applied against the
+neighbour of the responder through which the requester's traffic arrives
+(its previous hop on the requester→responder path) — for a 1-hop
+negotiation that neighbour *is* the requester.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..bgp.policy import may_export
+from ..bgp.route import Route, RouteClass
+from ..bgp.routing import RoutingTable
+from ..errors import NegotiationError
+
+
+class ExportPolicy(enum.Enum):
+    """The three alternate-route export policies of §5.1."""
+
+    STRICT = "/s"
+    EXPORT = "/e"
+    FLEXIBLE = "/a"
+
+    @classmethod
+    def from_label(cls, label: str) -> "ExportPolicy":
+        """Parse a paper-style label like ``"/s"`` or ``"strict"``."""
+        normalized = label.strip().lower().lstrip("/")
+        table = {
+            "s": cls.STRICT, "strict": cls.STRICT,
+            "e": cls.EXPORT, "export": cls.EXPORT,
+            "a": cls.FLEXIBLE, "flexible": cls.FLEXIBLE, "all": cls.FLEXIBLE,
+        }
+        if normalized not in table:
+            raise NegotiationError(f"unknown export policy label {label!r}")
+        return table[normalized]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def alternate_routes(table: RoutingTable, responder: int) -> List[Route]:
+    """The responder's learned routes other than its selected default.
+
+    These are the candidates a negotiation can expose (§3.4: "the existing
+    BGP protocol already provides many candidate routes, although the
+    alternate routes are not disseminated").
+    """
+    best = table.best(responder)
+    alternates: List[Route] = []
+    for candidate in table.candidates(responder):
+        if best is not None and candidate.path == best.path:
+            continue
+        alternates.append(candidate)
+    return alternates
+
+
+def offered_routes(
+    table: RoutingTable,
+    responder: int,
+    policy: ExportPolicy,
+    toward: Optional[int] = None,
+    include_default: bool = False,
+) -> List[Route]:
+    """Routes the responder offers under ``policy``.
+
+    ``toward`` is the neighbour of the responder through which the
+    requester's traffic arrives (required for STRICT and EXPORT; FLEXIBLE
+    ignores it).  With ``include_default`` the responder's currently
+    selected route is offered too (useful when counting total available
+    routes, Fig. 5.2).
+    """
+    graph = table.graph
+    best = table.best(responder)
+    pool = alternate_routes(table, responder)
+    if include_default and best is not None:
+        pool = [best] + pool
+
+    if policy is ExportPolicy.FLEXIBLE:
+        return pool
+
+    if toward is None:
+        raise NegotiationError(
+            f"policy {policy} needs the neighbour the requester reaches "
+            f"AS {responder} through"
+        )
+    if not graph.has_link(responder, toward):
+        raise NegotiationError(
+            f"AS {toward} is not a neighbour of responder AS {responder}"
+        )
+
+    offered = [
+        r for r in pool if may_export(graph, responder, toward, r.route_class)
+    ]
+    if policy is ExportPolicy.EXPORT:
+        return offered
+    # STRICT: additionally require the same local preference as the default.
+    if best is None:
+        return []
+    return [r for r in offered if r.route_class is best.route_class]
+
+
+def all_policies() -> List[ExportPolicy]:
+    """All three policies in the paper's strict→flexible order."""
+    return [ExportPolicy.STRICT, ExportPolicy.EXPORT, ExportPolicy.FLEXIBLE]

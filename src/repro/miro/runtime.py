@@ -1,0 +1,256 @@
+"""A live MIRO system on top of the event-driven BGP engine (§4.3).
+
+:class:`MiroRuntime` couples :class:`~repro.bgp.engine.EventDrivenBGP`
+with per-AS tunnel tables and negotiation, giving the full dynamic
+behaviour of §4.3:
+
+* tunnels are negotiated against the *current* protocol state,
+* when BGP reconverges after a failure, tunnels whose via path or tunnel
+  path changed are torn down automatically (the route-change listener),
+* both ends exchange keep-alives; a partitioned upstream stops
+  refreshing and the downstream's soft state expires the tunnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.engine import EventDrivenBGP
+from ..bgp.policy import may_export
+from ..bgp.route import Route
+from ..errors import NegotiationError
+from ..topology.graph import ASGraph
+from .policies import ExportPolicy
+from .negotiation import RouteConstraint
+from .tunnels import Tunnel, TunnelTable
+
+
+@dataclass(frozen=True)
+class EstablishedTunnel:
+    """Bookkeeping for one live tunnel (both endpoints' state)."""
+
+    tunnel: Tunnel
+    requester: int
+    responder: int
+    destination: int
+
+
+class MiroRuntime:
+    """MIRO speakers over a running BGP system."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        seed: Optional[int] = None,
+        heartbeat_timeout: float = 90.0,
+    ) -> None:
+        self.graph = graph
+        self.engine = EventDrivenBGP(graph, seed=seed)
+        self.engine.add_listener(self._on_route_change)
+        self._dirty_destinations: Set[int] = set()
+        self.tunnels: Dict[int, TunnelTable] = {
+            asn: TunnelTable(asn, heartbeat_timeout=heartbeat_timeout)
+            for asn in graph.iter_ases()
+        }
+        self._live: List[EstablishedTunnel] = []
+        self.clock = 0.0
+        self.torn_down: List[Tunnel] = []
+
+    # ------------------------------------------------------------------
+    # bring-up
+    # ------------------------------------------------------------------
+    def originate_all(self, destinations: Sequence[int]) -> int:
+        """Originate the given prefixes and run BGP to quiescence."""
+        for destination in destinations:
+            self.engine.originate(destination)
+        return self.engine.run()
+
+    # ------------------------------------------------------------------
+    # negotiation against live state
+    # ------------------------------------------------------------------
+    def offered_routes(
+        self, responder: int, destination: int, policy: ExportPolicy,
+        toward: Optional[int],
+    ) -> List[Route]:
+        """The responder's current alternates under ``policy`` (§3.4),
+        computed from its live Adj-RIB-In."""
+        best = self.engine.best(responder, destination)
+        pool = [
+            route for route in self.engine.candidates(responder, destination)
+            if best is None or route.path != best.path
+        ]
+        if policy is ExportPolicy.FLEXIBLE:
+            return pool
+        if toward is None or not self.graph.has_link(responder, toward):
+            raise NegotiationError(
+                f"policy {policy} needs a neighbouring 'toward' AS"
+            )
+        pool = [
+            r for r in pool
+            if may_export(self.graph, responder, toward, r.route_class)
+        ]
+        if policy is ExportPolicy.EXPORT:
+            return pool
+        if best is None:
+            return []
+        return [r for r in pool if r.route_class is best.route_class]
+
+    def establish(
+        self,
+        requester: int,
+        responder: int,
+        destination: int,
+        policy: ExportPolicy,
+        constraint: Optional[RouteConstraint] = None,
+    ) -> Optional[EstablishedTunnel]:
+        """Negotiate and install a tunnel, or return None if no offer fits.
+
+        The via path is the requester's *current* route to the responder
+        (truncated default path toward the destination when the responder
+        lies on it, else the direct link).
+        """
+        best = self.engine.best(requester, destination)
+        via: Optional[Tuple[int, ...]] = None
+        if best is not None and responder in best.path:
+            via = best.path[: best.path.index(responder) + 1]
+        elif self.graph.has_link(requester, responder):
+            via = (requester, responder)
+        if via is None:
+            raise NegotiationError(
+                f"AS {requester} has no known path to responder AS {responder}"
+            )
+        toward = via[-2] if len(via) >= 2 else None
+        offers = self.offered_routes(responder, destination, policy, toward)
+        if constraint is not None:
+            offers = [r for r in offers if constraint.satisfied_by(r)]
+        offers = [r for r in offers if requester not in r.path]
+        if not offers:
+            return None
+        chosen = min(offers, key=lambda r: (r.length, r.path))
+        tunnel_id = self.tunnels[responder].allocate_id()
+        tunnel = Tunnel(
+            tunnel_id=tunnel_id,
+            upstream=requester,
+            downstream=responder,
+            destination=destination,
+            path=chosen.path,
+            via_path=via,
+        )
+        mirror = Tunnel(
+            tunnel_id=tunnel_id,
+            upstream=requester,
+            downstream=responder,
+            destination=destination,
+            path=chosen.path,
+            via_path=via,
+        )
+        self.tunnels[requester].install(tunnel, now=self.clock)
+        self.tunnels[responder].install(mirror, now=self.clock)
+        record = EstablishedTunnel(tunnel, requester, responder, destination)
+        self._live.append(record)
+        return record
+
+    def live_tunnels(self) -> List[EstablishedTunnel]:
+        return [
+            t for t in self._live
+            if self.tunnels[t.requester].has(t.tunnel.tunnel_id)
+        ]
+
+    # ------------------------------------------------------------------
+    # §4.3 dynamics
+    # ------------------------------------------------------------------
+    def _on_route_change(
+        self, asn: int, destination: int,
+        old: Optional[Route], new: Optional[Route],
+    ) -> None:
+        """Mark prefixes whose tunnels must be revalidated (§4.3: "the
+        ASes can observe these changes in the BGP update messages")."""
+        self._dirty_destinations.add(destination)
+
+    def _tunnel_still_valid(self, record: EstablishedTunnel) -> bool:
+        tunnel = record.tunnel
+        # (1) the upstream's path to the downstream AS must be intact:
+        # either the via segment is still a prefix of its selected route,
+        # or it is the direct link and the link is up.
+        best = self.engine.best(record.requester, record.destination)
+        via_ok = (
+            best is not None
+            and best.path[: len(tunnel.via_path)] == tunnel.via_path
+        )
+        if not via_ok and len(tunnel.via_path) == 2:
+            via_ok = self.engine._link_up(record.requester, record.responder)
+        if not via_ok:
+            return False
+        # (2) the downstream AS must still learn the tunnel path.
+        learned = {
+            r.path
+            for r in self.engine.candidates(record.responder, record.destination)
+        }
+        return tunnel.path in learned
+
+    def revalidate(self) -> List[Tunnel]:
+        """Tear down tunnels invalidated by routing changes; return them."""
+        if not self._dirty_destinations:
+            return []
+        removed: List[Tunnel] = []
+        for record in list(self._live):
+            if record.destination not in self._dirty_destinations:
+                continue
+            if not self.tunnels[record.requester].has(record.tunnel.tunnel_id):
+                continue
+            if self._tunnel_still_valid(record):
+                continue
+            for endpoint in (record.requester, record.responder):
+                if self.tunnels[endpoint].has(record.tunnel.tunnel_id):
+                    self.tunnels[endpoint].remove(record.tunnel.tunnel_id)
+            removed.append(record.tunnel)
+            self._live.remove(record)
+        self._dirty_destinations.clear()
+        self.torn_down.extend(removed)
+        return removed
+
+    def fail_link(self, a: int, b: int) -> int:
+        """Fail a link, reconverge, and revalidate tunnels (§4.3)."""
+        # tunnels whose via segment or tunnel path uses the link must be
+        # re-checked even if no best route changes (e.g. a direct-link via
+        # that no selected route crosses)
+        for record in self._live:
+            tunnel = record.tunnel
+            hops = list(zip(tunnel.via_path, tunnel.via_path[1:]))
+            hops += list(zip(tunnel.path, tunnel.path[1:]))
+            if (a, b) in hops or (b, a) in hops:
+                self._dirty_destinations.add(record.destination)
+        self.engine.fail_link(a, b)
+        processed = self.engine.run()
+        self.revalidate()
+        return processed
+
+    def restore_link(self, a: int, b: int) -> int:
+        self.engine.restore_link(a, b)
+        processed = self.engine.run()
+        self.revalidate()
+        return processed
+
+    def heartbeat(self, requester: int, tunnel_id: int) -> None:
+        """One keep-alive exchange refreshing both endpoints (§4.3)."""
+        for record in self._live:
+            if record.tunnel.tunnel_id == tunnel_id and (
+                record.requester == requester
+            ):
+                for endpoint in (record.requester, record.responder):
+                    if self.tunnels[endpoint].has(tunnel_id):
+                        self.tunnels[endpoint].heartbeat(tunnel_id, self.clock)
+                return
+        raise NegotiationError(
+            f"AS {requester} holds no live tunnel {tunnel_id}"
+        )
+
+    def tick(self, dt: float) -> List[Tunnel]:
+        """Advance time and expire silent tunnels at every AS."""
+        self.clock += dt
+        expired: List[Tunnel] = []
+        for table in self.tunnels.values():
+            expired.extend(table.expire(self.clock))
+        self.torn_down.extend(expired)
+        return expired

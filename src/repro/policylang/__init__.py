@@ -1,0 +1,42 @@
+"""Routing-policy configuration (Ch. 6): Cisco-style route-maps and the
+paper's extended negotiation-policy language."""
+
+from .config import (
+    FilterRule,
+    MiroConfig,
+    NegotiationSpec,
+    RequesterPolicy,
+    ResponderPolicy,
+    TriggerRule,
+    parse_config,
+)
+from .routemap import (
+    AccessListEntry,
+    AsPathAccessList,
+    MatchAsPath,
+    PolicyRoute,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    compile_aspath_regex,
+    path_to_string,
+)
+
+__all__ = [
+    "compile_aspath_regex",
+    "path_to_string",
+    "AccessListEntry",
+    "AsPathAccessList",
+    "PolicyRoute",
+    "MatchAsPath",
+    "SetLocalPref",
+    "RouteMapClause",
+    "RouteMap",
+    "parse_config",
+    "MiroConfig",
+    "NegotiationSpec",
+    "TriggerRule",
+    "FilterRule",
+    "RequesterPolicy",
+    "ResponderPolicy",
+]

@@ -1,0 +1,397 @@
+"""Parser for the paper's "imaginary extended route-map" language (§6.3).
+
+The grammar covers both sides of a negotiation.  Requesting-AS example
+(the §6.3 "avoid AS 312" policy)::
+
+    router bgp 100
+    !
+    route-map AVOID_AS permit 10
+     match empty path 200
+     try negotiation NEG-312
+    !
+    ip as-path access-list 200 deny _312_
+    !
+    negotiation NEG-312
+     match avoid 312
+     start negotiation with maximum cost 250
+
+Responding-AS example::
+
+    router bgp 150
+    !
+    accept negotiation from any
+     when tunnel_number < 1000
+    !
+    negotiation filter FILTER-1
+     filter permit local_pref > 200
+      set tunnel_cost 120
+     filter permit local_pref > 100
+      set tunnel_cost 180
+
+Filter rules are ordered: the first ``filter permit`` whose condition holds
+prices the route (the §6.3 semantics: customer routes — local_pref > 200 —
+cost 120, peer routes cost 180); routes matching no rule are not offered.
+
+:func:`parse_config` returns a :class:`MiroConfig` whose
+:class:`RequesterPolicy` / :class:`ResponderPolicy` plug straight into
+:mod:`repro.miro.negotiation`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.route import Route
+from ..errors import PolicySyntaxError
+from ..miro.negotiation import ResponderConfig, RouteConstraint
+from .routemap import (
+    AsPathAccessList,
+    MatchAsPath,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+)
+
+
+@dataclass(frozen=True)
+class NegotiationSpec:
+    """A named ``negotiation`` block on the requesting side."""
+
+    name: str
+    avoid: Tuple[int, ...] = ()
+    max_cost: Optional[int] = None
+
+    def constraint(self) -> RouteConstraint:
+        return RouteConstraint(avoid=self.avoid)
+
+
+@dataclass(frozen=True)
+class TriggerRule:
+    """``route-map ... / match empty path <list> / try negotiation <name>``:
+    start the negotiation when no candidate survives the access list."""
+
+    route_map: str
+    access_list: int
+    negotiation: str
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """``filter permit local_pref > N`` + ``set tunnel_cost C``"""
+
+    min_local_pref: int
+    tunnel_cost: int
+
+
+@dataclass
+class RequesterPolicy:
+    """The requesting AS's compiled policy."""
+
+    asn: int
+    access_lists: Dict[int, AsPathAccessList]
+    route_maps: Dict[str, RouteMap]
+    triggers: List[TriggerRule]
+    negotiations: Dict[str, NegotiationSpec]
+
+    def should_negotiate(
+        self, candidates: Sequence[Route]
+    ) -> Optional[NegotiationSpec]:
+        """Check the trigger rules against the current candidate routes.
+
+        Returns the negotiation to start if some trigger's access list
+        filters every candidate out (§6.2.1: "negotiations should only be
+        triggered if none of the current routes satisfy the desired
+        property"), else None.
+        """
+        for trigger in self.triggers:
+            acl = self.access_lists.get(trigger.access_list)
+            if acl is None:
+                raise PolicySyntaxError(
+                    f"trigger references unknown access list {trigger.access_list}"
+                )
+            if not acl.filter(list(candidates)):
+                spec = self.negotiations.get(trigger.negotiation)
+                if spec is None:
+                    raise PolicySyntaxError(
+                        f"trigger references unknown negotiation "
+                        f"{trigger.negotiation!r}"
+                    )
+                return spec
+        return None
+
+
+@dataclass
+class ResponderPolicy:
+    """The responding AS's compiled policy."""
+
+    asn: int
+    accept_from: Optional[Set[int]]  # None = any
+    max_tunnels: int
+    filters: List[FilterRule]
+
+    def price_for(self, route: Route) -> Optional[int]:
+        """Price of offering a route, or None if no filter rule admits it."""
+        for rule in self.filters:
+            if route.local_pref > rule.min_local_pref:
+                return rule.tunnel_cost
+        return None
+
+    def as_responder_config(self) -> ResponderConfig:
+        """Adapt into the negotiation engine's responder configuration."""
+        policy = self
+
+        def price(route: Route) -> int:
+            value = policy.price_for(route)
+            # Unpriced routes are filtered by the engine via an infinite
+            # price only when the requester set a ceiling; expose a large
+            # sentinel here and filter in offered sets upstream.
+            return value if value is not None else 10 ** 9
+
+        return ResponderConfig(
+            max_tunnels=self.max_tunnels,
+            accept_from=self.accept_from,
+            price_for=price,
+        )
+
+
+@dataclass
+class MiroConfig:
+    """Everything parsed from one configuration text."""
+
+    asn: Optional[int] = None
+    requester: Optional[RequesterPolicy] = None
+    responder: Optional[ResponderPolicy] = None
+
+
+_ACL_RE = re.compile(
+    r"^ip as-path access-list (\d+) (permit|deny) (\S+)$"
+)
+_ROUTE_MAP_RE = re.compile(r"^route-map (\S+) (permit|deny)(?: (\d+))?$")
+_MATCH_ASPATH_RE = re.compile(r"^match as-path (\d+)$")
+_MATCH_EMPTY_RE = re.compile(r"^match empty path (\d+)$")
+_TRY_NEG_RE = re.compile(r"^try negotiation (\S+)$")
+_SET_LOCALPREF_RE = re.compile(r"^set local-preference (\d+)$")
+_ROUTER_RE = re.compile(r"^router bgp (\d+)$")
+_NEG_RE = re.compile(r"^negotiation (?!filter\b)(\S+)$")
+_NEG_AVOID_RE = re.compile(r"^match avoid ([\d ]+)$")
+_NEG_START_RE = re.compile(
+    r"^start negotiation(?: with maximum cost (\d+))?$"
+)
+_ACCEPT_RE = re.compile(r"^accept negotiation from (any|[\d ]+)$")
+_WHEN_RE = re.compile(r"^when tunnel_number < (\d+)$")
+_NEG_FILTER_RE = re.compile(r"^negotiation filter (\S+)$")
+_FILTER_PERMIT_RE = re.compile(r"^filter permit local_pref > (\d+)$")
+_SET_COST_RE = re.compile(r"^set tunnel_cost (\d+)$")
+
+
+def parse_config(text: str) -> MiroConfig:
+    """Parse one extended route-map configuration (see module docstring)."""
+    config = MiroConfig()
+    access_lists: Dict[int, AsPathAccessList] = {}
+    route_maps: Dict[str, RouteMap] = {}
+    triggers: List[TriggerRule] = []
+    negotiations: Dict[str, NegotiationSpec] = {}
+    accept_from: Optional[Set[int]] = None
+    accept_seen = False
+    max_tunnels = 1000
+    filters: List[FilterRule] = []
+
+    # parsing state
+    current_map: Optional[RouteMap] = None
+    current_clause: Optional[dict] = None
+    current_neg: Optional[dict] = None
+    in_filter_block = False
+    pending_filter_pref: Optional[int] = None
+
+    def finish_clause() -> None:
+        nonlocal current_clause
+        if current_map is not None and current_clause is not None:
+            current_map.add_clause(
+                RouteMapClause(
+                    permit=current_clause["permit"],
+                    sequence=current_clause["sequence"],
+                    matches=tuple(current_clause["matches"]),
+                    actions=tuple(current_clause["actions"]),
+                )
+            )
+        current_clause = None
+
+    def finish_negotiation() -> None:
+        nonlocal current_neg
+        if current_neg is not None:
+            negotiations[current_neg["name"]] = NegotiationSpec(
+                name=current_neg["name"],
+                avoid=tuple(current_neg["avoid"]),
+                max_cost=current_neg["max_cost"],
+            )
+        current_neg = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line == "!":
+            continue
+
+        match = _ROUTER_RE.match(line)
+        if match:
+            config.asn = int(match.group(1))
+            continue
+
+        match = _ACL_RE.match(line)
+        if match:
+            number = int(match.group(1))
+            acl = access_lists.setdefault(number, AsPathAccessList(number))
+            if match.group(2) == "permit":
+                acl.permit(match.group(3))
+            else:
+                acl.deny(match.group(3))
+            continue
+
+        match = _ROUTE_MAP_RE.match(line)
+        if match:
+            finish_clause()
+            finish_negotiation()
+            in_filter_block = False
+            name = match.group(1)
+            current_map = route_maps.setdefault(name, RouteMap(name))
+            current_clause = {
+                "permit": match.group(2) == "permit",
+                "sequence": int(match.group(3) or 10),
+                "matches": [],
+                "actions": [],
+            }
+            continue
+
+        match = _MATCH_ASPATH_RE.match(line)
+        if match:
+            if current_clause is None:
+                raise PolicySyntaxError("match outside route-map", lineno)
+            number = int(match.group(1))
+            acl = access_lists.setdefault(number, AsPathAccessList(number))
+            current_clause["matches"].append(MatchAsPath(acl))
+            continue
+
+        match = _MATCH_EMPTY_RE.match(line)
+        if match:
+            if current_map is None or current_clause is None:
+                raise PolicySyntaxError("match empty path outside route-map", lineno)
+            # the 'try negotiation' line that follows completes the trigger
+            current_clause["pending_empty"] = int(match.group(1))
+            continue
+
+        match = _TRY_NEG_RE.match(line)
+        if match:
+            if current_clause is None or "pending_empty" not in current_clause:
+                raise PolicySyntaxError(
+                    "try negotiation needs a preceding 'match empty path'", lineno
+                )
+            triggers.append(
+                TriggerRule(
+                    route_map=current_map.name,  # type: ignore[union-attr]
+                    access_list=current_clause["pending_empty"],
+                    negotiation=match.group(1),
+                )
+            )
+            continue
+
+        match = _SET_LOCALPREF_RE.match(line)
+        if match:
+            if current_clause is None:
+                raise PolicySyntaxError("set outside route-map", lineno)
+            current_clause["actions"].append(SetLocalPref(int(match.group(1))))
+            continue
+
+        match = _NEG_FILTER_RE.match(line)
+        if match:
+            finish_clause()
+            finish_negotiation()
+            current_map = None
+            in_filter_block = True
+            continue
+
+        match = _NEG_RE.match(line)
+        if match:
+            finish_clause()
+            finish_negotiation()
+            current_map = None
+            in_filter_block = False
+            current_neg = {"name": match.group(1), "avoid": [], "max_cost": None}
+            continue
+
+        match = _NEG_AVOID_RE.match(line)
+        if match:
+            if current_neg is None:
+                raise PolicySyntaxError("match avoid outside negotiation", lineno)
+            current_neg["avoid"].extend(int(a) for a in match.group(1).split())
+            continue
+
+        match = _NEG_START_RE.match(line)
+        if match:
+            if current_neg is None:
+                raise PolicySyntaxError(
+                    "start negotiation outside negotiation block", lineno
+                )
+            if match.group(1) is not None:
+                current_neg["max_cost"] = int(match.group(1))
+            continue
+
+        match = _ACCEPT_RE.match(line)
+        if match:
+            accept_seen = True
+            spec = match.group(1)
+            accept_from = (
+                None if spec == "any" else {int(a) for a in spec.split()}
+            )
+            continue
+
+        match = _WHEN_RE.match(line)
+        if match:
+            if not accept_seen:
+                raise PolicySyntaxError(
+                    "'when' requires a preceding 'accept negotiation'", lineno
+                )
+            max_tunnels = int(match.group(1))
+            continue
+
+        match = _FILTER_PERMIT_RE.match(line)
+        if match:
+            if not in_filter_block:
+                raise PolicySyntaxError(
+                    "filter permit outside 'negotiation filter' block", lineno
+                )
+            pending_filter_pref = int(match.group(1))
+            continue
+
+        match = _SET_COST_RE.match(line)
+        if match:
+            if pending_filter_pref is None:
+                raise PolicySyntaxError(
+                    "set tunnel_cost needs a preceding 'filter permit'", lineno
+                )
+            filters.append(FilterRule(pending_filter_pref, int(match.group(1))))
+            pending_filter_pref = None
+            continue
+
+        raise PolicySyntaxError(f"unrecognised statement: {line!r}", lineno)
+
+    finish_clause()
+    finish_negotiation()
+
+    asn = config.asn if config.asn is not None else 0
+    if triggers or negotiations or route_maps:
+        config.requester = RequesterPolicy(
+            asn=asn,
+            access_lists=access_lists,
+            route_maps=route_maps,
+            triggers=triggers,
+            negotiations=negotiations,
+        )
+    if accept_seen or filters:
+        config.responder = ResponderPolicy(
+            asn=asn,
+            accept_from=accept_from,
+            max_tunnels=max_tunnels,
+            filters=filters,
+        )
+    return config

@@ -1,0 +1,176 @@
+"""Cisco-style route-maps and AS-path access lists (§6.1).
+
+The paper configures policies with ``route-map`` / ``ip as-path
+access-list`` constructs; this module implements the matching machinery:
+
+* :func:`compile_aspath_regex` — Cisco AS-path regular expressions, where
+  ``_`` matches a boundary (start, end, or the gap between AS numbers);
+* :class:`AsPathAccessList` — ordered permit/deny entries, first match
+  wins;
+* :class:`RouteMap` — ordered clauses of match conditions and set actions
+  applied to a route.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Pattern, Sequence, Tuple
+
+from ..bgp.route import Route
+from ..errors import PolicyError
+
+
+def path_to_string(path: Sequence[int]) -> str:
+    """AS path as the space-separated string Cisco regexes run against."""
+    return " ".join(str(asn) for asn in path)
+
+
+def compile_aspath_regex(pattern: str) -> Pattern[str]:
+    """Compile a Cisco AS-path regex into a Python one.
+
+    ``_`` becomes "boundary": start of string, end of string, or a space.
+    Everything else is passed through as an ordinary regular expression.
+    """
+    if not pattern:
+        raise PolicyError("empty AS-path regex")
+    translated = pattern.replace("_", r"(?:^|$|[ ])")
+    try:
+        return re.compile(translated)
+    except re.error as exc:
+        raise PolicyError(f"bad AS-path regex {pattern!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AccessListEntry:
+    permit: bool
+    pattern: str
+    regex: Pattern[str] = field(compare=False, repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regex", compile_aspath_regex(self.pattern))
+
+
+class AsPathAccessList:
+    """An ordered AS-path access list; first matching entry decides.
+
+    Cisco semantics end with an implicit deny-everything; following the
+    paper's §6.1 example (a list holding only ``deny _312_`` is read as
+    "routes that never go through AS 312"), a list consisting solely of
+    deny entries gets an implicit trailing ``permit .*`` instead.
+    """
+
+    def __init__(self, number: int, entries: Iterable[AccessListEntry] = ()) -> None:
+        self.number = number
+        self._entries: List[AccessListEntry] = list(entries)
+
+    def permit(self, pattern: str) -> "AsPathAccessList":
+        self._entries.append(AccessListEntry(True, pattern))
+        return self
+
+    def deny(self, pattern: str) -> "AsPathAccessList":
+        self._entries.append(AccessListEntry(False, pattern))
+        return self
+
+    @property
+    def entries(self) -> Tuple[AccessListEntry, ...]:
+        return tuple(self._entries)
+
+    def permits_path(self, path: Sequence[int]) -> bool:
+        text = path_to_string(path)
+        for entry in self._entries:
+            if entry.regex.search(text):
+                return entry.permit
+        # implicit tail: permit-all iff the list is deny-only (see class doc)
+        return bool(self._entries) and all(not e.permit for e in self._entries)
+
+    def permits(self, route: Route) -> bool:
+        return self.permits_path(route.path)
+
+    def filter(self, routes: Iterable[Route]) -> List[Route]:
+        return [r for r in routes if self.permits(r)]
+
+
+@dataclass
+class PolicyRoute:
+    """A route as seen by import/export processing: the immutable AS-level
+    :class:`Route` plus the attributes policies may rewrite."""
+
+    route: Route
+    local_pref: int
+
+    @classmethod
+    def of(cls, route: Route) -> "PolicyRoute":
+        return cls(route=route, local_pref=route.local_pref)
+
+
+@dataclass(frozen=True)
+class MatchAsPath:
+    """``match as-path <list>``"""
+
+    access_list: AsPathAccessList
+
+    def matches(self, policy_route: PolicyRoute) -> bool:
+        return self.access_list.permits(policy_route.route)
+
+
+@dataclass(frozen=True)
+class SetLocalPref:
+    """``set local-preference <value>``"""
+
+    value: int
+
+    def apply(self, policy_route: PolicyRoute) -> None:
+        policy_route.local_pref = self.value
+
+
+@dataclass(frozen=True)
+class RouteMapClause:
+    """One ``route-map <name> (permit|deny) <seq>`` clause."""
+
+    permit: bool
+    sequence: int
+    matches: Tuple[MatchAsPath, ...] = ()
+    actions: Tuple[SetLocalPref, ...] = ()
+
+    def matches_route(self, policy_route: PolicyRoute) -> bool:
+        return all(m.matches(policy_route) for m in self.matches)
+
+
+class RouteMap:
+    """An ordered route-map: the first clause whose matches all hold
+    decides (permit applies the actions; deny drops the route; no clause
+    matching drops the route, as on real routers)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._clauses: List[RouteMapClause] = []
+
+    def add_clause(self, clause: RouteMapClause) -> "RouteMap":
+        self._clauses.append(clause)
+        self._clauses.sort(key=lambda c: c.sequence)
+        return self
+
+    @property
+    def clauses(self) -> Tuple[RouteMapClause, ...]:
+        return tuple(self._clauses)
+
+    def apply(self, route: Route) -> Optional[PolicyRoute]:
+        """Run the route through the map; None means the route is denied."""
+        policy_route = PolicyRoute.of(route)
+        for clause in self._clauses:
+            if clause.matches_route(policy_route):
+                if not clause.permit:
+                    return None
+                for action in clause.actions:
+                    action.apply(policy_route)
+                return policy_route
+        return None
+
+    def apply_all(self, routes: Iterable[Route]) -> List[PolicyRoute]:
+        accepted = []
+        for route in routes:
+            result = self.apply(route)
+            if result is not None:
+                accepted.append(result)
+        return accepted

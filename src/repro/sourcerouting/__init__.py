@@ -1,0 +1,15 @@
+"""Source-routing baseline used in the Table 5.2 comparison."""
+
+from .reachability import (
+    cut_vertices_for_pair,
+    reachable_avoiding,
+    reachable_set_avoiding,
+    valley_free_reachable_avoiding,
+)
+
+__all__ = [
+    "reachable_avoiding",
+    "reachable_set_avoiding",
+    "valley_free_reachable_avoiding",
+    "cut_vertices_for_pair",
+]

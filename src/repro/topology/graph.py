@@ -1,0 +1,295 @@
+"""AS-level topology graph annotated with business relationships.
+
+:class:`ASGraph` is the substrate every other subsystem builds on.  It stores
+each inter-AS link once, with the relationship viewed from both endpoints,
+and offers the queries the paper's policies need: customers / peers /
+providers / siblings of an AS, stub and multi-homing tests, and the
+customer→provider DAG used by the convergence proofs (Ch. 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import DuplicateLinkError, TopologyError, UnknownASError
+from .relationships import LinkType, Relationship, link_type_for
+
+
+class ASGraph:
+    """An undirected multigraph-free AS topology with typed links.
+
+    Links are added with :meth:`add_link` giving the relationship as seen
+    from the first endpoint, e.g. ``add_link(1, 2, Relationship.CUSTOMER)``
+    declares "AS 2 is a customer of AS 1" (equivalently, AS 1 is a provider
+    of AS 2).
+    """
+
+    def __init__(self) -> None:
+        # asn -> {neighbour_asn: relationship of neighbour as seen from asn}
+        self._adj: Dict[int, Dict[int, Relationship]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_as(self, asn: int) -> None:
+        """Add an AS (idempotent)."""
+        if not isinstance(asn, int) or asn < 0:
+            raise TopologyError(f"AS number must be a non-negative int, got {asn!r}")
+        self._adj.setdefault(asn, {})
+
+    def add_link(self, a: int, b: int, b_is: Relationship) -> None:
+        """Add the link a—b where ``b_is`` is what b is *to a*.
+
+        Raises :class:`DuplicateLinkError` if the link already exists and
+        :class:`TopologyError` on self-loops.
+        """
+        if a == b:
+            raise TopologyError(f"self-loop on AS {a} is not allowed")
+        self.add_as(a)
+        self.add_as(b)
+        if b in self._adj[a]:
+            raise DuplicateLinkError(f"link {a}—{b} already exists")
+        self._adj[a][b] = b_is
+        self._adj[b][a] = b_is.inverse
+
+    def add_customer_link(self, provider: int, customer: int) -> None:
+        """Convenience: declare ``customer`` a customer of ``provider``."""
+        self.add_link(provider, customer, Relationship.CUSTOMER)
+
+    def add_peer_link(self, a: int, b: int) -> None:
+        """Convenience: declare a—b a peering link."""
+        self.add_link(a, b, Relationship.PEER)
+
+    def add_sibling_link(self, a: int, b: int) -> None:
+        """Convenience: declare a—b a sibling link."""
+        self.add_link(a, b, Relationship.SIBLING)
+
+    def remove_link(self, a: int, b: int) -> None:
+        """Remove the link a—b (raises if absent)."""
+        self._require(a)
+        self._require(b)
+        if b not in self._adj[a]:
+            raise TopologyError(f"no link {a}—{b}")
+        del self._adj[a][b]
+        del self._adj[b][a]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _require(self, asn: int) -> None:
+        if asn not in self._adj:
+            raise UnknownASError(asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def ases(self) -> List[int]:
+        """All AS numbers, ascending."""
+        return sorted(self._adj)
+
+    def iter_ases(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    @property
+    def num_links(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def iter_links(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Yield each link once as ``(a, b, what_b_is_to_a)`` with a < b."""
+        for a, nbrs in self._adj.items():
+            for b, rel in nbrs.items():
+                if a < b:
+                    yield a, b, rel
+
+    def neighbors(self, asn: int) -> List[int]:
+        self._require(asn)
+        return list(self._adj[asn])
+
+    def degree(self, asn: int) -> int:
+        self._require(asn)
+        return len(self._adj[asn])
+
+    def relationship(self, asn: int, neighbor: int) -> Relationship:
+        """What ``neighbor`` is to ``asn`` (raises if not adjacent)."""
+        self._require(asn)
+        rel = self._adj[asn].get(neighbor)
+        if rel is None:
+            raise TopologyError(f"AS {neighbor} is not adjacent to AS {asn}")
+        return rel
+
+    def has_link(self, a: int, b: int) -> bool:
+        return a in self._adj and b in self._adj[a]
+
+    def customers(self, asn: int) -> List[int]:
+        return self._by_relationship(asn, Relationship.CUSTOMER)
+
+    def providers(self, asn: int) -> List[int]:
+        return self._by_relationship(asn, Relationship.PROVIDER)
+
+    def peers(self, asn: int) -> List[int]:
+        return self._by_relationship(asn, Relationship.PEER)
+
+    def siblings(self, asn: int) -> List[int]:
+        return self._by_relationship(asn, Relationship.SIBLING)
+
+    def _by_relationship(self, asn: int, rel: Relationship) -> List[int]:
+        self._require(asn)
+        return [n for n, r in self._adj[asn].items() if r is rel]
+
+    def is_stub(self, asn: int) -> bool:
+        """A stub (leaf) AS acts only as a customer in all its agreements.
+
+        This is the "leaf node" definition used by Guideline C (§7.3.2).
+        """
+        self._require(asn)
+        nbrs = self._adj[asn]
+        return bool(nbrs) and all(
+            r is Relationship.PROVIDER for r in nbrs.values()
+        )
+
+    def is_multihomed_stub(self, asn: int) -> bool:
+        """Stub with at least two providers (the Fig. 5.6/5.7 population)."""
+        return self.is_stub(asn) and len(self._adj[asn]) >= 2
+
+    def stubs(self) -> List[int]:
+        return [a for a in self._adj if self.is_stub(a)]
+
+    def multihomed_stubs(self) -> List[int]:
+        return [a for a in self._adj if self.is_multihomed_stub(a)]
+
+    def link_counts(self) -> Dict[LinkType, int]:
+        """Count links per class, the Table 5.1 columns."""
+        counts = {t: 0 for t in LinkType}
+        for _, _, rel in self.iter_links():
+            counts[link_type_for(rel)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def provider_customer_dag_order(self) -> List[int]:
+        """Topological order of the customer→provider DAG, providers last.
+
+        Returns ASes in an order where every customer precedes all of its
+        (transitive) providers — the Phase-1 activation order of the
+        convergence proofs.  Sibling links are treated as same-level and
+        ignored.  Raises :class:`TopologyError` if the customer–provider
+        relation contains a cycle (the graph is then not hierarchical).
+        """
+        indegree = {a: 0 for a in self._adj}
+        for a, b, rel in self.iter_links():
+            # edge customer -> provider
+            if rel is Relationship.CUSTOMER:  # b is customer of a
+                indegree[a] += 1
+            elif rel is Relationship.PROVIDER:  # b is provider of a
+                indegree[b] += 1
+        queue = deque(sorted(a for a, d in indegree.items() if d == 0))
+        order: List[int] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nbr, rel in self._adj[node].items():
+                if rel is Relationship.PROVIDER:  # node -> its provider
+                    indegree[nbr] -= 1
+                    if indegree[nbr] == 0:
+                        queue.append(nbr)
+        if len(order) != len(self._adj):
+            raise TopologyError("customer-provider relation contains a cycle")
+        return order
+
+    def is_hierarchical(self) -> bool:
+        """True iff the customer–provider relation is acyclic (§7.1.3)."""
+        try:
+            self.provider_customer_dag_order()
+        except TopologyError:
+            return False
+        return True
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components ignoring link types."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp: Set[int] = set()
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                node = queue.popleft()
+                comp.add(node)
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        queue.append(nbr)
+            components.append(comp)
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self._adj) == 0 or len(self.connected_components()) == 1
+
+    def copy(self) -> "ASGraph":
+        """Deep copy of the topology."""
+        clone = ASGraph()
+        clone._adj = {a: dict(nbrs) for a, nbrs in self._adj.items()}
+        return clone
+
+    def without_as(self, asn: int) -> "ASGraph":
+        """A copy of the graph with ``asn`` and its links removed."""
+        self._require(asn)
+        clone = ASGraph()
+        for a, nbrs in self._adj.items():
+            if a == asn:
+                continue
+            clone._adj[a] = {b: r for b, r in nbrs.items() if b != asn}
+        return clone
+
+    # ------------------------------------------------------------------
+    # path validity
+    # ------------------------------------------------------------------
+    def is_valley_free(self, path: Tuple[int, ...]) -> bool:
+        """Check the Gao valley-free property of an AS path.
+
+        A valid path is (customer-to-provider)* (peer-peer)?
+        (provider-to-customer)* when read from the source toward the
+        destination; sibling hops are transparent (they may appear anywhere
+        without changing the phase).
+        """
+        if len(path) < 2:
+            return True
+        # phases: 0 = uphill (c2p), 1 = after peering, 2 = downhill (p2c)
+        phase = 0
+        for here, nxt in zip(path, path[1:]):
+            rel = self.relationship(here, nxt)  # what nxt is to here
+            if rel is Relationship.SIBLING:
+                continue
+            if rel is Relationship.PROVIDER:  # uphill step
+                if phase != 0:
+                    return False
+            elif rel is Relationship.PEER:
+                if phase != 0:
+                    return False
+                phase = 1
+            else:  # rel is CUSTOMER -> downhill step
+                phase = 2
+        return True
+
+    def path_exists(self, path: Iterable[int]) -> bool:
+        """True iff consecutive ASes on ``path`` are adjacent."""
+        nodes = list(path)
+        if any(n not in self._adj for n in nodes):
+            return False
+        return all(self.has_link(a, b) for a, b in zip(nodes, nodes[1:]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ASGraph(n={len(self)}, links={self.num_links})"
+
+
+def frozen_path(path: Iterable[int]) -> FrozenSet[int]:
+    """Helper: the set of ASes on a path, for overlap tests."""
+    return frozenset(path)

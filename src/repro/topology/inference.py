@@ -1,0 +1,195 @@
+"""AS-relationship inference from observed AS paths.
+
+The paper (§5.1) infers business relationships from RouteViews BGP tables
+using two published algorithms and runs its evaluation on the result:
+
+* :func:`infer_gao` — Lixin Gao's degree-based algorithm
+  ("On inferring Autonomous System relationships in the Internet", ToN 2001):
+  find the top provider of each path, count transit evidence on each side,
+  classify edges as sibling / provider–customer, then apply the peering
+  heuristic to edges adjacent to top providers.
+* :func:`infer_agarwal` — the Subramanian/Agarwal et al. multi-vantage-point
+  approach ("Characterizing the Internet hierarchy from multiple vantage
+  points", INFOCOM 2002): rank ASes by the size of the customer cone seen
+  from each vantage point and classify edges by rank dominance.
+
+Both take a corpus of AS paths (tuples of AS numbers, source first) and
+return an :class:`~repro.topology.graph.ASGraph` annotated with the inferred
+relationships.  In this reproduction the corpus comes from our own
+policy-routing simulation (see DESIGN.md §1), and tests validate the
+inferred graphs against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import TopologyError
+from .graph import ASGraph
+from .relationships import Relationship
+
+ASPath = Tuple[int, ...]
+
+
+def _observed_degrees(paths: Iterable[ASPath]) -> Dict[int, int]:
+    """Degree of each AS in the graph induced by consecutive path pairs."""
+    neighbors: Dict[int, Set[int]] = defaultdict(set)
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            if a == b:
+                continue
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+    return {asn: len(nbrs) for asn, nbrs in neighbors.items()}
+
+
+def _edges_of(paths: Iterable[ASPath]) -> Set[Tuple[int, int]]:
+    edges: Set[Tuple[int, int]] = set()
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            if a != b:
+                edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+def infer_gao(
+    paths: Sequence[ASPath],
+    sibling_threshold: int = 1,
+    peer_degree_ratio: float = 60.0,
+) -> ASGraph:
+    """Infer relationships with the (refined) Gao algorithm.
+
+    ``sibling_threshold`` is Gao's noise parameter L: an edge with transit
+    evidence in both directions but at most L observations on each side, or
+    with more than L on both sides, is classified sibling.
+    ``peer_degree_ratio`` is Gao's R: edges next to a path's top provider
+    whose endpoint degrees differ by less than R are peering candidates.
+    """
+    paths = [tuple(p) for p in paths if len(p) >= 1]
+    if not paths:
+        raise TopologyError("cannot infer relationships from an empty path corpus")
+    degree = _observed_degrees(paths)
+
+    # Phase 1: transit evidence.  For each path find the top provider (the
+    # highest-degree AS); everything before it is uphill, after it downhill.
+    transit: Counter = Counter()  # (provider, customer) -> evidence count
+    for path in paths:
+        if len(path) < 2:
+            continue
+        top_index = max(range(len(path)), key=lambda i: (degree.get(path[i], 0), -i))
+        for i in range(top_index):
+            transit[(path[i + 1], path[i])] += 1  # next hop transits for me
+        for i in range(top_index, len(path) - 1):
+            transit[(path[i], path[i + 1])] += 1  # I transit for the next hop
+
+    # Phase 2: classify edges into sibling / provider-customer.
+    classification: Dict[Tuple[int, int], str] = {}
+    for u, v in _edges_of(paths):
+        uv, vu = transit[(u, v)], transit[(v, u)]
+        both_small = 0 < uv <= sibling_threshold and 0 < vu <= sibling_threshold
+        both_large = uv > sibling_threshold and vu > sibling_threshold
+        if both_small or both_large:
+            classification[(u, v)] = "sibling"
+        elif uv >= vu:
+            classification[(u, v)] = "u_provider"  # u provides transit to v
+        else:
+            classification[(u, v)] = "v_provider"
+
+    # Phase 3: the peering heuristic.  Only edges adjacent to some path's
+    # top provider, with comparable endpoint degrees and weak transit
+    # evidence, are re-classified as peering.
+    candidates: Set[Tuple[int, int]] = set()
+    for path in paths:
+        if len(path) < 2:
+            continue
+        top_index = max(range(len(path)), key=lambda i: (degree.get(path[i], 0), -i))
+        for j in (top_index - 1, top_index):
+            if 0 <= j < len(path) - 1:
+                a, b = path[j], path[j + 1]
+                if a != b:
+                    candidates.add((min(a, b), max(a, b)))
+    for u, v in candidates:
+        if classification.get((u, v)) == "sibling":
+            continue
+        du, dv = degree.get(u, 1), degree.get(v, 1)
+        ratio = max(du, dv) / max(1, min(du, dv))
+        uv, vu = transit[(u, v)], transit[(v, u)]
+        if ratio < peer_degree_ratio and uv <= sibling_threshold and vu <= sibling_threshold:
+            classification[(u, v)] = "peer"
+
+    return _build(classification)
+
+
+def infer_agarwal(
+    paths_by_vantage: Dict[int, Sequence[ASPath]],
+    peer_cone_ratio: float = 1.2,
+) -> ASGraph:
+    """Infer relationships with the multi-vantage-point (SARK) approach.
+
+    ``paths_by_vantage`` maps a vantage-point AS to the AS paths observed
+    there.  Each vantage point ranks every AS by the size of the customer
+    cone visible from that vantage point (the set of ASes appearing strictly
+    after it on observed paths).  An edge is provider→customer when the
+    provider's combined cone dominates the customer's by at least
+    ``peer_cone_ratio``; otherwise the endpoints are peers of comparable
+    rank.
+    """
+    if not paths_by_vantage:
+        raise TopologyError("need at least one vantage point")
+
+    all_paths: List[ASPath] = []
+    cone: Dict[int, Set[int]] = defaultdict(set)
+    for vantage, paths in paths_by_vantage.items():
+        for path in paths:
+            path = tuple(path)
+            all_paths.append(path)
+            for i, asn in enumerate(path):
+                cone[asn].update(path[i + 1:])
+    if not all_paths:
+        raise TopologyError("cannot infer relationships from an empty path corpus")
+
+    cone_size = {asn: len(members - {asn}) for asn, members in cone.items()}
+
+    classification: Dict[Tuple[int, int], str] = {}
+    for u, v in _edges_of(all_paths):
+        cu = cone_size.get(u, 0) + 1
+        cv = cone_size.get(v, 0) + 1
+        if cu / cv >= peer_cone_ratio:
+            classification[(u, v)] = "u_provider"
+        elif cv / cu >= peer_cone_ratio:
+            classification[(u, v)] = "v_provider"
+        else:
+            classification[(u, v)] = "peer"
+    return _build(classification)
+
+
+def _build(classification: Dict[Tuple[int, int], str]) -> ASGraph:
+    graph = ASGraph()
+    for (u, v), kind in classification.items():
+        if kind == "sibling":
+            graph.add_link(u, v, Relationship.SIBLING)
+        elif kind == "peer":
+            graph.add_link(u, v, Relationship.PEER)
+        elif kind == "u_provider":
+            graph.add_link(u, v, Relationship.CUSTOMER)  # v is customer of u
+        else:
+            graph.add_link(v, u, Relationship.CUSTOMER)  # u is customer of v
+    return graph
+
+
+def inference_accuracy(truth: ASGraph, inferred: ASGraph) -> float:
+    """Fraction of inferred links whose class matches the ground truth.
+
+    Links absent from either graph are skipped (RouteViews-style corpora
+    never see every link either, §5.1).
+    """
+    total = 0
+    correct = 0
+    for a, b, rel in inferred.iter_links():
+        if not truth.has_link(a, b):
+            continue
+        total += 1
+        if truth.relationship(a, b) is rel:
+            correct += 1
+    return correct / total if total else 0.0

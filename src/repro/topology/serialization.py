@@ -1,0 +1,84 @@
+"""Read/write AS topologies in the CAIDA AS-relationships text format.
+
+Each non-comment line is ``<a>|<b>|<code>`` where code -1 means "b is a
+customer of a" (a is the provider), 0 means a and b peer, and (our
+extension, also used by some published data sets) 2 means siblings.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..errors import TopologyError
+from .graph import ASGraph
+from .relationships import Relationship
+
+_CODE_TO_REL = {
+    -1: Relationship.CUSTOMER,  # b is customer of a
+    0: Relationship.PEER,
+    2: Relationship.SIBLING,
+}
+_REL_TO_CODE = {
+    Relationship.CUSTOMER: -1,
+    Relationship.PEER: 0,
+    Relationship.SIBLING: 2,
+}
+
+
+def dumps(graph: ASGraph) -> str:
+    """Serialise a topology to CAIDA-format text."""
+    lines = ["# repro AS-relationship dump", "# <provider-or-a>|<customer-or-b>|<code>"]
+    for a, b, rel in sorted(graph.iter_links()):
+        if rel is Relationship.PROVIDER:
+            # normalise so the provider is always written first
+            a, b, rel = b, a, Relationship.CUSTOMER
+        lines.append(f"{a}|{b}|{_REL_TO_CODE[rel]}")
+    # isolated ASes (no links) still need recording
+    for asn in graph.ases:
+        if graph.degree(asn) == 0:
+            lines.append(f"{asn}||")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> ASGraph:
+    """Parse CAIDA-format text into an :class:`ASGraph`."""
+    graph = ASGraph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) != 3:
+            raise TopologyError(
+                f"line {lineno}: expected 'a|b|code', got {line!r}"
+            )
+        if parts[1] == "" and parts[2] == "":
+            graph.add_as(int(parts[0]))
+            continue
+        try:
+            a, b, code = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise TopologyError(f"line {lineno}: non-integer field in {line!r}") from exc
+        rel = _CODE_TO_REL.get(code)
+        if rel is None:
+            raise TopologyError(f"line {lineno}: unknown relationship code {code}")
+        graph.add_link(a, b, rel)
+    return graph
+
+
+def dump(graph: ASGraph, destination: Union[str, Path, TextIO]) -> None:
+    """Write a topology to a path or file object."""
+    text = dumps(graph)
+    if isinstance(destination, (str, Path)):
+        Path(destination).write_text(text)
+    else:
+        destination.write(text)
+
+
+def load(source: Union[str, Path, TextIO]) -> ASGraph:
+    """Read a topology from a path or file object."""
+    if isinstance(source, (str, Path)):
+        return loads(Path(source).read_text())
+    return loads(source.read())

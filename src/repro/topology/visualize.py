@@ -1,0 +1,95 @@
+"""Text renderings of topologies and routing state.
+
+Small utilities the examples and debugging sessions use: an adjacency
+listing with relationship glyphs, a tier layout, and an indented routing
+tree for one destination.  Pure text — the library has no plotting
+dependency.
+
+Glyphs follow the convention: ``>`` provider-of (left provides for
+right), ``=`` peering, ``~`` sibling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import UnknownASError
+from .graph import ASGraph
+from .relationships import Relationship
+
+_GLYPH = {
+    Relationship.CUSTOMER: ">",   # neighbour is my customer: I provide
+    Relationship.PROVIDER: "<",
+    Relationship.PEER: "=",
+    Relationship.SIBLING: "~",
+}
+
+
+def render_adjacency(graph: ASGraph, limit: Optional[int] = None) -> str:
+    """One line per AS: ``asn: >customer =peer <provider ...``."""
+    lines: List[str] = []
+    for asn in graph.ases[: limit or len(graph)]:
+        parts = []
+        for neighbor in sorted(graph.neighbors(asn)):
+            rel = graph.relationship(asn, neighbor)
+            parts.append(f"{_GLYPH[rel]}{neighbor}")
+        lines.append(f"{asn}: {' '.join(parts)}")
+    return "\n".join(lines)
+
+
+def render_tiers(graph: ASGraph) -> str:
+    """Group ASes by hierarchy level (longest provider-chain depth)."""
+    order = graph.provider_customer_dag_order()
+    depth: Dict[int, int] = {}
+    for asn in reversed(order):  # providers first
+        providers = graph.providers(asn)
+        depth[asn] = (
+            0 if not providers else 1 + max(depth[p] for p in providers)
+        )
+    by_depth: Dict[int, List[int]] = {}
+    for asn, level in depth.items():
+        by_depth.setdefault(level, []).append(asn)
+    lines = []
+    for level in sorted(by_depth):
+        members = ", ".join(str(a) for a in sorted(by_depth[level]))
+        label = "tier-1 (no providers)" if level == 0 else f"depth {level}"
+        lines.append(f"{label}: {members}")
+    return "\n".join(lines)
+
+
+def render_routing_tree(table, max_width: int = 79) -> str:
+    """The sink tree of one destination, indented by hop count.
+
+    ``table`` is a :class:`repro.bgp.routing.RoutingTable`; children of a
+    node are the ASes whose selected next hop it is.
+    """
+    children: Dict[int, List[int]] = {}
+    for asn, route in table.items():
+        if route.length == 0:
+            continue
+        children.setdefault(route.path[1], []).append(asn)
+    lines: List[str] = []
+
+    def visit(asn: int, depth: int) -> None:
+        prefix = "    " * depth + ("+-- " if depth else "")
+        lines.append((prefix + str(asn))[:max_width])
+        for child in sorted(children.get(asn, [])):
+            visit(child, depth + 1)
+
+    visit(table.destination, 0)
+    return "\n".join(lines)
+
+
+def render_path(graph: ASGraph, path: Sequence[int]) -> str:
+    """A path with relationship glyphs between hops: ``1 <2 =3 >4``."""
+    nodes = list(path)
+    if not nodes:
+        return "(empty path)"
+    if any(n not in graph for n in nodes):
+        missing = next(n for n in nodes if n not in graph)
+        raise UnknownASError(missing)
+    parts = [str(nodes[0])]
+    for here, nxt in zip(nodes, nodes[1:]):
+        rel = graph.relationship(here, nxt)
+        parts.append(f"{_GLYPH[rel]}{nxt}")
+    return " ".join(parts)

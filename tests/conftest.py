@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+``paper_graph`` is the running example of Figs. 1.1/2.1/3.1 (ASes A–F),
+with relationships chosen so the Gao–Rexford stable state reproduces the
+paper's selected routes exactly: B picks BEF over BCF, A picks ABEF over
+ADEF, and D sticks with DEF.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import ASGraph, Relationship, generate_topology, SMALL, TINY
+
+# Paper example AS numbers.
+A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+
+
+@pytest.fixture
+def paper_graph() -> ASGraph:
+    """The Fig. 1.1 topology: links AB, AD, BC, BE, CE, CF, DE, EF.
+
+    Relationships: A is a customer of B and D; E is a customer of B and D;
+    F is a customer of C and E; C peers with B and E.
+    """
+    graph = ASGraph()
+    graph.add_customer_link(B, A)
+    graph.add_customer_link(D, A)
+    graph.add_customer_link(B, E)
+    graph.add_customer_link(D, E)
+    graph.add_customer_link(C, F)
+    graph.add_customer_link(E, F)
+    graph.add_peer_link(B, C)
+    graph.add_peer_link(C, E)
+    return graph
+
+
+@pytest.fixture
+def small_graph() -> ASGraph:
+    return generate_topology(SMALL, seed=42)
+
+
+@pytest.fixture
+def tiny_graph() -> ASGraph:
+    return generate_topology(TINY, seed=7)
+
+
+@pytest.fixture
+def triangle_graph() -> ASGraph:
+    """Three tier-1 peers, each with one customer; customers of 1 and 2
+    also peer.  Small enough to reason about by hand."""
+    graph = ASGraph()
+    graph.add_peer_link(1, 2)
+    graph.add_peer_link(2, 3)
+    graph.add_peer_link(3, 1)
+    graph.add_customer_link(1, 11)
+    graph.add_customer_link(2, 12)
+    graph.add_customer_link(3, 13)
+    graph.add_peer_link(11, 12)
+    return graph

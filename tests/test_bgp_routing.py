@@ -1,0 +1,170 @@
+"""Tests for the stable-state BGP computation (repro.bgp.routing).
+
+The paper_graph fixture reproduces the Fig. 1.1/2.1 walk-through, so the
+expected selections come straight from the paper: C picks CF, E picks EF,
+B picks BEF (over the peer route BCF), D picks DEF, A picks ABEF.
+"""
+
+import pytest
+
+from repro.bgp import RouteClass, compute_all_routes, compute_routes, make_route
+from repro.errors import RoutingError, UnknownASError
+from repro.topology import ASGraph, generate_topology, SMALL
+
+from conftest import A, B, C, D, E, F
+
+
+class TestPaperWalkthrough:
+    def test_origin(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.best(F).path == (F,)
+        assert table.best(F).route_class is RouteClass.ORIGIN
+
+    def test_neighbors_learn_direct_routes(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.best(C).path == (C, F)
+        assert table.best(E).path == (E, F)
+
+    def test_b_prefers_customer_route_bef(self, paper_graph):
+        # Fig. 2.1 step 3: B gets BCF (peer) and BEF (customer), keeps BEF
+        table = compute_routes(paper_graph, F)
+        assert table.best(B).path == (B, E, F)
+        assert table.best(B).route_class is RouteClass.CUSTOMER
+
+    def test_b_candidates_include_both(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        candidates = {r.path for r in table.candidates(B)}
+        assert candidates == {(B, E, F), (B, C, F)}
+
+    def test_a_selects_abef(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.best(A).path == (A, B, E, F)
+
+    def test_a_candidates(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        candidates = {r.path for r in table.candidates(A)}
+        assert candidates == {(A, B, E, F), (A, D, E, F)}
+
+    def test_d_keeps_def(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.best(D).path == (D, E, F)
+
+    def test_default_path_helper(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.default_path(A) == (A, B, E, F)
+
+    def test_everyone_routed(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert table.routed_ases() == [A, B, C, D, E, F]
+
+    def test_candidates_at_destination(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        assert [r.path for r in table.candidates(F)] == [(F,)]
+
+    def test_unknown_destination(self, paper_graph):
+        with pytest.raises(UnknownASError):
+            compute_routes(paper_graph, 99)
+
+    def test_unknown_source_query(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        with pytest.raises(UnknownASError):
+            table.best(99)
+
+
+class TestInvariants:
+    """Structural invariants on generated topologies."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        graph = generate_topology(SMALL, seed=11)
+        return graph, compute_all_routes(graph, graph.ases[:20])
+
+    def test_full_reachability(self, tables):
+        graph, all_tables = tables
+        for table in all_tables.values():
+            assert len(table.routed_ases()) == len(graph)
+
+    def test_paths_exist_in_graph(self, tables):
+        graph, all_tables = tables
+        for table in all_tables.values():
+            for asn, route in table.items():
+                assert graph.path_exists(route.path)
+
+    def test_paths_are_valley_free(self, tables):
+        graph, all_tables = tables
+        for table in all_tables.values():
+            for asn, route in table.items():
+                assert graph.is_valley_free(route.path), route.path
+
+    def test_tree_consistency(self, tables):
+        """Each selected path extends the next hop's selected path."""
+        graph, all_tables = tables
+        for table in all_tables.values():
+            for asn, route in table.items():
+                if route.length == 0:
+                    continue
+                next_route = table.best(route.path[1])
+                assert next_route.path == route.path[1:]
+
+    def test_candidate_classes_match_relationships(self, tables):
+        graph, all_tables = tables
+        for table in all_tables.values():
+            for asn in list(graph.iter_ases())[:30]:
+                for candidate in table.candidates(asn):
+                    expected = make_route(graph, candidate.path).route_class
+                    assert candidate.route_class is expected
+
+    def test_selected_is_best_candidate(self, tables):
+        graph, all_tables = tables
+        for table in all_tables.values():
+            for asn in list(graph.iter_ases())[:30]:
+                best = table.best(asn)
+                for candidate in table.candidates(asn):
+                    assert candidate.preference_key() <= best.preference_key()
+
+
+class TestPinnedRoutes:
+    def test_pin_b_to_peer_route(self, paper_graph):
+        # Force B onto BCF; A should follow with ABCF.
+        base = compute_routes(paper_graph, F)
+        alternate = [
+            r for r in base.candidates(B) if r.path == (B, C, F)
+        ][0]
+        pinned = compute_routes(paper_graph, F, pinned={B: alternate})
+        assert pinned.best(B).path == (B, C, F)
+        assert pinned.best(A).path == (A, B, C, F)
+
+    def test_pin_wrong_holder_rejected(self, paper_graph):
+        route = make_route(paper_graph, (B, C, F))
+        with pytest.raises(RoutingError):
+            compute_routes(paper_graph, F, pinned={A: route})
+
+    def test_pin_wrong_destination_rejected(self, paper_graph):
+        route = make_route(paper_graph, (B, E))
+        with pytest.raises(RoutingError):
+            compute_routes(paper_graph, F, pinned={B: route})
+
+    def test_pin_at_destination_rejected(self, paper_graph):
+        route = make_route(paper_graph, (F,))
+        with pytest.raises(RoutingError):
+            compute_routes(paper_graph, F, pinned={F: route})
+
+    def test_pinned_peer_route_not_exported_to_peers(self, triangle_graph):
+        # Pin 2 onto a peer route; its peer 3 must not learn it.
+        base = compute_routes(triangle_graph, 11)
+        # 2's candidates to 11: via peer 1 (2,1,11) and via customer 12
+        alternate = [
+            r for r in base.candidates(2) if r.path == (2, 1, 11)
+        ][0]
+        pinned = compute_routes(triangle_graph, 11, pinned={2: alternate})
+        assert pinned.best(2).path == (2, 1, 11)
+        # 3 must not route through 2's peer route
+        assert pinned.best(3).path[:2] != (3, 2)
+
+    def test_sibling_chain_routes(self):
+        graph = ASGraph()
+        graph.add_sibling_link(1, 2)
+        graph.add_sibling_link(2, 3)
+        table = compute_routes(graph, 3)
+        assert table.best(1).path == (1, 2, 3)
+        assert table.best(1).route_class is RouteClass.CUSTOMER

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopologyCommand:
+    def test_summary_printed(self, capsys):
+        assert main(["topology", "--profile", "tiny", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ASes:" in out and "peering:" in out
+
+    def test_dump_and_reload(self, tmp_path, capsys):
+        target = tmp_path / "topo.txt"
+        assert main([
+            "topology", "--profile", "tiny", "--seed", "1",
+            "--out", str(target),
+        ]) == 0
+        assert target.exists()
+        assert main(["topology", "--topology", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("name:") == 2
+        assert out.count("links:") == 2
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "--profile", "nope"])
+
+
+class TestRouteCommand:
+    def test_single_source(self, capsys):
+        assert main([
+            "route", "--profile", "tiny", "--seed", "1",
+            "--destination", "1", "--source", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_table_listing(self, capsys):
+        assert main([
+            "route", "--profile", "tiny", "--seed", "1",
+            "--destination", "1", "--limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 5
+
+
+class TestAvoidCommand:
+    def _triple(self):
+        from repro.bgp import compute_routes
+        from repro.topology import generate_named
+
+        graph = generate_named("tiny", seed=1)
+        for destination in graph.ases:
+            table = compute_routes(graph, destination)
+            for source in table.routed_ases():
+                path = table.default_path(source)
+                if path and len(path) >= 3:
+                    for avoid in path[1:-1]:
+                        if not graph.has_link(source, avoid):
+                            return source, destination, avoid
+        pytest.skip("no eligible triple in the tiny topology")
+
+    def test_avoid_runs(self, capsys):
+        source, destination, avoid = self._triple()
+        code = main([
+            "avoid", "--profile", "tiny", "--seed", "1",
+            "--source", str(source), "--destination", str(destination),
+            "--avoid", str(avoid), "--policy", "/a", "--max-depth", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "default path:" in out
+        assert "MIRO /a:" in out
+        assert code in (0, 2)
+
+    def test_bad_policy_label(self, capsys):
+        source, destination, avoid = self._triple()
+        code = main([
+            "avoid", "--profile", "tiny", "--seed", "1",
+            "--source", str(source), "--destination", str(destination),
+            "--avoid", str(avoid), "--policy", "/zz",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    @pytest.mark.parametrize("which", [
+        "table5.2", "table5.3", "fig5.2", "ch7",
+    ])
+    def test_experiments_run_on_small(self, which, capsys):
+        assert main([
+            "experiment", "--profile", "small", "--seed", "2", which,
+        ]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_overhead(self, capsys):
+        assert main([
+            "experiment", "--profile", "small", "--seed", "2", "overhead",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vs BGP" in out

@@ -1,0 +1,113 @@
+"""Tests for §7.4 — mixing and matching the guidelines.
+
+The dissertation argues convergence survives when different ASes follow
+different guidelines (C with D, C with E, B layered on top of anything).
+"""
+
+import random
+
+import pytest
+
+from repro.convergence import (
+    GaoRexfordRanker,
+    GuidelineMode,
+    MiroConvergenceSystem,
+    PartialOrder,
+    TunnelDemand,
+)
+from repro.convergence.examples import A, B, C, D, fig_7_2_graph
+from repro.errors import ConvergenceError
+from repro.experiments.convergence import _orders_for, _random_demands
+from repro.topology import TINY, generate_topology
+
+
+def fig_7_2_mixed_system(modes):
+    """Fig. 7.2 with a per-AS mode assignment for D's three demands."""
+    from repro.convergence.examples import fig_7_2_system
+
+    base = fig_7_2_system(GuidelineMode.GUIDELINE_E)
+    return MiroConvergenceSystem(
+        base.graph,
+        destinations=base.destinations,
+        demands=base.demands,
+        mode=modes,
+        ranker=base.ranker,
+        partial_orders={D: PartialOrder(((B, A), (C, B)))},
+        bgp_export_filter=base.bgp_export_filter,
+    )
+
+
+class TestPerASModes:
+    def test_default_mode_is_guideline_b(self):
+        graph = fig_7_2_graph()
+        system = MiroConvergenceSystem(
+            graph, destinations=[A], demands=[],
+            mode={}, ranker=GaoRexfordRanker(graph),
+        )
+        assert system._mode_of(D) is GuidelineMode.GUIDELINE_B
+
+    def test_requester_mode_decides_d_order_requirement(self):
+        graph = fig_7_2_graph()
+        with pytest.raises(ConvergenceError):
+            MiroConvergenceSystem(
+                graph, destinations=[A],
+                demands=[TunnelDemand(D, A, B)],
+                mode={D: GuidelineMode.GUIDELINE_D},
+                ranker=GaoRexfordRanker(graph),
+            )
+        # other ASes on Guideline D don't trigger the requirement
+        MiroConvergenceSystem(
+            graph, destinations=[A],
+            demands=[TunnelDemand(D, A, B)],
+            mode={A: GuidelineMode.GUIDELINE_D},
+            ranker=GaoRexfordRanker(graph),
+        )
+
+    @pytest.mark.parametrize("d_mode", [
+        GuidelineMode.GUIDELINE_B, GuidelineMode.GUIDELINE_C,
+        GuidelineMode.GUIDELINE_D, GuidelineMode.GUIDELINE_E,
+    ])
+    def test_fig_7_2_converges_under_any_mode_for_d(self, d_mode):
+        system = fig_7_2_mixed_system({D: d_mode})
+        result = system.run(max_rounds=80)
+        assert result.converged
+
+    def test_mixed_c_and_e(self):
+        system = fig_7_2_mixed_system({
+            D: GuidelineMode.GUIDELINE_E,
+            A: GuidelineMode.GUIDELINE_C,
+            B: GuidelineMode.GUIDELINE_C,
+            C: GuidelineMode.GUIDELINE_C,
+        })
+        result = system.run(max_rounds=80)
+        assert result.converged
+        # E still lets all three of D's tunnels coexist
+        tunnels = [result.selection(D, dest).is_tunnel for dest in (A, B, C)]
+        assert all(tunnels)
+
+
+class TestRandomMixedSweep:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_mode_assignment_converges(self, seed):
+        rng = random.Random(seed)
+        graph = generate_topology(TINY, seed=seed)
+        destinations, demands = _random_demands(graph, 6, rng)
+        modes = {
+            asn: rng.choice([
+                GuidelineMode.GUIDELINE_B, GuidelineMode.GUIDELINE_C,
+                GuidelineMode.GUIDELINE_D, GuidelineMode.GUIDELINE_E,
+            ])
+            for asn in graph.iter_ases()
+        }
+        orders = _orders_for(demands)
+        # ensure every D-mode requester has an order (possibly empty)
+        for demand in demands:
+            if modes.get(demand.requester) is GuidelineMode.GUIDELINE_D:
+                orders.setdefault(demand.requester, PartialOrder(()))
+        system = MiroConvergenceSystem(
+            graph, destinations=destinations, demands=demands,
+            mode=modes, ranker=GaoRexfordRanker(graph),
+            partial_orders=orders,
+        )
+        result = system.run(max_rounds=150)
+        assert result.converged

@@ -1,0 +1,141 @@
+"""Tests for the ADD-PATH capability (§4.1) and multi-hop negotiation
+(§3.3's responder recursion)."""
+
+import pytest
+
+from repro.bgp import RouterRoute, compute_routes
+from repro.errors import RoutingError
+from repro.intra import ASNetwork
+from repro.miro import (
+    ContactOrder,
+    ExportPolicy,
+    NegotiationScope,
+    miro_attempt,
+)
+from repro.topology import ASGraph
+
+from conftest import A, B, C, D, E, F
+
+PREFIX = "12.34.0.0/16"
+V, W, U = 100, 200, 300
+
+
+@pytest.fixture
+def as_x():
+    network = ASNetwork(asn=10)
+    network.add_router("R1", router_id=1)
+    network.add_router("R2", router_id=2, is_edge=True)
+    network.add_router("R3", router_id=3, is_edge=True)
+    network.add_intra_link("R1", "R2", cost=1)
+    network.add_intra_link("R1", "R3", cost=5)
+    network.add_intra_link("R2", "R3", cost=1)
+    network.add_exit_link("R2", V, "X-V")
+    network.add_exit_link("R2", W, "X-W@R2")
+    network.add_exit_link("R3", W, "X-W@R3")
+    network.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(V, U),
+                                         router_id=90))
+    network.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                         router_id=91))
+    network.learn_ebgp("R3", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                         router_id=92))
+    return network
+
+
+class TestAddPath:
+    def test_plain_ibgp_hides_alternates(self, as_x):
+        as_x.run_ibgp(PREFIX)
+        # R1 sees only the two reflected bests
+        assert sorted(as_x.known_paths("R1", PREFIX)) == [(V, U), (W, U)]
+        # ...and R2's unselected (W,U) alternate stays local to R2
+        assert len(as_x.known_paths("R1", PREFIX)) == 2
+
+    def test_add_path_exposes_everything(self, as_x):
+        as_x.run_ibgp(PREFIX, add_path=True)
+        # R1 now sees both of R2's routes plus R3's — three (path, egress)
+        # combinations, two distinct paths plus the duplicate (W,U) via R3
+        rib = as_x._add_path_rib["R1"]
+        assert len(rib) == 3
+        assert sorted(as_x.known_paths("R1", PREFIX)) == [(V, U), (W, U)]
+
+    def test_add_path_does_not_change_best(self, as_x):
+        plain = dict(as_x.run_ibgp(PREFIX))
+        with_addpath = as_x.run_ibgp(PREFIX, add_path=True)
+        for router in as_x.routers:
+            assert plain[router].as_path == with_addpath[router].as_path
+
+    def test_add_path_matches_available_paths(self, as_x):
+        """ADD-PATH exposes the same alternates the MIRO/RCP view needs."""
+        as_x.run_ibgp(PREFIX, add_path=True)
+        available = {path for path, _ in as_x.available_paths(PREFIX)}
+        r1_sees = set(as_x.known_paths("R1", PREFIX))
+        assert r1_sees == available
+
+
+class TestMultiHopNegotiation:
+    @pytest.fixture
+    def deep_graph(self):
+        """s→m→x→d where only m's *customer* h holds an x-free path.
+
+        h reaches d over its peer y ((h,y,d) is a peer route), and peer
+        routes are never exported to h's provider m — so the bypass is
+        invisible to BGP and to a depth-1 negotiation with m.  Only the
+        §3.3 recursion (m asks its neighbour h) can surface it.
+        """
+        graph = ASGraph()
+        s, m, x, d, h, y = 1, 2, 3, 4, 5, 6
+        graph.add_customer_link(m, s)   # s is m's customer
+        graph.add_customer_link(x, m)   # m is x's customer
+        graph.add_customer_link(x, d)   # d is x's customer
+        graph.add_customer_link(m, h)   # h is m's customer
+        graph.add_peer_link(h, y)
+        graph.add_customer_link(y, d)   # d is y's customer too
+        return graph
+
+    def test_depth_1_fails_depth_2_succeeds(self, deep_graph):
+        s, m, x, d, h, y = 1, 2, 3, 4, 5, 6
+        table = compute_routes(deep_graph, d)
+        # sanity: s's default crosses x
+        assert x in table.default_path(s)
+
+        shallow = miro_attempt(
+            table, s, x, ExportPolicy.FLEXIBLE, max_depth=1
+        )
+        deep = miro_attempt(
+            table, s, x, ExportPolicy.FLEXIBLE, max_depth=2
+        )
+        assert not shallow.success
+        assert deep.success
+        assert deep.method == "tunnel-chain"
+        assert x not in deep.full_path
+        assert deep.full_path[0] == s
+        assert deep.full_path[-1] == d
+
+    def test_depth_2_counts_extra_negotiations(self, deep_graph):
+        s, m, x, d = 1, 2, 3, 4
+        table = compute_routes(deep_graph, d)
+        shallow = miro_attempt(table, s, x, ExportPolicy.FLEXIBLE,
+                               max_depth=1, include_single_path=False)
+        deep = miro_attempt(table, s, x, ExportPolicy.FLEXIBLE,
+                            max_depth=2, include_single_path=False)
+        assert deep.negotiations > shallow.negotiations
+
+    def test_depth_validation(self, deep_graph):
+        table = compute_routes(deep_graph, 4)
+        with pytest.raises(RoutingError):
+            miro_attempt(table, 1, 3, ExportPolicy.FLEXIBLE, max_depth=0)
+
+    def test_depth_2_never_hurts(self, small_graph):
+        from repro.experiments import sample_triples
+
+        for triple in sample_triples(small_graph, 5, 5, seed=8):
+            for policy in (ExportPolicy.STRICT, ExportPolicy.FLEXIBLE):
+                shallow = miro_attempt(
+                    triple.table, triple.source, triple.avoid, policy,
+                    max_depth=1,
+                )
+                deep = miro_attempt(
+                    triple.table, triple.source, triple.avoid, policy,
+                    max_depth=2,
+                )
+                if shallow.success:
+                    assert deep.success

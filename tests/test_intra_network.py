@@ -1,0 +1,152 @@
+"""Tests for the intra-AS architecture (§4.1, Fig. 4.1).
+
+The Fig. 4.1 scenario: AS X has edge routers R2 (links to AS V and AS W)
+and R3 (link to AS W), plus internal router R1.  Routes VU and WU to a
+prefix in AS U arrive with equal attributes; the decision process makes R2
+and R3 pick different AS paths, and R1 follows IGP distance.
+"""
+
+import pytest
+
+from repro.bgp import OriginType, RouterRoute, SessionType
+from repro.errors import RoutingError, TopologyError
+from repro.intra import ASNetwork
+
+PREFIX = "12.34.0.0/16"
+V, W, U = 100, 200, 300
+
+
+@pytest.fixture
+def as_x() -> ASNetwork:
+    network = ASNetwork(asn=10)
+    network.add_router("R1", router_id=1)
+    network.add_router("R2", router_id=2, is_edge=True)
+    network.add_router("R3", router_id=3, is_edge=True)
+    network.add_intra_link("R1", "R2", cost=1)
+    network.add_intra_link("R1", "R3", cost=5)
+    network.add_intra_link("R2", "R3", cost=1)
+    network.add_exit_link("R2", V, "X-V")
+    network.add_exit_link("R2", W, "X-W@R2")
+    network.add_exit_link("R3", W, "X-W@R3")
+    return network
+
+
+def learn_fig_4_1_routes(network: ASNetwork) -> None:
+    """R2 learns VU (from V) and WU (from W); R3 learns WU (from W)."""
+    network.learn_ebgp("R2", RouterRoute(
+        prefix=PREFIX, as_path=(V, U), router_id=90,
+        peer_address=(10, 0, 0, 1),
+    ))
+    network.learn_ebgp("R2", RouterRoute(
+        prefix=PREFIX, as_path=(W, U), router_id=91,
+        peer_address=(10, 0, 0, 2),
+    ))
+    network.learn_ebgp("R3", RouterRoute(
+        prefix=PREFIX, as_path=(W, U), router_id=92,
+        peer_address=(10, 0, 0, 3),
+    ))
+
+
+class TestTopology:
+    def test_duplicate_router_rejected(self, as_x):
+        with pytest.raises(TopologyError):
+            as_x.add_router("R1", router_id=9)
+
+    def test_duplicate_router_id_rejected(self, as_x):
+        with pytest.raises(TopologyError):
+            as_x.add_router("R9", router_id=1)
+
+    def test_exit_link_needs_edge_router(self, as_x):
+        with pytest.raises(TopologyError):
+            as_x.add_exit_link("R1", V, "bad")
+
+    def test_igp_distances(self, as_x):
+        assert as_x.igp_distance("R1", "R2") == 1
+        assert as_x.igp_distance("R1", "R3") == 2  # via R2 (1+1), not 5
+        assert as_x.igp_distance("R2", "R2") == 0
+
+    def test_igp_unreachable(self, as_x):
+        as_x.add_router("R9", router_id=9)
+        with pytest.raises(RoutingError):
+            as_x.igp_distance("R1", "R9")
+
+    def test_edge_routers_listed(self, as_x):
+        assert as_x.edge_routers == ["R2", "R3"]
+
+    def test_nonpositive_igp_cost(self, as_x):
+        with pytest.raises(TopologyError):
+            as_x.add_intra_link("R1", "R2", cost=0)
+
+
+class TestFig41:
+    def test_different_routers_pick_different_paths(self, as_x):
+        """The §4.1 phenomenon: R2 picks VU, R3 picks WU, simultaneously."""
+        learn_fig_4_1_routes(as_x)
+        best = as_x.run_ibgp(PREFIX)
+        assert best["R2"].as_path == (V, U)   # step 7: router-id 90 < 91
+        assert best["R3"].as_path == (W, U)   # step 5: eBGP over iBGP
+        assert as_x.selected_paths() == {(V, U), (W, U)}
+
+    def test_r1_follows_igp_distance(self, as_x):
+        learn_fig_4_1_routes(as_x)
+        best = as_x.run_ibgp(PREFIX)
+        # R1 sees (VU via R2, IGP 1) and (WU via R3, IGP 2): picks R2
+        assert best["R1"].as_path == (V, U)
+        assert best["R1"].egress_router == "R2"
+
+    def test_r1_flips_when_igp_changes(self):
+        # same AS but with R3 closer to R1 than R2
+        network = ASNetwork(asn=10)
+        network.add_router("R1", router_id=1)
+        network.add_router("R2", router_id=2, is_edge=True)
+        network.add_router("R3", router_id=3, is_edge=True)
+        network.add_intra_link("R1", "R2", cost=9)
+        network.add_intra_link("R1", "R3", cost=1)
+        network.add_intra_link("R2", "R3", cost=9)
+        learn_fig_4_1_routes(network)
+        best = network.run_ibgp(PREFIX)
+        assert best["R1"].egress_router == "R3"
+        assert best["R1"].as_path == (W, U)
+
+    def test_local_pref_overrides_everything(self, as_x):
+        learn_fig_4_1_routes(as_x)
+        as_x.learn_ebgp("R3", RouterRoute(
+            prefix=PREFIX, as_path=(W, W + 1, U), local_pref=400,
+            router_id=93, peer_address=(10, 0, 0, 4),
+        ))
+        best = as_x.run_ibgp(PREFIX)
+        for router in ("R1", "R2", "R3"):
+            assert best[router].as_path == (W, W + 1, U)
+
+    def test_available_paths_expose_hidden_routes(self, as_x):
+        """§4.1: MIRO can offer (WU, R2) even though iBGP hides it."""
+        learn_fig_4_1_routes(as_x)
+        as_x.run_ibgp(PREFIX)
+        available = set(as_x.available_paths(PREFIX))
+        assert ((V, U), "R2") in available
+        assert ((W, U), "R2") in available  # never selected anywhere
+        assert ((W, U), "R3") in available
+        assert len(available) == 3
+
+    def test_withdraw_removes_route(self, as_x):
+        learn_fig_4_1_routes(as_x)
+        as_x.withdraw_ebgp("R2", (V, U), PREFIX)
+        best = as_x.run_ibgp(PREFIX)
+        assert all(r.as_path == (W, U) for r in best.values())
+
+    def test_withdraw_unknown_raises(self, as_x):
+        with pytest.raises(RoutingError):
+            as_x.withdraw_ebgp("R2", (V, U), PREFIX)
+
+    def test_learn_at_internal_router_rejected(self, as_x):
+        with pytest.raises(TopologyError):
+            as_x.learn_ebgp("R1", RouterRoute(prefix=PREFIX, as_path=(V, U)))
+
+    def test_no_routes_empty_result(self, as_x):
+        assert as_x.run_ibgp(PREFIX) == {}
+
+    def test_best_before_run_is_none(self, as_x):
+        learn_fig_4_1_routes(as_x)
+        assert as_x.best("R1") is None
+        as_x.run_ibgp(PREFIX)
+        assert as_x.best("R1") is not None

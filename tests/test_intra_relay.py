@@ -1,0 +1,123 @@
+"""Tests for the router-level negotiation relay (§4.1, first option)."""
+
+import pytest
+
+from repro.bgp import RouterRoute
+from repro.dataplane import Packet, parse_ipv4
+from repro.errors import NegotiationError, TunnelError
+from repro.intra import (
+    ASNetwork,
+    RelayedOffer,
+    ReservedAddressScheme,
+    RouterNegotiationRelay,
+    RoutingControlPlatform,
+)
+
+PREFIX = "12.34.0.0/16"
+V, W, U = 100, 200, 300
+RESERVED = parse_ipv4("12.34.56.100")
+
+
+@pytest.fixture
+def as_x():
+    network = ASNetwork(asn=10)
+    network.add_router("R1", router_id=1, is_edge=True)  # customer-facing
+    network.add_router("R2", router_id=2, is_edge=True)
+    network.add_router("R3", router_id=3, is_edge=True)
+    network.add_intra_link("R1", "R2", cost=1)
+    network.add_intra_link("R1", "R3", cost=5)
+    network.add_intra_link("R2", "R3", cost=1)
+    network.add_exit_link("R2", V, "X-V")
+    network.add_exit_link("R2", W, "X-W@R2")
+    network.add_exit_link("R3", W, "X-W@R3")
+    network.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(V, U),
+                                         router_id=90))
+    network.learn_ebgp("R2", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                         router_id=91))
+    network.learn_ebgp("R3", RouterRoute(prefix=PREFIX, as_path=(W, U),
+                                         router_id=92))
+    network.run_ibgp(PREFIX)
+    return network
+
+
+@pytest.fixture
+def relay(as_x):
+    return RouterNegotiationRelay(
+        as_x, ReservedAddressScheme(as_x, RESERVED)
+    )
+
+
+class TestCollectOffers:
+    def test_all_alternates_collected(self, relay):
+        offers = relay.collect_offers("R1", PREFIX)
+        assert len(offers) == 3
+        assert RelayedOffer((V, U), "R2") in offers
+
+    def test_avoid_filters(self, relay):
+        offers = relay.collect_offers("R1", PREFIX, avoid=(V,))
+        assert all(V not in o.as_path for o in offers)
+        assert len(offers) == 2
+
+    def test_polling_cost_counted(self, relay):
+        relay.collect_offers("R1", PREFIX)
+        # R1 polled R2 and R3: two requests + two replies
+        assert relay.control_messages == 4
+
+    def test_entry_router_answers_itself_for_free(self, as_x):
+        relay = RouterNegotiationRelay(as_x)
+        relay.collect_offers("R2", PREFIX)
+        # R2 polls the other two edge routers (R1, R3), not itself
+        assert relay.control_messages == 4
+        relay2 = RouterNegotiationRelay(as_x)
+        relay2.collect_offers("R1", PREFIX)
+        assert relay2.control_messages == 4  # symmetric cost
+
+
+class TestSelection:
+    def test_select_installs_data_plane_state(self, relay):
+        offers = relay.collect_offers("R1", PREFIX, avoid=(W,))
+        tunnel = relay.select("R1", offers[0], PREFIX, upstream_as=42)
+        assert tunnel.exit_link == "X-V"
+        assert tunnel.entry_router == "R1"
+        # the data plane delivers through the reserved-address scheme
+        packet = Packet.make(
+            parse_ipv4("42.0.0.1"), parse_ipv4("12.34.56.78"),
+        ).encapsulate(
+            parse_ipv4("42.0.0.254"), RESERVED, tunnel_id=tunnel.tunnel_id,
+        )
+        delivery = relay.scheme.deliver(packet, "R1")
+        assert delivery.exit_link.link_name == "X-V"
+
+    def test_install_instruction_counted(self, relay):
+        offers = relay.collect_offers("R1", PREFIX, avoid=(W,))
+        before = relay.control_messages
+        relay.select("R1", offers[0], PREFIX, upstream_as=42)
+        assert relay.control_messages == before + 1
+
+    def test_bogus_offer_rejected(self, relay):
+        with pytest.raises(NegotiationError):
+            relay.select(
+                "R1", RelayedOffer((V, U), "R3"), PREFIX, upstream_as=42
+            )
+
+    def test_tear_down(self, relay):
+        offers = relay.collect_offers("R1", PREFIX, avoid=(W,))
+        tunnel = relay.select("R1", offers[0], PREFIX, upstream_as=42)
+        relay.tear_down(tunnel.tunnel_id)
+        assert relay.tunnels() == []
+        with pytest.raises(TunnelError):
+            relay.tear_down(tunnel.tunnel_id)
+
+
+class TestRelayVsRcp:
+    def test_rcp_needs_no_polling(self, as_x):
+        """The §4.1 trade-off: the RCP knows everything already; the relay
+        pays iBGP messages per request."""
+        relay = RouterNegotiationRelay(as_x)
+        rcp = RoutingControlPlatform(as_x)
+        relay_offers = relay.collect_offers("R1", PREFIX)
+        rcp_offers = rcp.handle_request(42, PREFIX)
+        assert {(o.as_path, o.egress_router) for o in relay_offers} == set(
+            rcp_offers
+        )
+        assert relay.control_messages > 0

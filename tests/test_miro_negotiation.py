@@ -1,0 +1,232 @@
+"""Tests for the bilateral negotiation protocol (Fig. 4.2)."""
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.errors import NegotiationError
+from repro.miro import (
+    Decline,
+    ExportPolicy,
+    NegotiationState,
+    RequestingAgent,
+    ResponderConfig,
+    RespondingAgent,
+    RouteConstraint,
+    RouteOffer,
+    negotiate,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+@pytest.fixture
+def table(paper_graph):
+    return compute_routes(paper_graph, F)
+
+
+class TestConstraint:
+    def test_avoid(self, table):
+        constraint = RouteConstraint(avoid=(E,))
+        bef = table.best(B)
+        assert not constraint.satisfied_by(bef)
+        bcf = [r for r in table.candidates(B) if r.path == (B, C, F)][0]
+        assert constraint.satisfied_by(bcf)
+
+    def test_max_length(self, table):
+        constraint = RouteConstraint(max_length=2)
+        assert constraint.satisfied_by(table.best(B))
+        assert not constraint.satisfied_by(table.best(A))
+
+    def test_require_transit(self, table):
+        constraint = RouteConstraint(require_transit=(C,))
+        assert not constraint.satisfied_by(table.best(B))
+
+
+class TestFullExchange:
+    def test_fig_3_1_scenario(self, table):
+        """AS A negotiates with B to avoid E (Fig. 3.1), export policy."""
+        outcome = negotiate(
+            table, A, B, ExportPolicy.EXPORT,
+            constraint=RouteConstraint(avoid=(E,)),
+        )
+        assert outcome.established
+        tunnel = outcome.tunnel
+        assert tunnel.path == (B, C, F)
+        assert tunnel.via_path == (A, B)
+        assert tunnel.end_to_end_path == (A, B, C, F)
+        assert tunnel.upstream == A
+        assert tunnel.downstream == B
+
+    def test_strict_policy_fails_fig_3_1(self, table):
+        outcome = negotiate(
+            table, A, B, ExportPolicy.STRICT,
+            constraint=RouteConstraint(avoid=(E,)),
+        )
+        assert not outcome.established
+        assert outcome.tunnel is None
+
+    def test_tunnel_id_allocated(self, table):
+        outcome = negotiate(table, A, B, ExportPolicy.FLEXIBLE)
+        assert outcome.tunnel.tunnel_id == 1
+
+    def test_max_price_filters(self, table):
+        config = ResponderConfig(price_for=lambda route: 500)
+        outcome = negotiate(
+            table, A, B, ExportPolicy.FLEXIBLE,
+            responder_config=config, max_price=100,
+        )
+        assert not outcome.established
+
+    def test_price_accepted_when_affordable(self, table):
+        config = ResponderConfig(price_for=lambda route: 50)
+        outcome = negotiate(
+            table, A, B, ExportPolicy.FLEXIBLE,
+            responder_config=config, max_price=100,
+        )
+        assert outcome.established
+        assert outcome.tunnel.price == 50
+
+    def test_non_adjacent_negotiation_over_default_path(self, table):
+        """A negotiates with E (two hops away on A's default path)."""
+        outcome = negotiate(table, A, E, ExportPolicy.FLEXIBLE)
+        # E's only alternate to F is via C
+        assert outcome.established
+        assert outcome.tunnel.via_path == (A, B, E)
+
+    def test_responder_off_path_and_non_adjacent(self, table):
+        # C is neither adjacent to A nor on A's default path (A,B,E,F), so
+        # the convenience driver cannot resolve a via path.
+        with pytest.raises(NegotiationError):
+            negotiate(table, A, C, ExportPolicy.FLEXIBLE)
+
+    def test_explicit_via_path_enables_remote_responder(self, table):
+        # §3.3: A could negotiate with C using the path ABC through B.
+        outcome = negotiate(
+            table, A, C, ExportPolicy.FLEXIBLE, via_path=(A, B, C),
+        )
+        assert outcome.established
+        assert outcome.tunnel.end_to_end_path[0] == A
+        assert outcome.tunnel.downstream == C
+
+
+class TestResponderRules:
+    def test_firewall(self, table):
+        config = ResponderConfig(accept_from={D})
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE, config)
+        request = RequestingAgent(A).make_request(B, F)
+        response = agent.handle_request(request)
+        assert isinstance(response, Decline)
+        assert "not accepted" in response.reason
+
+    def test_tunnel_limit(self, table):
+        config = ResponderConfig(max_tunnels=0)
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE, config)
+        request = RequestingAgent(A).make_request(B, F)
+        response = agent.handle_request(request)
+        assert isinstance(response, Decline)
+        assert "limit" in response.reason
+
+    def test_wrong_destination_rejected(self, table):
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE)
+        request = RequestingAgent(A).make_request(B, destination=E)
+        with pytest.raises(NegotiationError):
+            agent.handle_request(request)
+
+    def test_wrong_addressee_rejected(self, table):
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE)
+        request = RequestingAgent(A).make_request(C, F)
+        with pytest.raises(NegotiationError):
+            agent.handle_request(request)
+
+    def test_responder_applies_constraint(self, table):
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE)
+        request = RequestingAgent(A).make_request(
+            B, F, constraint=RouteConstraint(avoid=(C,))
+        )
+        response = agent.handle_request(request)
+        assert isinstance(response, Decline)  # only alternate goes via C
+
+    def test_responder_may_skip_constraint(self, table):
+        config = ResponderConfig(apply_constraint=False)
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE, config)
+        request = RequestingAgent(A).make_request(
+            B, F, constraint=RouteConstraint(avoid=(C,))
+        )
+        response = agent.handle_request(request)
+        assert isinstance(response, RouteOffer)  # offered anyway...
+        requester = RequestingAgent(A)
+        requester.make_request(B, F, constraint=RouteConstraint(avoid=(C,)))
+        # ...but the requester re-filters and declines
+        assert requester.handle_response(response) is None
+
+
+class TestStateMachine:
+    def test_request_twice_rejected(self):
+        agent = RequestingAgent(A)
+        agent.make_request(B, F)
+        with pytest.raises(NegotiationError):
+            agent.make_request(B, F)
+
+    def test_response_before_request_rejected(self, table):
+        agent = RequestingAgent(A)
+        with pytest.raises(NegotiationError):
+            agent.handle_response(Decline(B, A, F, "nope"))
+
+    def test_decline_moves_to_declined(self, table):
+        agent = RequestingAgent(A)
+        agent.make_request(B, F)
+        assert agent.handle_response(Decline(B, A, F, "nope")) is None
+        assert agent.state is NegotiationState.DECLINED
+
+    def test_full_state_progression(self, table):
+        requester = RequestingAgent(A)
+        responder = RespondingAgent(B, table, ExportPolicy.FLEXIBLE)
+        request = requester.make_request(B, F)
+        assert requester.state is NegotiationState.REQUESTED
+        offer = responder.handle_request(request)
+        accept = requester.handle_response(offer)
+        assert requester.state is NegotiationState.ACCEPTED
+        grant = responder.handle_accept(accept)
+        tunnel = requester.handle_grant(grant, via_path=(A, B))
+        assert requester.state is NegotiationState.ESTABLISHED
+        assert tunnel.tunnel_id == grant.tunnel_id
+        assert len(requester.tunnels) == 1
+        assert len(responder.tunnels) == 1
+
+
+class TestRateLimit:
+    def test_rate_limit_declines_excess_requests(self, table):
+        config = ResponderConfig(rate_limit=(2, 60.0))
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE, config)
+        for i in range(2):
+            request = RequestingAgent(A).make_request(B, F)
+            response = agent.handle_request(request, now=float(i))
+            assert isinstance(response, RouteOffer)
+        request = RequestingAgent(A).make_request(B, F)
+        response = agent.handle_request(request, now=2.0)
+        assert isinstance(response, Decline)
+        assert "rate limit" in response.reason
+
+    def test_rate_limit_window_slides(self, table):
+        config = ResponderConfig(rate_limit=(1, 10.0))
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE, config)
+        first = agent.handle_request(
+            RequestingAgent(A).make_request(B, F), now=0.0
+        )
+        assert isinstance(first, RouteOffer)
+        blocked = agent.handle_request(
+            RequestingAgent(A).make_request(B, F), now=5.0
+        )
+        assert isinstance(blocked, Decline)
+        later = agent.handle_request(
+            RequestingAgent(A).make_request(B, F), now=11.0
+        )
+        assert isinstance(later, RouteOffer)
+
+    def test_no_rate_limit_by_default(self, table):
+        agent = RespondingAgent(B, table, ExportPolicy.FLEXIBLE)
+        for i in range(5):
+            response = agent.handle_request(
+                RequestingAgent(A).make_request(B, F), now=0.0
+            )
+            assert isinstance(response, RouteOffer)

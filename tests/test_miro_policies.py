@@ -1,0 +1,110 @@
+"""Tests for the MIRO export policies (strict /s, export /e, flexible /a)."""
+
+import pytest
+
+from repro.bgp import RouteClass, compute_routes
+from repro.errors import NegotiationError
+from repro.miro import (
+    ExportPolicy,
+    all_policies,
+    alternate_routes,
+    offered_routes,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+@pytest.fixture
+def table(paper_graph):
+    return compute_routes(paper_graph, F)
+
+
+class TestExportPolicyEnum:
+    def test_labels(self):
+        assert str(ExportPolicy.STRICT) == "/s"
+        assert str(ExportPolicy.EXPORT) == "/e"
+        assert str(ExportPolicy.FLEXIBLE) == "/a"
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("/s", ExportPolicy.STRICT),
+            ("strict", ExportPolicy.STRICT),
+            ("/e", ExportPolicy.EXPORT),
+            ("EXPORT", ExportPolicy.EXPORT),
+            ("/a", ExportPolicy.FLEXIBLE),
+            ("all", ExportPolicy.FLEXIBLE),
+        ],
+    )
+    def test_from_label(self, label, expected):
+        assert ExportPolicy.from_label(label) is expected
+
+    def test_from_label_unknown(self):
+        with pytest.raises(NegotiationError):
+            ExportPolicy.from_label("/x")
+
+    def test_all_policies_order(self):
+        assert all_policies() == [
+            ExportPolicy.STRICT, ExportPolicy.EXPORT, ExportPolicy.FLEXIBLE
+        ]
+
+
+class TestAlternates:
+    def test_b_alternate_is_bcf(self, table):
+        alternates = alternate_routes(table, B)
+        assert [r.path for r in alternates] == [(B, C, F)]
+
+    def test_destination_has_no_alternates(self, table):
+        assert alternate_routes(table, F) == []
+
+    def test_a_alternate_is_adef(self, table):
+        alternates = alternate_routes(table, A)
+        assert [r.path for r in alternates] == [(A, D, E, F)]
+
+
+class TestOfferedRoutes:
+    def test_flexible_offers_everything(self, table):
+        offers = offered_routes(table, B, ExportPolicy.FLEXIBLE)
+        assert [r.path for r in offers] == [(B, C, F)]
+
+    def test_strict_hides_peer_alternate(self, table):
+        # B's default BEF is a customer route; the alternate BCF is a peer
+        # route, so the strict (same local-pref) policy hides it (§5.1).
+        offers = offered_routes(table, B, ExportPolicy.STRICT, toward=A)
+        assert offers == []
+
+    def test_export_policy_offers_peer_route_to_customer(self, table):
+        # A is B's customer: conventional export allows any route to it.
+        offers = offered_routes(table, B, ExportPolicy.EXPORT, toward=A)
+        assert [r.path for r in offers] == [(B, C, F)]
+
+    def test_export_policy_blocks_peer_route_toward_peer(self, paper_graph):
+        # Toward its peer C, B may only export customer routes.
+        table = compute_routes(paper_graph, F)
+        offers = offered_routes(table, B, ExportPolicy.EXPORT, toward=C)
+        assert offers == []
+
+    def test_strict_needs_toward(self, table):
+        with pytest.raises(NegotiationError):
+            offered_routes(table, B, ExportPolicy.STRICT)
+
+    def test_toward_must_be_neighbor(self, table):
+        with pytest.raises(NegotiationError):
+            offered_routes(table, B, ExportPolicy.EXPORT, toward=F)
+
+    def test_include_default(self, table):
+        offers = offered_routes(
+            table, B, ExportPolicy.FLEXIBLE, include_default=True
+        )
+        assert [r.path for r in offers] == [(B, E, F), (B, C, F)]
+
+    def test_strict_same_class_alternate_is_offered(self, triangle_graph):
+        # AS 1's routes to 13: via peer 3 (1,3,13); no alternates of same
+        # class may exist — build the check on AS 3's perspective instead:
+        table = compute_routes(triangle_graph, 13)
+        # 3's default is its customer route (3,13); alternates via peers
+        # 1/2 are peer routes -> strict offers nothing to customer 13...
+        offers = offered_routes(table, 3, ExportPolicy.STRICT, toward=13)
+        assert all(
+            r.route_class is table.best(3).route_class for r in offers
+        )

@@ -1,0 +1,234 @@
+"""Tests for the policy language (Ch. 6): route-maps and the extended
+negotiation configuration."""
+
+import pytest
+
+from repro.bgp import RouteClass, compute_routes, make_route
+from repro.errors import PolicyError, PolicySyntaxError
+from repro.policylang import (
+    AsPathAccessList,
+    MatchAsPath,
+    RouteMap,
+    RouteMapClause,
+    SetLocalPref,
+    compile_aspath_regex,
+    parse_config,
+    path_to_string,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+class TestAsPathRegex:
+    def test_boundary_matches_middle(self):
+        regex = compile_aspath_regex("_312_")
+        assert regex.search(path_to_string((100, 312, 7)))
+
+    def test_boundary_matches_ends(self):
+        regex = compile_aspath_regex("_312_")
+        assert regex.search(path_to_string((312, 7)))
+        assert regex.search(path_to_string((7, 312)))
+
+    def test_no_partial_number_match(self):
+        regex = compile_aspath_regex("_312_")
+        assert not regex.search(path_to_string((1312, 3120)))
+
+    def test_anchors_pass_through(self):
+        regex = compile_aspath_regex("^100 200$")
+        assert regex.search(path_to_string((100, 200)))
+        assert not regex.search(path_to_string((100, 200, 300)))
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PolicyError):
+            compile_aspath_regex("")
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(PolicyError):
+            compile_aspath_regex("(")
+
+
+class TestAccessList:
+    def test_first_match_wins(self):
+        acl = AsPathAccessList(10).deny("_312_").permit(".*")
+        assert not acl.permits_path((1, 312, 2))
+        assert acl.permits_path((1, 2))
+
+    def test_deny_only_list_permits_rest(self):
+        # the paper's §6.1 reading of "deny _312_"
+        acl = AsPathAccessList(200).deny("_312_")
+        assert not acl.permits_path((1, 312))
+        assert acl.permits_path((1, 2))
+
+    def test_permit_list_implicit_deny(self):
+        acl = AsPathAccessList(10).permit("_7_")
+        assert acl.permits_path((7, 8))
+        assert not acl.permits_path((8, 9))
+
+    def test_empty_list_denies(self):
+        assert not AsPathAccessList(10).permits_path((1, 2))
+
+    def test_filter_routes(self, paper_graph):
+        acl = AsPathAccessList(200).deny(f"_{E}_")
+        table = compute_routes(paper_graph, F)
+        surviving = acl.filter(table.candidates(A))
+        assert surviving == []  # both of A's candidates cross E
+        surviving_b = acl.filter(table.candidates(B))
+        assert [r.path for r in surviving_b] == [(B, C, F)]
+
+
+class TestRouteMap:
+    def test_fix_localpref_example(self, paper_graph):
+        """The §6.1 Cisco example: routes avoiding AS 312 get pref 250."""
+        acl = AsPathAccessList(200).deny(f"_{E}_")
+        route_map = RouteMap("FIX-LOCALPREF").add_clause(
+            RouteMapClause(
+                permit=True, sequence=10,
+                matches=(MatchAsPath(acl),),
+                actions=(SetLocalPref(250),),
+            )
+        )
+        bcf = make_route(paper_graph, (B, C, F))
+        bef = make_route(paper_graph, (B, E, F))
+        accepted = route_map.apply(bcf)
+        assert accepted is not None and accepted.local_pref == 250
+        assert route_map.apply(bef) is None  # no clause matched: denied
+
+    def test_deny_clause_drops(self, paper_graph):
+        acl = AsPathAccessList(10).permit(".*")
+        route_map = RouteMap("DROP-ALL").add_clause(
+            RouteMapClause(permit=False, sequence=10, matches=(MatchAsPath(acl),))
+        )
+        assert route_map.apply(make_route(paper_graph, (B, E, F))) is None
+
+    def test_clause_order_by_sequence(self, paper_graph):
+        any_acl = AsPathAccessList(10).permit(".*")
+        route_map = RouteMap("ORDERED")
+        route_map.add_clause(RouteMapClause(
+            permit=True, sequence=20, matches=(MatchAsPath(any_acl),),
+            actions=(SetLocalPref(100),),
+        ))
+        route_map.add_clause(RouteMapClause(
+            permit=True, sequence=10, matches=(MatchAsPath(any_acl),),
+            actions=(SetLocalPref(999),),
+        ))
+        result = route_map.apply(make_route(paper_graph, (B, E, F)))
+        assert result.local_pref == 999  # sequence 10 ran first
+
+    def test_apply_all(self, paper_graph):
+        acl = AsPathAccessList(10).deny(f"_{E}_")
+        route_map = RouteMap("M").add_clause(RouteMapClause(
+            permit=True, sequence=10, matches=(MatchAsPath(acl),),
+        ))
+        table = compute_routes(paper_graph, F)
+        kept = route_map.apply_all(table.candidates(B))
+        assert [p.route.path for p in kept] == [(B, C, F)]
+
+
+REQUESTER_CONFIG = """
+router bgp 100
+!
+route-map AVOID_AS permit 10
+ match empty path 200
+ try negotiation NEG-312
+!
+ip as-path access-list 200 deny _5_
+!
+negotiation NEG-312
+ match avoid 5
+ start negotiation with maximum cost 250
+"""
+
+RESPONDER_CONFIG = """
+router bgp 150
+!
+accept negotiation from any
+ when tunnel_number < 1000
+!
+negotiation filter FILTER-1
+ filter permit local_pref > 200
+  set tunnel_cost 120
+ filter permit local_pref > 100
+  set tunnel_cost 180
+"""
+
+
+class TestConfigParser:
+    def test_requester_parse(self):
+        config = parse_config(REQUESTER_CONFIG)
+        assert config.asn == 100
+        requester = config.requester
+        assert requester is not None
+        assert len(requester.triggers) == 1
+        spec = requester.negotiations["NEG-312"]
+        assert spec.avoid == (5,)
+        assert spec.max_cost == 250
+
+    def test_requester_trigger_fires_when_no_candidate_survives(
+        self, paper_graph
+    ):
+        config = parse_config(REQUESTER_CONFIG)
+        table = compute_routes(paper_graph, F)
+        spec = config.requester.should_negotiate(table.candidates(A))
+        assert spec is not None and spec.name == "NEG-312"
+
+    def test_requester_trigger_quiet_when_satisfied(self, paper_graph):
+        config = parse_config(REQUESTER_CONFIG)
+        table = compute_routes(paper_graph, F)
+        # B holds BCF, which avoids AS 5 (E): no negotiation needed
+        assert config.requester.should_negotiate(table.candidates(B)) is None
+
+    def test_responder_parse(self):
+        config = parse_config(RESPONDER_CONFIG)
+        responder = config.responder
+        assert responder is not None
+        assert responder.accept_from is None  # "any"
+        assert responder.max_tunnels == 1000
+        assert len(responder.filters) == 2
+
+    def test_responder_pricing(self, paper_graph):
+        """§6.3: customer routes cost 120, peer routes 180, providers none."""
+        config = parse_config(RESPONDER_CONFIG)
+        responder = config.responder
+        customer = make_route(paper_graph, (B, E, F))   # local_pref 400
+        peer = make_route(paper_graph, (B, C, F))       # local_pref 200
+        provider = make_route(paper_graph, (A, B, E, F))  # local_pref 100
+        assert responder.price_for(customer) == 120
+        assert responder.price_for(peer) == 180
+        assert responder.price_for(provider) is None
+
+    def test_responder_accept_list(self):
+        config = parse_config(
+            "accept negotiation from 100 200\nwhen tunnel_number < 5\n"
+        )
+        assert config.responder.accept_from == {100, 200}
+        assert config.responder.max_tunnels == 5
+
+    def test_responder_config_adapter(self):
+        config = parse_config(RESPONDER_CONFIG)
+        adapted = config.responder.as_responder_config()
+        assert adapted.max_tunnels == 1000
+        assert adapted.accept_from is None
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_config("this is not a statement\n")
+
+    def test_try_negotiation_requires_match_empty(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_config("route-map X permit 10\ntry negotiation N\n")
+
+    def test_when_requires_accept(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_config("when tunnel_number < 7\n")
+
+    def test_set_cost_requires_filter(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_config("negotiation filter F\nset tunnel_cost 5\n")
+
+    def test_line_number_in_error(self):
+        try:
+            parse_config("router bgp 100\nbogus line\n")
+        except PolicySyntaxError as exc:
+            assert exc.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected PolicySyntaxError")

@@ -1,0 +1,116 @@
+"""Property/fuzz tests for the policy-language parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.policylang import AsPathAccessList, parse_config
+
+
+# ---------------------------------------------------------------------------
+# generated valid configs parse and mean what they say
+# ---------------------------------------------------------------------------
+
+asns = st.integers(min_value=1, max_value=65535)
+
+
+@given(
+    asns,
+    st.lists(asns, min_size=1, max_size=3, unique=True),
+    st.integers(min_value=1, max_value=10 ** 6),
+)
+@settings(max_examples=50)
+def test_generated_requester_configs_round_trip(asn, avoid_list, max_cost):
+    avoid_text = " ".join(str(a) for a in avoid_list)
+    text = f"""
+router bgp {asn}
+route-map M permit 10
+ match empty path 7
+ try negotiation N
+ip as-path access-list 7 deny _{avoid_list[0]}_
+negotiation N
+ match avoid {avoid_text}
+ start negotiation with maximum cost {max_cost}
+"""
+    config = parse_config(text)
+    assert config.asn == asn
+    spec = config.requester.negotiations["N"]
+    assert spec.avoid == tuple(avoid_list)
+    assert spec.max_cost == max_cost
+    assert config.requester.triggers[0].access_list == 7
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=999),   # local_pref floor
+            st.integers(min_value=1, max_value=9999),  # cost
+        ),
+        min_size=1, max_size=4,
+    ),
+    st.integers(min_value=1, max_value=10000),
+)
+@settings(max_examples=50)
+def test_generated_responder_configs_round_trip(filters, max_tunnels):
+    lines = ["accept negotiation from any",
+             f"when tunnel_number < {max_tunnels}",
+             "negotiation filter F"]
+    for floor, cost in filters:
+        lines.append(f"filter permit local_pref > {floor}")
+        lines.append(f"set tunnel_cost {cost}")
+    config = parse_config("\n".join(lines) + "\n")
+    responder = config.responder
+    assert responder.max_tunnels == max_tunnels
+    assert [(f.min_local_pref, f.tunnel_cost) for f in responder.filters] == filters
+
+
+# ---------------------------------------------------------------------------
+# garbage is rejected with a line number, never a crash
+# ---------------------------------------------------------------------------
+
+garbage_lines = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=40,
+).filter(lambda s: s.strip() and s.strip() != "!")
+
+
+@given(st.lists(garbage_lines, min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_garbage_rejected_or_parsed_never_crashes(lines):
+    text = "\n".join(lines)
+    try:
+        parse_config(text)
+    except PolicySyntaxError as exc:
+        assert exc.line_number is None or exc.line_number >= 1
+    # any other exception type is a bug and fails the test
+
+
+# ---------------------------------------------------------------------------
+# access-list semantics
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=1,
+             max_size=6),
+    st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=60)
+def test_deny_only_list_is_complement(path, target):
+    acl = AsPathAccessList(1).deny(f"_{target}_")
+    assert acl.permits_path(tuple(path)) == (target not in path)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=1,
+             max_size=6),
+    st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=60)
+def test_explicit_permit_all_matches_deny_only_semantics(path, target):
+    implicit = AsPathAccessList(1).deny(f"_{target}_")
+    explicit = AsPathAccessList(2).deny(f"_{target}_").permit(".*")
+    assert implicit.permits_path(tuple(path)) == explicit.permits_path(
+        tuple(path)
+    )

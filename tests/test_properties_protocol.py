@@ -1,0 +1,207 @@
+"""Property-based tests on the protocol machinery: the event-driven BGP
+engine, AS-level forwarding, MIRO offers, and the push-all bound."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import EventDrivenBGP, compute_routes
+from repro.dataplane import ASLevelForwarder, Packet, address_in_as
+from repro.experiments.overhead import push_all_message_count
+from repro.miro import ExportPolicy, NegotiationScope, available_paths
+from repro.topology import ASGraph
+
+
+@st.composite
+def hierarchies(draw):
+    """Random connected hierarchical graphs (same shape as in
+    test_properties, kept local to allow different size bounds)."""
+    n = draw(st.integers(min_value=3, max_value=12))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10 ** 6)))
+    graph = ASGraph()
+    graph.add_as(1)
+    for asn in range(2, n + 1):
+        provider = rng.randint(1, asn - 1)
+        graph.add_customer_link(provider, asn)
+        if asn >= 3 and rng.random() < 0.25:
+            other = rng.randint(2, asn - 1)
+            if other != asn and not graph.has_link(other, asn):
+                graph.add_peer_link(other, asn)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# event-driven BGP
+# ---------------------------------------------------------------------------
+
+@given(hierarchies(), st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_quiescent_state_is_stable(graph, order_seed):
+    """After quiescence: every AS's best is the most preferred candidate in
+    its own Adj-RIB-In, and consistent with its neighbours' selections."""
+    engine = EventDrivenBGP(graph, seed=order_seed)
+    destination = 1
+    engine.originate(destination)
+    engine.run()
+    for asn in graph.iter_ases():
+        best = engine.best(asn, destination)
+        candidates = engine.candidates(asn, destination)
+        if best is None:
+            assert not candidates
+            continue
+        for candidate in candidates:
+            assert candidate.preference_key() <= best.preference_key()
+        # the advertised rib entries reflect real neighbour selections
+        for neighbor, learned in engine.node(asn).rib_in.get(
+            destination, {}
+        ).items():
+            neighbor_best = engine.best(neighbor, destination)
+            assert neighbor_best is not None
+            assert learned.path == (asn,) + neighbor_best.path
+
+
+@given(hierarchies())
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_agrees_with_closed_form(graph):
+    engine = EventDrivenBGP(graph)
+    engine.originate(1)
+    engine.run()
+    table = compute_routes(graph, 1)
+    for asn in graph.iter_ases():
+        closed = table.best(asn)
+        live = engine.best(asn, 1)
+        assert (closed is None) == (live is None)
+        if closed is not None and live is not None:
+            assert closed.route_class is live.route_class
+            assert closed.length == live.length
+
+
+@given(hierarchies())
+@settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_failure_monotone(graph):
+    """Failing a link never creates routes out of thin air: the set of
+    ASes with a route can only shrink (for one origination epoch)."""
+    engine = EventDrivenBGP(graph)
+    engine.originate(1)
+    engine.run()
+    routed_before = set(engine.best_paths(1))
+    links = list(graph.iter_links())
+    a, b, _ = links[0]
+    engine.fail_link(a, b)
+    engine.run()
+    routed_after = set(engine.best_paths(1))
+    assert routed_after <= routed_before
+
+
+# ---------------------------------------------------------------------------
+# forwarding follows routing
+# ---------------------------------------------------------------------------
+
+@given(hierarchies())
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_forwarding_follows_default_paths(graph):
+    destination = 1
+    table = compute_routes(graph, destination)
+    forwarder = ASLevelForwarder({destination: table})
+    for source in graph.iter_ases():
+        if source == destination:
+            continue
+        packet = Packet.make(
+            address_in_as(source), address_in_as(destination)
+        )
+        trace = forwarder.forward(packet)
+        expected = table.default_path(source)
+        if expected is None:
+            assert not trace.delivered
+        else:
+            assert trace.delivered
+            assert trace.hops == expected
+
+
+# ---------------------------------------------------------------------------
+# MIRO offers
+# ---------------------------------------------------------------------------
+
+@given(hierarchies())
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_available_paths_policy_monotone(graph):
+    """strict ⊆ export ⊆ flexible for every source, both scopes."""
+    table = compute_routes(graph, 1)
+    for source in list(graph.iter_ases())[:6]:
+        if source == 1:
+            continue
+        for scope in NegotiationScope:
+            strict = available_paths(table, source, ExportPolicy.STRICT, scope)
+            export = available_paths(table, source, ExportPolicy.EXPORT, scope)
+            flexible = available_paths(
+                table, source, ExportPolicy.FLEXIBLE, scope
+            )
+            assert strict <= export <= flexible
+            # every offered path really exists and ends at the destination
+            for path in flexible:
+                assert path[0] == source
+                assert path[-1] == 1
+
+
+# ---------------------------------------------------------------------------
+# push-all lower bound
+# ---------------------------------------------------------------------------
+
+@given(hierarchies())
+@settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+def test_push_all_at_least_one_message_per_learned_path(graph):
+    """The flood count is bounded below by the number of distinct
+    (AS, path) pairs learnable — each must cross a link once."""
+    destination = 1
+    messages = push_all_message_count(graph, [destination])
+    table = compute_routes(graph, destination)
+    distinct_selected = sum(
+        1 for asn in graph.iter_ases()
+        if asn != destination and table.best(asn) is not None
+    )
+    assert messages >= distinct_selected
+
+
+# ---------------------------------------------------------------------------
+# path splicing invariants
+# ---------------------------------------------------------------------------
+
+@given(hierarchies(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+def test_splicing_traces_are_sound(graph, n_slices):
+    from repro.miro import SplicedForwarding
+
+    table = compute_routes(graph, 1)
+    splicer = SplicedForwarding(table, n_slices=n_slices)
+    for source in graph.iter_ases():
+        if source == 1:
+            continue
+        trace = splicer.forward(source)
+        # hops traverse real links, start at the source
+        assert trace.hops[0] == source
+        for a, b in zip(trace.hops, trace.hops[1:]):
+            assert graph.has_link(a, b)
+        if trace.delivered:
+            assert trace.hops[-1] == 1
+        # slice 0 with no failures is exactly the default path
+        assert trace.delivered
+        assert trace.hops == table.best(source).path
+
+
+@given(hierarchies())
+@settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+def test_splicing_never_uses_dead_links(graph):
+    from repro.miro import SplicedForwarding
+
+    table = compute_routes(graph, 1)
+    splicer = SplicedForwarding(table, n_slices=3)
+    links = list(graph.iter_links())
+    dead = {(links[0][0], links[0][1])}
+    for source in list(graph.iter_ases())[:6]:
+        if source == 1:
+            continue
+        trace = splicer.forward(source, dead_links=dead)
+        dead_set = {frozenset(d) for d in dead}
+        for hop in zip(trace.hops, trace.hops[1:]):
+            assert frozenset(hop) not in dead_set

@@ -1,0 +1,89 @@
+"""Property-based tests for the live MIRO runtime under random failures.
+
+Invariant: after any sequence of link failures/restorations and
+revalidation, every *live* tunnel is still sound — its via segment is
+consistent with the upstream's current route and its path is still
+learnable at the downstream AS.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NegotiationError
+from repro.miro import ExportPolicy, MiroRuntime
+from repro.topology import ASGraph
+
+
+@st.composite
+def scenarios(draw):
+    """A random hierarchy + a random failure/restore schedule."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10 ** 6)))
+    graph = ASGraph()
+    graph.add_as(1)
+    for asn in range(2, n + 1):
+        provider = rng.randint(1, asn - 1)
+        graph.add_customer_link(provider, asn)
+        if asn >= 3 and rng.random() < 0.4:
+            other = rng.randint(2, asn - 1)
+            if other != asn and not graph.has_link(other, asn):
+                graph.add_peer_link(other, asn)
+    n_events = draw(st.integers(min_value=1, max_value=4))
+    return graph, rng.randrange(10 ** 6), n_events
+
+
+@given(scenarios())
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+def test_live_tunnels_always_sound(scenario):
+    graph, seed, n_events = scenario
+    rng = random.Random(seed)
+    runtime = MiroRuntime(graph)
+    destination = 1
+    runtime.originate_all([destination])
+
+    # try to establish tunnels from a few sources toward their next hops
+    for source in list(graph.iter_ases())[: 5]:
+        best = runtime.engine.best(source, destination)
+        if best is None or best.length < 2:
+            continue
+        try:
+            runtime.establish(
+                source, best.path[1], destination, ExportPolicy.FLEXIBLE
+            )
+        except NegotiationError:
+            continue
+
+    links = list(graph.iter_links())
+    down = []
+    for _ in range(n_events):
+        if down and rng.random() < 0.4:
+            a, b, _ = down.pop()
+            runtime.restore_link(a, b)
+        else:
+            candidates = [l for l in links if l not in down]
+            if not candidates:
+                continue
+            link = rng.choice(candidates)
+            down.append(link)
+            runtime.fail_link(link[0], link[1])
+
+    # the invariant: every surviving tunnel is still valid
+    for record in runtime.live_tunnels():
+        tunnel = record.tunnel
+        best = runtime.engine.best(record.requester, destination)
+        via_is_prefix = (
+            best is not None
+            and best.path[: len(tunnel.via_path)] == tunnel.via_path
+        )
+        via_is_live_link = (
+            len(tunnel.via_path) == 2
+            and runtime.engine._link_up(*tunnel.via_path)
+        )
+        assert via_is_prefix or via_is_live_link
+        learned = {
+            r.path
+            for r in runtime.engine.candidates(record.responder, destination)
+        }
+        assert tunnel.path in learned

@@ -1,0 +1,123 @@
+"""Tests for the synthetic Internet-like topology generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    AGARWAL_2004,
+    GAO_2000,
+    GAO_2003,
+    GAO_2005,
+    LinkType,
+    PROFILES,
+    SMALL,
+    TINY,
+    TopologyProfile,
+    generate_named,
+    generate_topology,
+    mean_degree,
+    summarize,
+)
+
+
+class TestProfiles:
+    def test_registry_contains_paper_datasets(self):
+        for name in ("gao-2000", "gao-2003", "gao-2005", "agarwal-2004"):
+            assert name in PROFILES
+
+    def test_profile_validation_too_small(self):
+        with pytest.raises(TopologyError):
+            TopologyProfile("bad", n_ases=5, n_tier1=10)
+
+    def test_profile_validation_tier_fractions(self):
+        with pytest.raises(TopologyError):
+            TopologyProfile("bad", n_ases=100, tier2_fraction=0.6,
+                            tier3_fraction=0.5)
+
+    def test_generate_named_unknown(self):
+        with pytest.raises(TopologyError):
+            generate_named("no-such-profile")
+
+
+class TestGeneratedStructure:
+    def test_deterministic_for_seed(self):
+        a = generate_topology(TINY, seed=5)
+        b = generate_topology(TINY, seed=5)
+        assert sorted(a.iter_links()) == sorted(b.iter_links())
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(SMALL, seed=1)
+        b = generate_topology(SMALL, seed=2)
+        assert sorted(a.iter_links()) != sorted(b.iter_links())
+
+    def test_node_count_matches_profile(self):
+        graph = generate_topology(SMALL, seed=0)
+        assert len(graph) == SMALL.n_ases
+
+    def test_hierarchical_and_connected(self):
+        for seed in range(3):
+            graph = generate_topology(SMALL, seed=seed)
+            assert graph.is_hierarchical()
+            assert graph.is_connected()
+
+    def test_tier1_forms_peer_clique(self):
+        graph = generate_topology(SMALL, seed=0)
+        tier1 = list(range(1, SMALL.n_tier1 + 1))
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1:]:
+                assert graph.has_link(a, b)
+
+    def test_majority_multihomed(self):
+        # the paper: ~60% of ASes are multi-homed
+        graph = generate_topology(GAO_2005, seed=1)
+        summary = summarize(graph)
+        assert summary.n_multihomed / summary.n_ases > 0.5
+
+    def test_many_stubs(self):
+        graph = generate_topology(GAO_2005, seed=1)
+        # §7.4: a large share of ASes are stubs
+        assert len(graph.stubs()) / len(graph) > 0.3
+
+    def test_link_class_ratios_close_to_profile(self):
+        graph = generate_topology(GAO_2005, seed=1)
+        counts = graph.link_counts()
+        pc = counts[LinkType.CUSTOMER_PROVIDER]
+        peer_ratio = counts[LinkType.PEER_PEER] / pc
+        assert 0.4 * GAO_2005.peer_fraction < peer_ratio < 2.5 * GAO_2005.peer_fraction
+
+    def test_heavy_tail_degrees(self):
+        graph = generate_topology(GAO_2005, seed=1)
+        degrees = sorted((graph.degree(a) for a in graph.iter_ases()),
+                         reverse=True)
+        # the best-connected AS has far more neighbours than the mean
+        assert degrees[0] > 8 * mean_degree(graph)
+
+    @pytest.mark.parametrize(
+        "profile", [GAO_2000, GAO_2003, GAO_2005, AGARWAL_2004]
+    )
+    def test_paper_profiles_generate(self, profile):
+        graph = generate_topology(profile, seed=0)
+        assert len(graph) == profile.n_ases
+        assert graph.is_hierarchical()
+
+
+class TestApril2009Profile:
+    def test_stub_fraction_substantial(self):
+        """§7.4: "most of the ASes are stub ASes" (12,468 of 31,311 under
+        the paper's counting; our leaf definition also counts childless
+        transit ASes, so the fraction lands higher)."""
+        from repro.topology import APRIL_2009
+
+        graph = generate_topology(APRIL_2009, seed=2009)
+        stub_fraction = len(graph.stubs()) / len(graph)
+        assert 0.35 < stub_fraction < 0.80
+
+    def test_registered(self):
+        from repro.topology import APRIL_2009
+
+        assert PROFILES["april-2009"] is APRIL_2009
+
+    def test_largest_profile(self):
+        from repro.topology import APRIL_2009, GAO_2005
+
+        assert APRIL_2009.n_ases > GAO_2005.n_ases

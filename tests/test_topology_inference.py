@@ -1,0 +1,144 @@
+"""Tests for the Gao and Agarwal relationship-inference algorithms.
+
+The validation mirrors the paper's pipeline (§5.1): run policy routing on a
+ground-truth topology, collect the selected AS paths as the "measured"
+corpus, infer relationships, and compare with the truth.
+"""
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.errors import TopologyError
+from repro.topology import (
+    ASGraph,
+    Relationship,
+    TINY,
+    generate_topology,
+    infer_agarwal,
+    infer_gao,
+    inference_accuracy,
+)
+
+
+def path_corpus(graph, destinations):
+    """Selected AS paths toward the given destinations (the route feed)."""
+    corpus = []
+    for dest in destinations:
+        table = compute_routes(graph, dest)
+        for asn in table.routed_ases():
+            route = table.best(asn)
+            if route.length >= 1:
+                corpus.append(route.path)
+    return corpus
+
+
+class TestGaoInference:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TopologyError):
+            infer_gao([])
+
+    def test_simple_chain(self):
+        # 1 is provider of 2, 2 of 3: paths from 3 upward and back down
+        paths = [(3, 2, 1), (1, 2, 3), (2, 1), (2, 3)]
+        inferred = infer_gao(paths)
+        assert inferred.has_link(1, 2)
+        assert inferred.has_link(2, 3)
+
+    def test_transit_direction_inferred(self):
+        # degree makes 1 the top provider; 2 and 3 hang off it
+        paths = [(2, 1, 3), (3, 1, 2), (2, 1), (3, 1)]
+        inferred = infer_gao(paths)
+        # 1 provides transit to both: 2 and 3 are its customers
+        assert inferred.relationship(1, 2) is Relationship.CUSTOMER
+        assert inferred.relationship(1, 3) is Relationship.CUSTOMER
+
+    def test_sibling_detected_on_mutual_transit(self):
+        # 1 and 2 transit for each other in different paths
+        paths = [
+            (3, 1, 2, 4), (3, 1, 2, 4),
+            (4, 2, 1, 3), (4, 2, 1, 3),
+            (1, 3), (2, 4), (5, 1), (6, 2), (1, 5), (2, 6),
+        ]
+        inferred = infer_gao(paths, sibling_threshold=1)
+        assert inferred.relationship(1, 2) is Relationship.SIBLING
+
+    def test_accuracy_on_generated_topology(self, tiny_graph):
+        corpus = path_corpus(tiny_graph, tiny_graph.ases)
+        inferred = infer_gao(corpus)
+        accuracy = inference_accuracy(tiny_graph, inferred)
+        assert accuracy > 0.6  # the paper: "even the best inference
+        #                        algorithms are imperfect"
+
+    def test_inferred_graph_covers_used_links(self, tiny_graph):
+        corpus = path_corpus(tiny_graph, tiny_graph.ases)
+        inferred = infer_gao(corpus)
+        used = set()
+        for path in corpus:
+            for a, b in zip(path, path[1:]):
+                used.add((min(a, b), max(a, b)))
+        inferred_links = {(a, b) for a, b, _ in inferred.iter_links()}
+        assert used == inferred_links
+
+
+class TestAgarwalInference:
+    def test_needs_vantage_points(self):
+        with pytest.raises(TopologyError):
+            infer_agarwal({})
+
+    def test_needs_paths(self):
+        with pytest.raises(TopologyError):
+            infer_agarwal({1: []})
+
+    def test_cone_dominance_gives_provider(self):
+        # 1 sits above 2 which sits above 3, 4, 5
+        paths = {9: [(9, 1, 2, 3), (9, 1, 2, 4), (9, 1, 2, 5)]}
+        inferred = infer_agarwal(paths)
+        assert inferred.relationship(1, 2) is Relationship.CUSTOMER
+        assert inferred.relationship(2, 3) is Relationship.CUSTOMER
+
+    def test_balanced_cones_give_peering(self):
+        paths = {
+            7: [(7, 1, 3), (7, 2, 4)],
+            8: [(8, 1, 2), (8, 2, 1)],
+        }
+        inferred = infer_agarwal(paths, peer_cone_ratio=2.0)
+        assert inferred.relationship(1, 2) is Relationship.PEER
+
+    def test_accuracy_on_generated_topology(self, tiny_graph):
+        # vantage points at the three highest-degree ASes
+        ranked = sorted(tiny_graph.ases, key=tiny_graph.degree, reverse=True)
+        corpus = {}
+        for vantage in ranked[:3]:
+            paths = []
+            for dest in tiny_graph.ases:
+                if dest == vantage:
+                    continue
+                table = compute_routes(tiny_graph, dest)
+                route = table.best(vantage)
+                if route is not None:
+                    paths.append(route.path)
+            corpus[vantage] = paths
+        inferred = infer_agarwal(corpus)
+        assert inference_accuracy(tiny_graph, inferred) > 0.4
+
+
+class TestAccuracyMetric:
+    def test_perfect_match(self):
+        truth = ASGraph()
+        truth.add_customer_link(1, 2)
+        assert inference_accuracy(truth, truth.copy()) == 1.0
+
+    def test_mismatch_counts(self):
+        truth = ASGraph()
+        truth.add_customer_link(1, 2)
+        wrong = ASGraph()
+        wrong.add_peer_link(1, 2)
+        assert inference_accuracy(truth, wrong) == 0.0
+
+    def test_unknown_links_skipped(self):
+        truth = ASGraph()
+        truth.add_customer_link(1, 2)
+        inferred = ASGraph()
+        inferred.add_customer_link(1, 2)
+        inferred.add_peer_link(3, 4)  # not in truth: ignored
+        assert inference_accuracy(truth, inferred) == 1.0

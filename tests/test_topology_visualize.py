@@ -1,0 +1,80 @@
+"""Tests for the text visualizations."""
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.errors import UnknownASError
+from repro.topology import (
+    render_adjacency,
+    render_path,
+    render_routing_tree,
+    render_tiers,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+class TestAdjacency:
+    def test_one_line_per_as(self, paper_graph):
+        text = render_adjacency(paper_graph)
+        assert len(text.splitlines()) == 6
+
+    def test_glyphs(self, paper_graph):
+        lines = dict(
+            line.split(":", 1) for line in render_adjacency(paper_graph).splitlines()
+        )
+        # B provides for A and E, peers with C
+        assert ">1" in lines["2"]
+        assert ">5" in lines["2"]
+        assert "=3" in lines["2"]
+        # A's providers are B and D
+        assert "<2" in lines["1"] and "<4" in lines["1"]
+
+    def test_limit(self, paper_graph):
+        assert len(render_adjacency(paper_graph, limit=2).splitlines()) == 2
+
+
+class TestTiers:
+    def test_paper_graph_tiers(self, paper_graph):
+        text = render_tiers(paper_graph)
+        first = text.splitlines()[0]
+        # B, C, D have no providers
+        assert first.startswith("tier-1")
+        assert "2, 3, 4" in first
+        # F sits below C and E
+        assert any("6" in line for line in text.splitlines()[1:])
+
+    def test_depths_increase_down_the_hierarchy(self, small_graph):
+        text = render_tiers(small_graph)
+        assert text.splitlines()[0].startswith("tier-1")
+        assert len(text.splitlines()) >= 2
+
+
+class TestRoutingTree:
+    def test_tree_contains_every_routed_as(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        text = render_routing_tree(table)
+        for asn in (A, B, C, D, E, F):
+            assert str(asn) in text
+
+    def test_root_first_children_indented(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        lines = render_routing_tree(table).splitlines()
+        assert lines[0] == "6"
+        assert all(line.startswith("    ") for line in lines[1:])
+
+
+class TestPathRendering:
+    def test_glyphs_along_a_path(self, paper_graph):
+        text = render_path(paper_graph, (A, B, E, F))
+        assert text == "1 <2 >5 >6"
+
+    def test_peer_glyph(self, paper_graph):
+        assert render_path(paper_graph, (B, C, F)) == "2 =3 >6"
+
+    def test_empty(self, paper_graph):
+        assert render_path(paper_graph, ()) == "(empty path)"
+
+    def test_unknown_as(self, paper_graph):
+        with pytest.raises(UnknownASError):
+            render_path(paper_graph, (A, 99))
