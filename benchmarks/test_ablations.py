@@ -9,13 +9,13 @@
 
 import pytest
 
-from repro.bgp import RouterRoute, compute_routes
+from repro.bgp import compute_routes
 from repro.convergence import (
     GaoRexfordRanker,
     GuidelineMode,
     MiroConvergenceSystem,
 )
-from repro.experiments import render_table, run_negotiation_state, sample_triples
+from repro.experiments import render_table, run_negotiation_state
 from repro.intra import (
     ASNetwork,
     EgressRouterAddressing,

@@ -10,7 +10,6 @@ convergence (messages and wall-clock) across topology sizes.
 import pytest
 
 from repro.experiments import render_table, run_overhead_comparison
-from repro.experiments.datasets import DATASETS
 from repro.bgp import EventDrivenBGP
 
 

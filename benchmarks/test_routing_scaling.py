@@ -8,7 +8,6 @@ the per-destination cost grows roughly linearly with topology size.
 
 import time
 
-import pytest
 
 from repro.bgp import compute_routes
 from repro.experiments import render_table

@@ -13,12 +13,7 @@ Run:  python examples/avoid_hostile_as.py
 
 from repro.bgp import compute_routes
 from repro.experiments import render_table, run_success_rates
-from repro.miro import (
-    ExportPolicy,
-    all_policies,
-    miro_attempt,
-    single_path_attempt,
-)
+from repro.miro import all_policies, miro_attempt, single_path_attempt
 from repro.sourcerouting import reachable_avoiding
 from repro.topology import ASGraph, GAO_2005, generate_topology
 

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: generate an Internet-like topology, compute BGP routes,
-and negotiate a MIRO tunnel.
+"""Quickstart: generate an Internet-like topology, compute BGP routes
+through a SimulationSession, and negotiate a MIRO tunnel.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.bgp import compute_routes
+from repro import SimulationSession
 from repro.miro import ExportPolicy, RouteConstraint, negotiate
 from repro.topology import GAO_2005, generate_topology, summarize
 
@@ -16,9 +16,13 @@ def main() -> None:
     graph = generate_topology(GAO_2005, seed=1)
     print("Topology:", summarize(graph, "gao-2005"))
 
-    # 2. Default BGP routes toward one destination prefix.
+    # 2. Default BGP routes toward one destination prefix.  The session
+    #    memoizes tables against the graph's mutation counter, so every
+    #    later lookup of this destination is a cache hit (see
+    #    docs/architecture.md).
+    session = SimulationSession(graph)
     destination = graph.stubs()[0]
-    table = compute_routes(graph, destination)
+    table = session.compute(destination)
     # pick a source whose default path crosses several transit ASes
     source = max(
         (a for a in table.routed_ases() if a != destination),
@@ -49,6 +53,10 @@ def main() -> None:
     else:
         print(f"    declined ({outcome.reason}); "
               f"{outcome.offered_count} routes were offered")
+
+    # 4. What did all of that cost in route computation?
+    print()
+    print(session.stats.render())
 
 
 if __name__ == "__main__":

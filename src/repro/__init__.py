@@ -50,9 +50,16 @@ from .errors import (
     PolicySyntaxError,
     ReproError,
     RoutingError,
+    SessionError,
     TopologyError,
     TunnelError,
     UnknownASError,
+)
+from .session import (
+    RouteTableCache,
+    SessionStats,
+    SimulationSession,
+    ensure_session,
 )
 
 __version__ = "1.0.0"
@@ -67,10 +74,15 @@ __all__ = [
     "policylang",
     "convergence",
     "experiments",
+    "SimulationSession",
+    "SessionStats",
+    "RouteTableCache",
+    "ensure_session",
     "ReproError",
     "TopologyError",
     "UnknownASError",
     "RoutingError",
+    "SessionError",
     "NegotiationError",
     "TunnelError",
     "PolicyError",

@@ -19,7 +19,7 @@ R1/R2/R3 example of Fig. 4.1 is reproduced in the tests).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import RoutingError

@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import RoutingError, TopologyError, UnknownASError
 from ..topology.graph import ASGraph
-from .policy import exportable_route, make_route, select_best
+from .policy import exportable_route, select_best
 from .route import Route
 
 

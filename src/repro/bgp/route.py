@@ -9,7 +9,7 @@ local preference and exportability (§2.2.1/§2.2.2).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import RoutingError

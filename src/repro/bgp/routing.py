@@ -23,11 +23,13 @@ lets everyone else re-select — the *independent_selection* model of §5.4.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..session import SimulationSession
 
 from ..errors import RoutingError, UnknownASError
 from ..topology.graph import ASGraph
-from ..topology.relationships import Relationship
 from .policy import exportable_route, make_route
 from .route import Route, RouteClass
 
@@ -221,9 +223,24 @@ def _run_phase(
 
 
 def compute_all_routes(
-    graph: ASGraph, destinations: Optional[Iterable[int]] = None
+    graph: ASGraph,
+    destinations: Optional[Iterable[int]] = None,
+    session: Optional["SimulationSession"] = None,
+    parallel: Optional[object] = None,
 ) -> Dict[int, RoutingTable]:
-    """Routing tables for many destinations (all ASes by default)."""
+    """Routing tables for many destinations (all ASes by default).
+
+    Thin wrapper over :meth:`repro.session.SimulationSession.compute_many`,
+    kept for the original call signature: with no ``session`` a private one
+    is created (and discarded), so repeated destinations still compute
+    once; passing the run's shared session makes the tables land in — and
+    come from — its cache.  ``parallel`` overrides the session's dispatch
+    policy (True / False / ``"auto"``).
+    """
+    from ..session import ensure_session  # late import: session builds on bgp
+
     if destinations is None:
         destinations = graph.ases
-    return {d: compute_routes(graph, d) for d in destinations}
+    return ensure_session(graph, session).compute_many(
+        destinations, parallel=parallel
+    )

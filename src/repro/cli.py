@@ -18,9 +18,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .bgp import compute_routes
 from .errors import ReproError
-from .miro import ExportPolicy, NegotiationScope, miro_attempt, single_path_attempt
+from .miro import ExportPolicy, miro_attempt, single_path_attempt
+from .session import SimulationSession
 from .sourcerouting import reachable_avoiding
 from .topology import PROFILES, generate_named, load, summarize
 from .topology import dumps as dump_topology
@@ -38,10 +38,35 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print routing-cost telemetry (cache hits, tables computed, "
+             "wall-clock) after the command",
+    )
+    parser.add_argument(
+        "--parallel", choices=["auto", "on", "off"], default="auto",
+        help="route-table fan-out across a process pool (default: auto)",
+    )
+
+
 def _build_graph(args: argparse.Namespace):
     if args.topology:
         return load(args.topology)
     return generate_named(args.profile, seed=args.seed)
+
+
+def _build_session(args: argparse.Namespace, graph) -> SimulationSession:
+    parallel = {"auto": "auto", "on": True, "off": False}[
+        getattr(args, "parallel", "auto")
+    ]
+    return SimulationSession(graph, parallel=parallel)
+
+
+def _maybe_print_stats(args: argparse.Namespace, session: SimulationSession) -> None:
+    if getattr(args, "stats", False):
+        print()
+        print(session.stats.render())
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -64,7 +89,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_route(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    table = compute_routes(graph, args.destination)
+    session = _build_session(args, graph)
+    table = session.compute(args.destination)
     if args.source is not None:
         route = table.best(args.source)
         if route is None:
@@ -76,15 +102,18 @@ def _cmd_route(args: argparse.Namespace) -> int:
             if candidate.path != route.path:
                 print("alternate:", " -> ".join(map(str, candidate.path)),
                       f"[{candidate.route_class.name.lower()}]")
+        _maybe_print_stats(args, session)
         return 0
     for asn in table.routed_ases()[: args.limit]:
         print(f"{asn:>6}: {' -> '.join(map(str, table.best(asn).path))}")
+    _maybe_print_stats(args, session)
     return 0
 
 
 def _cmd_avoid(args: argparse.Namespace) -> int:
     graph = _build_graph(args)
-    table = compute_routes(graph, args.destination)
+    session = _build_session(args, graph)
+    table = session.compute(args.destination)
     default = table.default_path(args.source)
     if default is None:
         print(f"AS {args.source} cannot reach AS {args.destination} at all")
@@ -113,6 +142,7 @@ def _cmd_avoid(args: argparse.Namespace) -> int:
         graph, args.source, args.destination, args.avoid
     )
     print(f"source routing: {'possible' if reachable else 'impossible'}")
+    _maybe_print_stats(args, session)
     return 0 if attempt.success else 2
 
 
@@ -130,22 +160,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     graph = _build_graph(args)
+    session = _build_session(args, graph)
     name = args.topology or args.profile
     which = args.which
     if which == "table5.2":
-        rates = run_success_rates(graph, name, seed=args.seed)
+        rates = run_success_rates(graph, name, seed=args.seed, session=session)
         print(render_table(
             ["Name", "Single", "Multi/s", "Multi/e", "Multi/a", "Source"],
             [rates.as_row()], title="Table 5.2",
         ))
     elif which == "table5.3":
-        rows = run_negotiation_state(graph, seed=args.seed)
+        rows = run_negotiation_state(graph, seed=args.seed, session=session)
         print(render_table(
             ["Policy", "Success Rate", "AS#/tuple", "Path#/tuple"],
             [r.as_row() for r in rows], title="Table 5.3",
         ))
     elif which == "fig5.2":
-        series = run_diversity(graph, seed=args.seed)
+        series = run_diversity(graph, seed=args.seed, session=session)
         rows = [
             (label, f"{s.fraction_no_alternate:.1%}", f"{s.median:.0f}",
              f"{s.quantile(0.95):.0f}")
@@ -156,13 +187,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             title="Fig 5.2/5.3",
         ))
     elif which == "fig5.4":
-        curve = run_incremental_deployment(graph, seed=args.seed)
+        curve = run_incremental_deployment(graph, seed=args.seed,
+                                           session=session)
         for policy in ExportPolicy:
             print(render_series(
                 f"top-degree {policy.value}", curve.series(policy)
             ))
     elif which == "fig5.6":
-        result = run_traffic_control(graph, seed=args.seed)
+        result = run_traffic_control(graph, seed=args.seed, session=session)
         for (policy, model), curve in sorted(result.curves.items()):
             print(render_series(f"{policy} {model}", curve.points()))
     elif which == "ch7":
@@ -171,7 +203,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"fig {outcome.figure} {outcome.mode.value:>12}: {state} "
                   f"({outcome.rounds} rounds)")
     elif which == "overhead":
-        comparison = run_overhead_comparison(graph, seed=args.seed)
+        comparison = run_overhead_comparison(graph, seed=args.seed,
+                                             session=session)
         print(render_table(
             ["Protocol", "Messages", "vs BGP"], comparison.as_rows(),
             title="Control-plane overhead",
@@ -179,9 +212,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif which == "all":
         from .experiments import full_report
 
-        print(full_report(graph, name, seed=args.seed))
+        print(full_report(graph, name, seed=args.seed, session=session,
+                          include_stats=args.stats))
+        return 0
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown experiment {which!r}")
+    _maybe_print_stats(args, session)
     return 0
 
 
@@ -199,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     route = sub.add_parser("route", help="compute BGP routes")
     _add_topology_args(route)
+    _add_session_args(route)
     route.add_argument("--destination", type=int, required=True)
     route.add_argument("--source", type=int)
     route.add_argument("--limit", type=int, default=20,
@@ -207,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     avoid = sub.add_parser("avoid", help="avoid-an-AS application")
     _add_topology_args(avoid)
+    _add_session_args(avoid)
     avoid.add_argument("--source", type=int, required=True)
     avoid.add_argument("--destination", type=int, required=True)
     avoid.add_argument("--avoid", type=int, required=True)
@@ -218,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a result")
     _add_topology_args(experiment)
+    _add_session_args(experiment)
     experiment.add_argument(
         "which",
         choices=["table5.2", "table5.3", "fig5.2", "fig5.4", "fig5.6",

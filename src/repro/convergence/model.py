@@ -24,8 +24,8 @@ a per-AS partial order (Guideline D) or the no-tunnel-on-tunnel rule
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import ConvergenceError
 from ..topology.graph import ASGraph

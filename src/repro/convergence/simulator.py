@@ -28,8 +28,8 @@ Layer semantics per :class:`~repro.convergence.model.GuidelineMode`:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConvergenceError
 from ..topology.graph import ASGraph

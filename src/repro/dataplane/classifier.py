@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import DataPlaneError
-from .packet import FlowKey, Packet
+from .packet import Packet
 
 
 @dataclass(frozen=True)

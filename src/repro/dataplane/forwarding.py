@@ -18,15 +18,16 @@ negotiated end-to-end paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..bgp.routing import RoutingTable, compute_routes
+from ..bgp.routing import RoutingTable
 from ..errors import DataPlaneError
 from ..miro.tunnels import Tunnel
+from ..session import SimulationSession, ensure_session
 from .classifier import Classifier
 from .packet import Packet
-from .prefix import IPv4Prefix, PrefixTable, prefix_for_as
+from .prefix import PrefixTable, prefix_for_as
 
 
 @dataclass(frozen=True)
@@ -49,12 +50,22 @@ class ASLevelForwarder:
     """Destination-based forwarding over a set of routing tables, with
     optional tunnel diversions installed at upstream ASes."""
 
-    def __init__(self, tables: Dict[int, RoutingTable]) -> None:
+    def __init__(
+        self,
+        tables: Dict[int, RoutingTable],
+        session: Optional[SimulationSession] = None,
+    ) -> None:
         if not tables:
             raise DataPlaneError("need at least one destination's routes")
         self._tables = tables
         graph = next(iter(tables.values())).graph
         self.graph = graph
+        # on-demand tunnel-endpoint tables go through the session so the
+        # control plane and data plane share one cache (and telemetry)
+        self._session = ensure_session(graph, session)
+        for table in tables.values():
+            if table.graph is graph:
+                self._session.adopt(table)
         # per-AS FIB: prefix -> next-hop AS (None at the origin)
         self._fibs: Dict[int, PrefixTable] = {}
         for asn in graph.iter_ases():
@@ -95,7 +106,7 @@ class ASLevelForwarder:
     def _ensure_destination(self, destination: int) -> None:
         if destination in self._tables:
             return
-        table = compute_routes(self.graph, destination)
+        table = self._session.compute(destination)
         self._tables[destination] = table
         prefix = prefix_for_as(destination)
         for asn in self.graph.iter_ases():

@@ -10,7 +10,7 @@ stack models exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..errors import DataPlaneError
 

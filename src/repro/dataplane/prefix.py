@@ -9,7 +9,7 @@ binary trie implementing exactly that (the ``128.112.0.0/16`` vs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from ..errors import DataPlaneError
 

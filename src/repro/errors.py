@@ -31,6 +31,10 @@ class RoutingError(ReproError):
     """Route computation failed or was queried inconsistently."""
 
 
+class SessionError(ReproError):
+    """Simulation-session misuse (e.g. a session bound to another graph)."""
+
+
 class NegotiationError(ReproError):
     """A MIRO negotiation was used incorrectly (bad state transition, ...)."""
 

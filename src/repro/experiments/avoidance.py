@@ -10,7 +10,7 @@ of ASes contacted, and average number of candidate paths received.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..miro.avoidance import (
     ContactOrder,
@@ -24,7 +24,7 @@ from ..sourcerouting import (
     valley_free_reachable_avoiding,
 )
 from ..topology.graph import ASGraph
-from .sampling import TripleSample, sample_triples
+from .sampling import sample_triples
 
 
 @dataclass(frozen=True)
@@ -75,10 +75,12 @@ def run_success_rates(
     sources_per_destination: int = 20,
     seed: int = 0,
     scope: NegotiationScope = NegotiationScope.ON_PATH,
+    session=None,
 ) -> SuccessRates:
     """Compute a Table 5.2 row over sampled triples."""
     triples = list(
-        sample_triples(graph, n_destinations, sources_per_destination, seed=seed)
+        sample_triples(graph, n_destinations, sources_per_destination, seed=seed,
+                       session=session)
     )
     n = len(triples)
     if n == 0:
@@ -121,6 +123,7 @@ def run_negotiation_state(
     seed: int = 0,
     scope: NegotiationScope = NegotiationScope.ON_PATH,
     order: ContactOrder = ContactOrder.NEAR_FIRST,
+    session=None,
 ) -> List[NegotiationState]:
     """Compute the Table 5.3 rows.
 
@@ -130,7 +133,8 @@ def run_negotiation_state(
     triples = [
         t
         for t in sample_triples(
-            graph, n_destinations, sources_per_destination, seed=seed
+            graph, n_destinations, sources_per_destination, seed=seed,
+            session=session,
         )
         if not single_path_attempt(t.table, t.source, t.avoid).success
     ]
@@ -183,6 +187,7 @@ def run_multihop_gain(
     policies: Sequence[ExportPolicy] = (
         ExportPolicy.STRICT, ExportPolicy.FLEXIBLE
     ),
+    session=None,
 ) -> List[MultiHopGain]:
     """How much does letting responders recurse (§3.3) add?
 
@@ -193,7 +198,8 @@ def run_multihop_gain(
     """
     triples = [
         t for t in sample_triples(
-            graph, n_destinations, sources_per_destination, seed=seed
+            graph, n_destinations, sources_per_destination, seed=seed,
+            session=session,
         )
         if not single_path_attempt(t.table, t.source, t.avoid).success
     ]
@@ -227,6 +233,7 @@ def valley_free_source_routing_rate(
     n_destinations: int = 10,
     sources_per_destination: int = 15,
     seed: int = 0,
+    session=None,
 ) -> float:
     """Success rate of source routing restricted to valley-free paths.
 
@@ -237,7 +244,8 @@ def valley_free_source_routing_rate(
     intermediate ASes".
     """
     triples = list(
-        sample_triples(graph, n_destinations, sources_per_destination, seed=seed)
+        sample_triples(graph, n_destinations, sources_per_destination, seed=seed,
+                       session=session)
     )
     if not triples:
         return 0.0

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..topology.generator import (
     AGARWAL_2004,

@@ -81,20 +81,25 @@ class PathLengthStats:
 
 
 def path_length_stats(
-    graph: ASGraph, n_destinations: int = 10, seed: int = 0
+    graph: ASGraph, n_destinations: int = 10, seed: int = 0, session=None
 ) -> PathLengthStats:
-    """Sample default-path lengths across destinations."""
+    """Sample default-path lengths across destinations.
+
+    ``session`` is an optional shared
+    :class:`~repro.session.SimulationSession`; tables computed here are
+    then reused by the other experiments run on the same graph.
+    """
     import random
 
-    from ..bgp.routing import compute_routes
+    from ..session import ensure_session
 
+    session = ensure_session(graph, session)
     rng = random.Random(seed)
     destinations = rng.sample(graph.ases, min(n_destinations, len(graph)))
     histogram: Dict[int, int] = {}
     total = 0
     count = 0
-    for destination in destinations:
-        table = compute_routes(graph, destination)
+    for table in session.compute_many(destinations).values():
         for asn in table.routed_ases():
             length = table.best(asn).length
             if length == 0:

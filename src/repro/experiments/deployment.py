@@ -46,10 +46,12 @@ def run_incremental_deployment(
     seed: int = 0,
     strategy: str = "top-degree",
     scope: NegotiationScope = NegotiationScope.ON_PATH,
+    session=None,
 ) -> DeploymentCurve:
     """One Fig. 5.4 curve (all three policies at each fraction)."""
     triples = list(
-        sample_triples(graph, n_destinations, sources_per_destination, seed=seed)
+        sample_triples(graph, n_destinations, sources_per_destination, seed=seed,
+                       session=session)
     )
     baseline = _successes(triples, ExportPolicy.FLEXIBLE, None, scope)
     baseline = max(baseline, 1)

@@ -70,10 +70,12 @@ def run_diversity(
     n_destinations: int = 12,
     sources_per_destination: int = 25,
     seed: int = 0,
+    session=None,
 ) -> Dict[str, DiversitySeries]:
     """All six Fig. 5.2 curves for one topology."""
     pairs = list(
-        sample_pairs(graph, n_destinations, sources_per_destination, seed=seed)
+        sample_pairs(graph, n_destinations, sources_per_destination, seed=seed,
+                     session=session)
     )
     series: Dict[str, DiversitySeries] = {}
     for scope in (NegotiationScope.ONE_HOP, NegotiationScope.ON_PATH):

@@ -59,24 +59,36 @@ def export_results(
     sources_per_destination: int = 10,
     n_stubs: int = 10,
     path: Optional[Union[str, Path]] = None,
+    session=None,
 ) -> Dict[str, Any]:
-    """Run every experiment and return (optionally write) a JSON document."""
+    """Run every experiment and return (optionally write) a JSON document.
+
+    All experiments share one :class:`~repro.session.SimulationSession`;
+    its telemetry counters are exported under ``"session_stats"``.
+    """
+    from ..session import ensure_session
+
+    session = ensure_session(graph, session)
     diversity = run_diversity(
         graph, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
     deployment = run_incremental_deployment(
         graph, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
-    traffic = run_traffic_control(graph, n_stubs=n_stubs, seed=seed)
+    traffic = run_traffic_control(graph, n_stubs=n_stubs, seed=seed,
+                                  session=session)
     document: Dict[str, Any] = {
         "name": name,
         "seed": seed,
         "table_5_1": to_jsonable(summarize(graph, name)),
         "fig_5_1": to_jsonable(degree_distribution(graph, name)),
         "path_lengths": to_jsonable(
-            path_length_stats(graph, n_destinations=n_destinations, seed=seed)
+            path_length_stats(graph, n_destinations=n_destinations, seed=seed,
+                              session=session)
         ),
         "fig_5_2": {
             label: to_jsonable(series)
@@ -85,10 +97,12 @@ def export_results(
         "table_5_2": to_jsonable(run_success_rates(
             graph, name, n_destinations=n_destinations,
             sources_per_destination=sources_per_destination, seed=seed,
+            session=session,
         )),
         "table_5_3": to_jsonable(run_negotiation_state(
             graph, n_destinations=n_destinations,
             sources_per_destination=sources_per_destination, seed=seed,
+            session=session,
         )),
         "fig_5_4": {
             policy.value: deployment.series(policy)
@@ -106,9 +120,10 @@ def export_results(
         "overhead": to_jsonable(run_overhead_comparison(
             graph, n_destinations=min(6, n_destinations),
             sources_per_destination=sources_per_destination, seed=seed,
-            max_push_path_length=5,
+            max_push_path_length=5, session=session,
         )),
     }
+    document["session_stats"] = session.stats.as_dict()
     if path is not None:
         Path(path).write_text(json.dumps(document, indent=2))
     return document

@@ -24,11 +24,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..bgp.engine import EventDrivenBGP
 from ..bgp.policy import may_export
-from ..bgp.route import RouteClass
 from ..miro.avoidance import miro_attempt, single_path_attempt
 from ..miro.policies import ExportPolicy
 from ..topology.graph import ASGraph
@@ -145,6 +144,7 @@ def run_overhead_comparison(
     seed: int = 0,
     policy: ExportPolicy = ExportPolicy.EXPORT,
     max_push_path_length: int = 6,
+    session=None,
 ) -> OverheadComparison:
     """Measure the three message counts on one topology.
 
@@ -155,7 +155,8 @@ def run_overhead_comparison(
     """
     triples = [
         t for t in sample_triples(
-            graph, n_destinations, sources_per_destination, seed=seed
+            graph, n_destinations, sources_per_destination, seed=seed,
+            session=session,
         )
         if not single_path_attempt(t.table, t.source, t.avoid).success
     ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..miro import ExportPolicy
+from ..session import SimulationSession, ensure_session
 from ..topology.graph import ASGraph
 from ..topology.stats import summarize
 from .avoidance import run_negotiation_state, run_success_rates
@@ -31,8 +32,17 @@ def full_report(
     n_destinations: int = 8,
     sources_per_destination: int = 10,
     n_stubs: int = 12,
+    session: Optional[SimulationSession] = None,
+    include_stats: bool = True,
 ) -> str:
-    """Every table and figure on one topology, as one text report."""
+    """Every table and figure on one topology, as one text report.
+
+    One :class:`~repro.session.SimulationSession` threads through every
+    experiment, so the routing tables Table 5.2 computes are the ones
+    Table 5.3 and the figures read back from cache; the closing telemetry
+    section reports what that sharing saved.
+    """
+    session = ensure_session(graph, session)
     sections: List[str] = []
 
     summary = summarize(graph, name)
@@ -48,6 +58,7 @@ def full_report(
     series = run_diversity(
         graph, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
     sections.append(render_table(
         ["Scenario", "no-alternate", "median", "p95"],
@@ -62,6 +73,7 @@ def full_report(
     rates = run_success_rates(
         graph, name, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
     sections.append(render_table(
         ["Name", "Single", "Multi/s", "Multi/e", "Multi/a", "Source"],
@@ -72,6 +84,7 @@ def full_report(
     state = run_negotiation_state(
         graph, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
     sections.append(render_table(
         ["Policy", "Success Rate", "AS#/tuple", "Path#/tuple"],
@@ -82,6 +95,7 @@ def full_report(
     deployment = run_incremental_deployment(
         graph, n_destinations=n_destinations,
         sources_per_destination=sources_per_destination, seed=seed,
+        session=session,
     )
     lines = [
         render_series(
@@ -91,7 +105,8 @@ def full_report(
     ]
     sections.append("\n".join(lines))
 
-    traffic = run_traffic_control(graph, n_stubs=n_stubs, seed=seed)
+    traffic = run_traffic_control(graph, n_stubs=n_stubs, seed=seed,
+                                  session=session)
     sections.append(render_table(
         ["Policy/model", ">= 10%", ">= 25%"],
         [
@@ -126,12 +141,15 @@ def full_report(
     overhead = run_overhead_comparison(
         graph, n_destinations=min(6, n_destinations),
         sources_per_destination=sources_per_destination, seed=seed,
-        max_push_path_length=5,
+        max_push_path_length=5, session=session,
     )
     sections.append(render_table(
         ["Protocol", "Messages", "vs BGP"],
         overhead.as_rows(),
         title="Control-plane overhead (§3.2)",
     ))
+
+    if include_stats:
+        sections.append(session.stats.render())
 
     return "\n\n".join(sections)

@@ -2,17 +2,20 @@
 
 The paper evaluates all ~300 M (source, destination) pairs; we sample with
 a seeded RNG instead (see DESIGN.md §1).  Samples are grouped by
-destination so each routing table is computed once and reused across the
-sources drawn for it.
+destination, and routing tables come from a
+:class:`~repro.session.SimulationSession` — pass the run's shared session
+so tables sampled here are reused by every other experiment on the same
+graph (repeated sweeps then cost cache lookups, not recomputation).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..bgp.routing import RoutingTable, compute_routes
+from ..bgp.routing import RoutingTable
+from ..session import SimulationSession, ensure_session
 from ..topology.graph import ASGraph
 
 
@@ -45,13 +48,16 @@ def sample_pairs(
     n_destinations: int,
     sources_per_destination: int,
     seed: int = 0,
+    session: Optional[SimulationSession] = None,
 ) -> Iterator[PairSample]:
     """Sample reachable (source, destination) pairs, grouped by destination."""
+    session = ensure_session(graph, session)
     rng = random.Random(seed)
     ases = graph.ases
     destinations = rng.sample(ases, min(n_destinations, len(ases)))
+    tables = session.compute_many(destinations)
     for destination in destinations:
-        table = compute_routes(graph, destination)
+        table = tables[destination]
         routed = [a for a in table.routed_ases() if a != destination]
         if not routed:
             continue
@@ -66,6 +72,7 @@ def sample_triples(
     sources_per_destination: int,
     seed: int = 0,
     avoids_per_pair: int = 1,
+    session: Optional[SimulationSession] = None,
 ) -> Iterator[TripleSample]:
     """Sample (source, destination, avoid) triples for the §5.3 experiments.
 
@@ -75,7 +82,8 @@ def sample_triples(
     """
     rng = random.Random(seed)
     for pair in sample_pairs(
-        graph, n_destinations, sources_per_destination, seed=seed + 1
+        graph, n_destinations, sources_per_destination, seed=seed + 1,
+        session=session,
     ):
         path = pair.table.default_path(pair.source)
         if path is None or len(path) < 3:

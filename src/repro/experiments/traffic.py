@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..miro.policies import ExportPolicy
-from ..miro.traffic import StubControlResult, best_control_for_stub
+from ..miro.traffic import best_control_for_stub
 from ..topology.graph import ASGraph
 from .sampling import fraction_at_least
 
@@ -66,6 +66,7 @@ def run_traffic_control(
         ExportPolicy.STRICT, ExportPolicy.FLEXIBLE
     ),
     include_forced: bool = False,
+    session=None,
 ) -> TrafficControlResult:
     """Run the §5.4 evaluation over sampled multi-homed stubs.
 
@@ -73,6 +74,9 @@ def run_traffic_control(
     community-value model (the §5.4 aside), which sits between the two
     bounds.
     """
+    from ..session import ensure_session
+
+    session = ensure_session(graph, session)
     rng = random.Random(seed)
     stubs = graph.multihomed_stubs()
     sample = rng.sample(stubs, min(n_stubs, len(stubs)))
@@ -86,7 +90,7 @@ def run_traffic_control(
         for stub in sample:
             result = best_control_for_stub(
                 graph, stub, policy, max_nodes=max_nodes,
-                include_forced=include_forced,
+                include_forced=include_forced, session=session,
             )
             convert.append(result.convert_all)
             independent.append(result.independent)

@@ -17,7 +17,7 @@ negotiation even when iBGP hides them from the default selection.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..bgp.decision import RouterRoute, SessionType, decide

@@ -24,9 +24,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..bgp.route import Route
 from ..bgp.routing import RoutingTable
 from ..errors import RoutingError
 from .policies import ExportPolicy, offered_routes

@@ -19,7 +19,7 @@ parts, all implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..bgp.route import Route, RouteClass
 from ..bgp.routing import RoutingTable

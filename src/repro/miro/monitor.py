@@ -17,13 +17,13 @@ monitor current routing situations and conduct the negotiations".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..bgp.route import Route
 from ..errors import NegotiationError
 from ..policylang.config import NegotiationSpec, RequesterPolicy
 from .policies import ExportPolicy
-from .runtime import EstablishedTunnel, MiroRuntime
+from .runtime import MiroRuntime
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,29 @@ class PolicyMonitor:
         ]
         events.extend(self._negotiate(destination, spec))
         return events
+
+    def stable_state_check(
+        self, destinations, session=None
+    ) -> Dict[int, Optional[str]]:
+        """Offline §6.2.1 trigger evaluation against the stable state.
+
+        For each destination, compute the Gao–Rexford stable state (through
+        a shared :class:`~repro.session.SimulationSession`, so repeated
+        checks and other experiment layers reuse the same cached tables)
+        and evaluate this monitor's trigger rules against the candidate
+        routes the AS would hold there.  Returns ``{destination: name of
+        the negotiation spec that would fire, or None if satisfied}`` —
+        the cheap what-if operators run before deploying a policy, without
+        touching the live engine.
+        """
+        from ..session import ensure_session
+
+        session = ensure_session(self.runtime.graph, session)
+        outcome: Dict[int, Optional[str]] = {}
+        for destination, table in session.compute_many(destinations).items():
+            spec = self.policy.should_negotiate(table.candidates(self.asn))
+            outcome[destination] = None if spec is None else spec.name
+        return outcome
 
     def _tunnel_routes(self, destination: int) -> List[Route]:
         from ..bgp.policy import make_route

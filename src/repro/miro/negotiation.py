@@ -20,8 +20,8 @@ the individual steps for finer-grained use (and enforce legal ordering).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..bgp.route import Route
 from ..bgp.routing import RoutingTable

@@ -24,7 +24,7 @@ import enum
 from typing import List, Optional
 
 from ..bgp.policy import may_export
-from ..bgp.route import Route, RouteClass
+from ..bgp.route import Route
 from ..bgp.routing import RoutingTable
 from ..errors import NegotiationError
 

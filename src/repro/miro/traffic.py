@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bgp.route import Route
-from ..bgp.routing import RoutingTable, compute_routes
-from ..errors import RoutingError
+from ..bgp.routing import RoutingTable
+from ..session import SimulationSession, ensure_session
 from ..topology.graph import ASGraph
 from .policies import ExportPolicy, alternate_routes
 
@@ -190,6 +190,7 @@ def community_forced_moved_fraction(
     table: RoutingTable,
     option: PowerNodeOption,
     sources: Optional[Sequence[int]] = None,
+    session: Optional[SimulationSession] = None,
 ) -> float:
     """Fraction moved when the power node also *forces its customers*.
 
@@ -201,6 +202,7 @@ def community_forced_moved_fraction(
     the convert_all upper bound and the independent_selection lower bound.
     """
     destination = table.destination
+    session = ensure_session(graph, session)
     if sources is None:
         sources = [a for a in graph.iter_ases() if a != destination]
     before = ingress_profile(table, sources)
@@ -220,7 +222,7 @@ def community_forced_moved_fraction(
             )
         except Exception:
             continue  # e.g. the customer appears on the alternate path
-    pinned_table = compute_routes(graph, destination, pinned=pinned)
+    pinned_table = session.compute(destination, pinned=pinned)
     after = ingress_profile(pinned_table, sources)
     gained = after.counts.get(option.new_ingress, 0) - before.counts.get(
         option.new_ingress, 0
@@ -234,6 +236,7 @@ def independent_selection_moved_fraction(
     table: RoutingTable,
     option: PowerNodeOption,
     sources: Optional[Sequence[int]] = None,
+    session: Optional[SimulationSession] = None,
 ) -> float:
     """Fraction of sources moved when every AS re-selects independently
     after the power node pins the alternate route (the lower-bound model).
@@ -243,11 +246,12 @@ def independent_selection_moved_fraction(
     netted out.
     """
     destination = table.destination
+    session = ensure_session(graph, session)
     if sources is None:
         sources = [a for a in graph.iter_ases() if a != destination]
     before = ingress_profile(table, sources)
-    pinned_table = compute_routes(
-        graph, destination, pinned={option.power_node: option.alternate}
+    pinned_table = session.compute(
+        destination, pinned={option.power_node: option.alternate}
     )
     after = ingress_profile(pinned_table, sources)
     gained = after.counts.get(option.new_ingress, 0) - before.counts.get(
@@ -279,14 +283,18 @@ def best_control_for_stub(
     max_nodes: int = 8,
     sources: Optional[Sequence[int]] = None,
     include_forced: bool = False,
+    session: Optional[SimulationSession] = None,
 ) -> StubControlResult:
     """Evaluate the strongest power-node switch available to one stub.
 
     Tries the ``max_nodes`` best-covered power nodes, takes the option with
     the largest convert_all shift, and evaluates it under both bounding
     models (plus the community-forced model with ``include_forced``).
+    Thread a shared session so the base table and all pinned what-if
+    tables are cached across stubs and repeated runs.
     """
-    table = compute_routes(graph, destination)
+    session = ensure_session(graph, session)
+    table = session.compute(destination)
     options = power_node_options(
         table, policy, sources=sources, max_nodes=max_nodes
     )
@@ -300,12 +308,12 @@ def best_control_for_stub(
     if best_option is None:
         return StubControlResult(destination, 0.0, 0.0, None)
     independent = independent_selection_moved_fraction(
-        graph, table, best_option, sources=sources
+        graph, table, best_option, sources=sources, session=session
     )
     forced = 0.0
     if include_forced:
         forced = community_forced_moved_fraction(
-            graph, table, best_option, sources=sources
+            graph, table, best_option, sources=sources, session=session
         )
     return StubControlResult(
         destination, best_convert, independent, best_option, forced

@@ -10,8 +10,8 @@ and destroy the tunnel when the heartbeat timer expires.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 from ..errors import TunnelError
 

@@ -40,7 +40,7 @@ cost 120, peer routes cost 180); routes matching no rule are not offered.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..bgp.route import Route

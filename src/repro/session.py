@@ -1,0 +1,422 @@
+"""Shared simulation session: cached, parallel stable-state routing.
+
+Every evaluation in the paper (Tables 5.2/5.3, Figs. 5.2–5.7) rests on
+thousands of per-destination stable-state route computations.  Before this
+layer existed each consumer — the CLI, the experiment samplers, the traffic
+models, the data-plane forwarder — called
+:func:`repro.bgp.routing.compute_routes` ad hoc, with no sharing between
+layers, no invalidation when the topology mutated, and no visibility into
+what route computation actually cost.
+
+:class:`SimulationSession` fixes all three:
+
+* **Caching.**  A :class:`RouteTableCache` memoizes
+  :class:`~repro.bgp.routing.RoutingTable` objects keyed on
+  ``(graph.version, destination, pinned-key)``.  ``graph.version`` is the
+  monotonic mutation counter of :class:`~repro.topology.graph.ASGraph`, so a
+  link failure (or any other mutation) silently invalidates every stale
+  table: the next lookup misses and recomputes against the new topology.
+  The cache is LRU-bounded, so long sessions cannot grow without bound.
+
+* **Fan-out.**  :meth:`SimulationSession.compute_many` computes many
+  destinations at once.  Per-destination stable-state computation is
+  embarrassingly parallel (each destination's three-phase propagation is
+  independent), so uncached destinations can be dispatched across a
+  ``concurrent.futures`` process pool when the graph pickles, with a serial
+  fallback when it does not (or when the pool cannot start).  Results come
+  back in deterministic input order regardless of completion order.
+
+* **Telemetry.**  :class:`SessionStats` counts cache hits/misses, tables
+  computed, fan-outs, wall-clock time, and the peak number of cached
+  tables — surfaced by ``repro ... --stats`` on the CLI and as the closing
+  section of :func:`repro.experiments.runner.full_report`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from .bgp.route import Route
+from .bgp.routing import RoutingTable, compute_routes
+from .errors import ReproError, SessionError
+from .topology.graph import ASGraph
+
+#: ``parallel="auto"`` only spins up a pool for at least this many misses.
+AUTO_PARALLEL_THRESHOLD = 16
+
+#: Cache-key component for the pinned-route set (None when nothing pinned).
+PinnedKey = Optional[FrozenSet[Tuple[int, Route]]]
+
+#: Full cache key: (graph version, destination, pinned key).
+CacheKey = Tuple[int, int, PinnedKey]
+
+
+def pinned_key(pinned: Optional[Dict[int, Route]]) -> PinnedKey:
+    """Canonical, hashable form of a ``pinned`` route mapping."""
+    if not pinned:
+        return None
+    return frozenset(pinned.items())
+
+
+@dataclass
+class SessionStats:
+    """Routing-cost telemetry for one :class:`SimulationSession`.
+
+    All counters are cumulative over the session's lifetime; a *fan-out* is
+    one :meth:`SimulationSession.compute_many` call.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    tables_computed: int = 0
+    fanouts: int = 0
+    parallel_fanouts: int = 0
+    last_fanout_seconds: float = 0.0
+    total_compute_seconds: float = 0.0
+    peak_cached_tables: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready snapshot (counters plus the derived hit rate)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "tables_computed": self.tables_computed,
+            "fanouts": self.fanouts,
+            "parallel_fanouts": self.parallel_fanouts,
+            "last_fanout_seconds": self.last_fanout_seconds,
+            "total_compute_seconds": self.total_compute_seconds,
+            "peak_cached_tables": self.peak_cached_tables,
+            "evictions": self.evictions,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for reports and ``--stats``."""
+        return "\n".join([
+            "routing-cost telemetry:",
+            f"  cache hits / misses:   {self.hits} / {self.misses}"
+            f"  ({self.hit_rate:.1%} hit rate)",
+            f"  tables computed:       {self.tables_computed}",
+            f"  fan-outs:              {self.fanouts}"
+            f" ({self.parallel_fanouts} parallel)",
+            f"  compute wall-clock:    {self.total_compute_seconds:.3f} s"
+            f" (last fan-out {self.last_fanout_seconds:.3f} s)",
+            f"  peak cached tables:    {self.peak_cached_tables}"
+            f" ({self.evictions} evicted)",
+        ])
+
+
+class RouteTableCache:
+    """LRU-bounded memo of routing tables keyed on :data:`CacheKey`.
+
+    Keys embed the owning graph's mutation counter, so entries computed
+    against a stale topology are never served again after a mutation — they
+    simply age out of the LRU order.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise SessionError(f"cache needs room for at least 1 table, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, RoutingTable]" = OrderedDict()
+        self.peak_size = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[RoutingTable]:
+        table = self._entries.get(key)
+        if table is not None:
+            self._entries.move_to_end(key)
+        return table
+
+    def put(self, key: CacheKey, table: RoutingTable) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = table
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self.peak_size = max(self.peak_size, len(self._entries))
+
+    def prune_stale(self, current_version: int) -> int:
+        """Drop entries for graph versions other than ``current_version``."""
+        stale = [k for k in self._entries if k[0] != current_version]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing: the graph ships once per worker (initializer),
+# jobs then carry only the destination and the pinned-route items.
+# ----------------------------------------------------------------------
+_WORKER_GRAPH: Optional[ASGraph] = None
+
+
+def _pool_init(graph: ASGraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _pool_compute(
+    job: Tuple[int, Optional[Tuple[Tuple[int, Route], ...]]],
+) -> Tuple[int, Dict[int, Route]]:
+    destination, pinned_items = job
+    pinned = dict(pinned_items) if pinned_items else None
+    table = compute_routes(_WORKER_GRAPH, destination, pinned=pinned)
+    # ship only the selected-route mapping back; the parent re-wraps it
+    # around its own graph object (avoids one graph copy per table)
+    return destination, dict(table.items())
+
+
+class SimulationSession:
+    """A shared route-computation context bound to one :class:`ASGraph`.
+
+    One session threads through a whole evaluation run (CLI command, figure
+    regeneration, forwarder bring-up) so every layer draws from the same
+    cache and the same telemetry counters.
+
+    ``parallel`` picks the :meth:`compute_many` dispatch policy:
+
+    * ``"auto"`` (default) — use a process pool when the graph pickles and
+      at least :data:`AUTO_PARALLEL_THRESHOLD` destinations miss the cache;
+    * ``True`` — always try the pool for misses (still falls back to serial
+      when the pool cannot start);
+    * ``False`` — always compute serially.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        max_cached_tables: int = 1024,
+        parallel: Union[bool, str] = "auto",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if parallel not in (True, False, "auto"):
+            raise SessionError(
+                f"parallel must be True, False, or 'auto', got {parallel!r}"
+            )
+        self._graph = graph
+        self._cache = RouteTableCache(maxsize=max_cached_tables)
+        self._stats = SessionStats()
+        self._parallel = parallel
+        self._max_workers = max_workers
+        self._graph_pickles: Optional[bool] = None
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    @property
+    def stats(self) -> SessionStats:
+        self._sync_stats()
+        return self._stats
+
+    @property
+    def tables_cached(self) -> int:
+        return len(self._cache)
+
+    def _sync_stats(self) -> None:
+        self._stats.peak_cached_tables = self._cache.peak_size
+        self._stats.evictions = self._cache.evictions
+
+    def _key(self, destination: int, pinned: Optional[Dict[int, Route]]) -> CacheKey:
+        return (self._graph.version, destination, pinned_key(pinned))
+
+    # ------------------------------------------------------------------
+    # single-table interface
+    # ------------------------------------------------------------------
+    def compute(
+        self, destination: int, pinned: Optional[Dict[int, Route]] = None
+    ) -> RoutingTable:
+        """Cached equivalent of :func:`~repro.bgp.routing.compute_routes`."""
+        key = self._key(destination, pinned)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._stats.hits += 1
+            return cached
+        self._stats.misses += 1
+        start = time.perf_counter()
+        table = compute_routes(self._graph, destination, pinned=pinned)
+        self._stats.total_compute_seconds += time.perf_counter() - start
+        self._stats.tables_computed += 1
+        self._cache.put(key, table)
+        return table
+
+    def adopt(
+        self, table: RoutingTable, pinned: Optional[Dict[int, Route]] = None
+    ) -> None:
+        """Insert an externally computed table for the current graph state.
+
+        Lets callers that already hold a :class:`RoutingTable` (e.g. the
+        data-plane forwarder's constructor arguments) seed the cache instead
+        of recomputing.  Rejects tables built on a different graph.
+        """
+        if table.graph is not self._graph:
+            raise SessionError(
+                "cannot adopt a routing table computed on a different graph"
+            )
+        self._cache.put(self._key(table.destination, pinned), table)
+
+    # ------------------------------------------------------------------
+    # fan-out interface
+    # ------------------------------------------------------------------
+    def compute_many(
+        self,
+        destinations: Iterable[int],
+        pinned: Optional[Dict[int, Route]] = None,
+        parallel: Optional[Union[bool, str]] = None,
+    ) -> Dict[int, RoutingTable]:
+        """Routing tables for many destinations, cache-first.
+
+        Returns ``{destination: table}`` in the order destinations were
+        given (duplicates collapsed), regardless of which worker finished
+        first.  ``parallel`` overrides the session-wide dispatch policy for
+        this one call.
+        """
+        ordered = list(dict.fromkeys(destinations))
+        start = time.perf_counter()
+        tables: Dict[int, RoutingTable] = {}
+        misses: List[int] = []
+        for destination in ordered:
+            cached = self._cache.get(self._key(destination, pinned))
+            if cached is not None:
+                self._stats.hits += 1
+                tables[destination] = cached
+            else:
+                self._stats.misses += 1
+                misses.append(destination)
+
+        used_pool = False
+        if misses:
+            policy = self._parallel if parallel is None else parallel
+            if self._use_pool(policy, len(misses)):
+                used_pool = self._fanout_pool(misses, pinned, tables)
+            for destination in misses:
+                if destination not in tables:
+                    table = compute_routes(self._graph, destination, pinned=pinned)
+                    self._cache.put(self._key(destination, pinned), table)
+                    tables[destination] = table
+            self._stats.tables_computed += len(misses)
+
+        elapsed = time.perf_counter() - start
+        self._stats.fanouts += 1
+        self._stats.parallel_fanouts += 1 if used_pool else 0
+        self._stats.last_fanout_seconds = elapsed
+        self._stats.total_compute_seconds += elapsed
+        return {destination: tables[destination] for destination in ordered}
+
+    def _use_pool(self, policy: Union[bool, str], n_misses: int) -> bool:
+        if policy is False:
+            return False
+        if policy == "auto" and (
+            (os.cpu_count() or 1) < 2 or n_misses < AUTO_PARALLEL_THRESHOLD
+        ):
+            return False
+        if self._graph_pickles is None:
+            try:
+                pickle.dumps(self._graph)
+                self._graph_pickles = True
+            except Exception:
+                self._graph_pickles = False
+        return self._graph_pickles
+
+    def _fanout_pool(
+        self,
+        misses: List[int],
+        pinned: Optional[Dict[int, Route]],
+        tables: Dict[int, RoutingTable],
+    ) -> bool:
+        """Dispatch ``misses`` across a process pool; True on success.
+
+        Any pool-infrastructure failure (spawn refused, broken worker,
+        pickling quirk) leaves ``tables`` partially filled and returns
+        False so the caller finishes serially.  Library errors — e.g. an
+        invalid pinned route — propagate unchanged.
+        """
+        pinned_items = tuple(pinned.items()) if pinned else None
+        jobs = [(destination, pinned_items) for destination in misses]
+        workers = self._max_workers or min(len(misses), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=(self._graph,),
+            ) as pool:
+                chunk = max(1, len(jobs) // (4 * workers))
+                for destination, best in pool.map(
+                    _pool_compute, jobs, chunksize=chunk
+                ):
+                    table = RoutingTable(self._graph, destination, best)
+                    self._cache.put(self._key(destination, pinned), table)
+                    tables[destination] = table
+        except ReproError:
+            raise
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def prune_stale(self) -> int:
+        """Evict tables for superseded graph versions; return the count.
+
+        Purely a memory optimisation — stale entries can never be served
+        (their keys embed old versions) but do occupy LRU slots until they
+        age out.
+        """
+        dropped = self._cache.prune_stale(self._graph.version)
+        return dropped
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationSession(graph={self._graph!r}, "
+            f"cached={len(self._cache)}, version={self._graph.version})"
+        )
+
+
+def ensure_session(
+    graph: ASGraph, session: Optional[SimulationSession] = None
+) -> SimulationSession:
+    """Return ``session`` (validated against ``graph``) or a fresh one.
+
+    The helper every layer uses to accept an optional shared session while
+    staying usable stand-alone: callers that thread a session through get
+    cross-layer caching; callers that do not get a private session with
+    identical semantics.
+    """
+    if session is None:
+        return SimulationSession(graph)
+    if session.graph is not graph:
+        raise SessionError(
+            "session is bound to a different graph than the one passed in"
+        )
+    return session

@@ -15,7 +15,7 @@ theoretical ceiling for MIRO's flexible policy.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..errors import UnknownASError
 from ..topology.graph import ASGraph

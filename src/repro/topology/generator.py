@@ -18,8 +18,8 @@ simulation handles exhaustively; ratios between link classes are preserved.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import TopologyError
 from .graph import ASGraph

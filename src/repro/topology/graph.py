@@ -10,7 +10,7 @@ customer→provider DAG used by the convergence proofs (Ch. 7).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from ..errors import DuplicateLinkError, TopologyError, UnknownASError
 from .relationships import LinkType, Relationship, link_type_for
@@ -28,6 +28,20 @@ class ASGraph:
     def __init__(self) -> None:
         # asn -> {neighbour_asn: relationship of neighbour as seen from asn}
         self._adj: Dict[int, Dict[int, Relationship]] = {}
+        # monotonic mutation counter; cache layers key routing tables on it
+        self._version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every topology mutation (:meth:`add_as` of a new AS,
+        :meth:`add_link`, :meth:`remove_link`) and by derived-graph
+        constructors (:meth:`without_as`); preserved by :meth:`copy`.
+        Cached routing state keyed on ``(graph, version)`` is therefore
+        automatically invalidated by link failures and other mutations.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -36,7 +50,9 @@ class ASGraph:
         """Add an AS (idempotent)."""
         if not isinstance(asn, int) or asn < 0:
             raise TopologyError(f"AS number must be a non-negative int, got {asn!r}")
-        self._adj.setdefault(asn, {})
+        if asn not in self._adj:
+            self._adj[asn] = {}
+            self._version += 1
 
     def add_link(self, a: int, b: int, b_is: Relationship) -> None:
         """Add the link a—b where ``b_is`` is what b is *to a*.
@@ -52,6 +68,7 @@ class ASGraph:
             raise DuplicateLinkError(f"link {a}—{b} already exists")
         self._adj[a][b] = b_is
         self._adj[b][a] = b_is.inverse
+        self._version += 1
 
     def add_customer_link(self, provider: int, customer: int) -> None:
         """Convenience: declare ``customer`` a customer of ``provider``."""
@@ -73,6 +90,7 @@ class ASGraph:
             raise TopologyError(f"no link {a}—{b}")
         del self._adj[a][b]
         del self._adj[b][a]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -234,9 +252,15 @@ class ASGraph:
         return len(self._adj) == 0 or len(self.connected_components()) == 1
 
     def copy(self) -> "ASGraph":
-        """Deep copy of the topology."""
+        """Deep copy of the topology.
+
+        The clone carries the original's :attr:`version`; the counters then
+        diverge as either object mutates, so a session cache built against
+        one never serves tables for a mutated state of the other.
+        """
         clone = ASGraph()
         clone._adj = {a: dict(nbrs) for a, nbrs in self._adj.items()}
+        clone._version = self._version
         return clone
 
     def without_as(self, asn: int) -> "ASGraph":
@@ -247,6 +271,8 @@ class ASGraph:
             if a == asn:
                 continue
             clone._adj[a] = {b: r for b, r in nbrs.items() if b != asn}
+        # a derived (mutated) topology: strictly newer than the source
+        clone._version = self._version + 1
         return clone
 
     # ------------------------------------------------------------------

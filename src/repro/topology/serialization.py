@@ -7,7 +7,6 @@ extension, also used by some published data sets) 2 means siblings.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 from typing import TextIO, Union
 

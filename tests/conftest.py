@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.topology import ASGraph, Relationship, generate_topology, SMALL, TINY
+from repro.topology import ASGraph, generate_topology, SMALL, TINY
 
 # Paper example AS numbers.
 A, B, C, D, E, F = 1, 2, 3, 4, 5, 6

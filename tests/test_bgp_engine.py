@@ -4,7 +4,7 @@ import pytest
 
 from repro.bgp import EventDrivenBGP, compute_routes
 from repro.errors import RoutingError, TopologyError, UnknownASError
-from repro.topology import SMALL, TINY, generate_topology
+from repro.topology import TINY, generate_topology
 
 from conftest import A, B, C, D, E, F
 

@@ -3,19 +3,9 @@
 import pytest
 
 from repro.convergence import (
-    ConvergenceResult,
-    ExplicitRanker,
-    GaoRexfordRanker,
-    GuidelineMode,
-    MiroConvergenceSystem,
-    PartialOrder,
-    Selection,
-    TunnelDemand,
-    bad_gadget_bgp_system,
-    fig_7_1_graph,
-    fig_7_1_system,
-    fig_7_2_graph,
-    fig_7_2_system,
+    ExplicitRanker, GaoRexfordRanker, GuidelineMode, MiroConvergenceSystem,
+    PartialOrder, Selection, TunnelDemand, bad_gadget_bgp_system,
+    fig_7_1_graph, fig_7_1_system, fig_7_2_graph, fig_7_2_system,
     proof_schedule,
 )
 from repro.errors import ConvergenceError

@@ -164,7 +164,6 @@ class TestPacket:
         assert packet.forwarded().outer.ttl == packet.outer.ttl - 1
 
     def test_ttl_expiry(self):
-        from dataclasses import replace
 
         from repro.dataplane import IPHeader
 

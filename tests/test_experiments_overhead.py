@@ -8,9 +8,9 @@ from repro.experiments import (
     push_all_message_count,
     run_overhead_comparison,
 )
-from repro.topology import SMALL, TINY, generate_topology
+from repro.topology import SMALL, generate_topology
 
-from conftest import A, B, C, D, E, F
+from conftest import F
 
 
 class TestMessageCounts:

@@ -11,9 +11,8 @@ Each scenario mirrors one of the paper's walk-throughs:
 * full pipeline — generate topology, route, infer relationships, evaluate.
 """
 
-import pytest
 
-from repro.bgp import RouteClass, RouterRoute, compute_routes
+from repro.bgp import RouterRoute, compute_routes
 from repro.dataplane import FlowKey, Classifier, MatchRule, Packet, parse_ipv4
 from repro.intra import ASNetwork, ReservedAddressScheme, RoutingControlPlatform
 from repro.miro import (

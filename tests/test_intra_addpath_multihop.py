@@ -6,15 +6,9 @@ import pytest
 from repro.bgp import RouterRoute, compute_routes
 from repro.errors import RoutingError
 from repro.intra import ASNetwork
-from repro.miro import (
-    ContactOrder,
-    ExportPolicy,
-    NegotiationScope,
-    miro_attempt,
-)
+from repro.miro import ExportPolicy, miro_attempt
 from repro.topology import ASGraph
 
-from conftest import A, B, C, D, E, F
 
 PREFIX = "12.34.0.0/16"
 V, W, U = 100, 200, 300

@@ -8,7 +8,7 @@ and R3 pick different AS paths, and R1 follows IGP distance.
 
 import pytest
 
-from repro.bgp import OriginType, RouterRoute, SessionType
+from repro.bgp import RouterRoute
 from repro.errors import RoutingError, TopologyError
 from repro.intra import ASNetwork
 

@@ -119,7 +119,6 @@ class TestMiroAttempt:
 
     def test_success_monotone_in_policy(self, small_graph):
         """strict ⊆ export ⊆ flexible success sets (per tuple)."""
-        import random
 
         from repro.experiments import sample_triples
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp import RouteClass, compute_routes, make_route
+from repro.bgp import compute_routes, make_route
 from repro.errors import NegotiationError
 from repro.miro import (
     ClassBasedPricing,
@@ -18,7 +18,7 @@ from repro.miro import (
 )
 from repro.miro.negotiation import OfferedRoute, ResponderConfig
 
-from conftest import A, B, C, D, E, F
+from conftest import A, B, C, E, F
 
 
 @pytest.fixture

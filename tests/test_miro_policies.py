@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp import RouteClass, compute_routes
+from repro.bgp import compute_routes
 from repro.errors import NegotiationError
 from repro.miro import (
     ExportPolicy,

@@ -7,7 +7,7 @@ from repro.errors import DataPlaneError, RoutingError
 from repro.miro import SplicedForwarding, recovery_rate
 from repro.topology import SMALL, generate_topology
 
-from conftest import A, B, C, D, E, F
+from conftest import A, B, C, E, F
 
 
 @pytest.fixture

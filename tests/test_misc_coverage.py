@@ -10,7 +10,7 @@ from repro.errors import (
     UnknownASError,
 )
 
-from conftest import A, B, C, D, E, F
+from conftest import B, C, E, F
 
 
 class TestErrors:

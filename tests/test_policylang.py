@@ -3,7 +3,7 @@ negotiation configuration."""
 
 import pytest
 
-from repro.bgp import RouteClass, compute_routes, make_route
+from repro.bgp import compute_routes, make_route
 from repro.errors import PolicyError, PolicySyntaxError
 from repro.policylang import (
     AsPathAccessList,
@@ -16,7 +16,7 @@ from repro.policylang import (
     path_to_string,
 )
 
-from conftest import A, B, C, D, E, F
+from conftest import A, B, C, E, F
 
 
 class TestAsPathRegex:

@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import pytest
 
 from repro.errors import PolicySyntaxError
 from repro.policylang import AsPathAccessList, parse_config

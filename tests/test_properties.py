@@ -26,7 +26,7 @@ from repro.dataplane import (
     flow_hash,
 )
 from repro.policylang import compile_aspath_regex, path_to_string
-from repro.topology import ASGraph, Relationship, dumps, loads
+from repro.topology import ASGraph, dumps, loads
 
 # ---------------------------------------------------------------------------
 # strategies

@@ -1,0 +1,479 @@
+"""Tests for the shared simulation session (repro.session).
+
+Covers the versioned-graph cache key (mutations invalidate silently),
+the LRU bound, the fan-out interface, error propagation for invalid
+pinned routes, and the cross-layer sharing the session exists for:
+Table 5.2 and Table 5.3 on the same graph must hit the cache.
+"""
+
+import pytest
+
+from repro.bgp import compute_all_routes, compute_routes, make_route
+from repro.errors import RoutingError, SessionError
+from repro.session import (
+    AUTO_PARALLEL_THRESHOLD,
+    RouteTableCache,
+    SimulationSession,
+    ensure_session,
+    pinned_key,
+)
+from repro.topology import ASGraph
+
+from conftest import A, B, C, D, E, F
+
+
+class TestGraphVersion:
+    def test_fresh_graph_starts_at_zero(self):
+        assert ASGraph().version == 0
+
+    def test_add_as_bumps_once(self):
+        graph = ASGraph()
+        graph.add_as(1)
+        after_first = graph.version
+        graph.add_as(1)  # idempotent: no state change, no bump
+        assert graph.version == after_first == 1
+
+    def test_add_link_bumps(self, paper_graph):
+        before = paper_graph.version
+        paper_graph.add_peer_link(B, D)
+        assert paper_graph.version > before
+
+    def test_remove_link_bumps(self, paper_graph):
+        before = paper_graph.version
+        paper_graph.remove_link(B, E)
+        assert paper_graph.version > before
+
+    def test_copy_preserves_version(self, paper_graph):
+        assert paper_graph.copy().version == paper_graph.version
+
+    def test_copy_diverges_after_mutation(self, paper_graph):
+        clone = paper_graph.copy()
+        clone.remove_link(B, E)
+        assert clone.version != paper_graph.version
+        assert paper_graph.has_link(B, E)
+
+    def test_without_as_is_strictly_newer(self, paper_graph):
+        assert paper_graph.without_as(A).version > paper_graph.version
+
+
+class TestRouteTableCache:
+    def _table(self, graph, destination):
+        return compute_routes(graph, destination)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SessionError):
+            RouteTableCache(maxsize=0)
+
+    def test_lru_evicts_oldest(self, paper_graph):
+        cache = RouteTableCache(maxsize=2)
+        for destination in (F, E, D):
+            cache.put((0, destination, None),
+                      self._table(paper_graph, destination))
+        assert len(cache) == 2
+        assert (0, F, None) not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self, paper_graph):
+        cache = RouteTableCache(maxsize=2)
+        cache.put((0, F, None), self._table(paper_graph, F))
+        cache.put((0, E, None), self._table(paper_graph, E))
+        assert cache.get((0, F, None)) is not None  # F becomes most recent
+        cache.put((0, D, None), self._table(paper_graph, D))
+        assert (0, F, None) in cache
+        assert (0, E, None) not in cache
+
+    def test_peak_size_tracks_high_water_mark(self, paper_graph):
+        cache = RouteTableCache(maxsize=8)
+        for destination in (F, E, D):
+            cache.put((0, destination, None),
+                      self._table(paper_graph, destination))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.peak_size == 3
+
+    def test_prune_stale_drops_old_versions_only(self, paper_graph):
+        cache = RouteTableCache(maxsize=8)
+        cache.put((0, F, None), self._table(paper_graph, F))
+        cache.put((1, F, None), self._table(paper_graph, F))
+        assert cache.prune_stale(current_version=1) == 1
+        assert (1, F, None) in cache
+        assert (0, F, None) not in cache
+
+
+class TestPinnedKey:
+    def test_none_and_empty_collapse(self):
+        assert pinned_key(None) is None
+        assert pinned_key({}) is None
+
+    def test_order_independent(self, paper_graph):
+        r1 = make_route(paper_graph, (B, C, F))
+        r2 = make_route(paper_graph, (A, B, C, F))
+        assert pinned_key({B: r1, A: r2}) == pinned_key({A: r2, B: r1})
+
+
+class TestCompute:
+    def test_matches_compute_routes(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        direct = compute_routes(paper_graph, F)
+        cached = session.compute(F)
+        assert dict(cached.items()) == dict(direct.items())
+
+    def test_repeat_is_a_hit_and_same_object(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        first = session.compute(F)
+        second = session.compute(F)
+        assert second is first
+        assert session.stats.hits == 1
+        assert session.stats.misses == 1
+        assert session.stats.tables_computed == 1
+
+    def test_pinned_tables_cached_separately(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        base = session.compute(F)
+        alternate = [r for r in base.candidates(B) if r.path == (B, C, F)][0]
+        pinned = session.compute(F, pinned={B: alternate})
+        assert pinned is not base
+        assert pinned.best(B).path == (B, C, F)
+        # both keys live side by side; repeats hit
+        assert session.compute(F) is base
+        assert session.compute(F, pinned={B: alternate}) is pinned
+
+    def test_hit_rate_rendering(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        assert session.stats.hit_rate == 0.0
+        session.compute(F)
+        session.compute(F)
+        text = session.stats.render()
+        assert "cache hits / misses:   1 / 1" in text
+        assert "50.0%" in text
+
+    def test_invalid_parallel_policy_rejected(self, paper_graph):
+        with pytest.raises(SessionError):
+            SimulationSession(paper_graph, parallel="sometimes")
+
+
+class TestPinnedValidationThroughSession:
+    """compute_routes' pinned-route validation must surface unchanged
+    through the cache layer — and a failed computation must not poison it."""
+
+    def test_wrong_holder_rejected(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        route = make_route(paper_graph, (B, C, F))
+        with pytest.raises(RoutingError):
+            session.compute(F, pinned={A: route})
+
+    def test_wrong_destination_rejected(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        route = make_route(paper_graph, (B, E))
+        with pytest.raises(RoutingError):
+            session.compute(F, pinned={B: route})
+
+    def test_pin_at_destination_rejected(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        route = make_route(paper_graph, (F,))
+        with pytest.raises(RoutingError):
+            session.compute(F, pinned={F: route})
+
+    def test_failure_is_not_cached(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        bad = make_route(paper_graph, (B, E))
+        for _ in range(2):
+            with pytest.raises(RoutingError):
+                session.compute(F, pinned={B: bad})
+        assert session.tables_cached == 0
+        assert session.stats.hits == 0
+        # the session still works for valid queries afterwards
+        assert session.compute(F).best(B).path == (B, E, F)
+
+    def test_compute_many_propagates_pinned_errors(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        bad = make_route(paper_graph, (F,))
+        with pytest.raises(RoutingError):
+            session.compute_many([F], pinned={F: bad})
+
+
+class TestInvalidationOnMutation:
+    def test_remove_link_invalidates_cached_tables(self, paper_graph):
+        """Regression test: a link failure must not serve stale routes.
+
+        B's best route to F uses the B—E link; after that link fails the
+        next compute() must miss the cache and select BCF instead.
+        """
+        session = SimulationSession(paper_graph)
+        stale = session.compute(F)
+        assert stale.best(B).path == (B, E, F)
+
+        paper_graph.remove_link(B, E)
+        fresh = session.compute(F)
+        assert fresh is not stale
+        assert fresh.best(B).path == (B, C, F)
+        assert session.stats.hits == 0
+        assert session.stats.misses == 2
+        # the new state is cached under the new version
+        assert session.compute(F) is fresh
+        assert session.stats.hits == 1
+
+    def test_prune_stale_reclaims_superseded_entries(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        session.compute(E)
+        paper_graph.remove_link(B, E)
+        session.compute(F)
+        assert session.tables_cached == 3
+        assert session.prune_stale() == 2
+        assert session.tables_cached == 1
+
+    def test_lru_bound_limits_growth(self, paper_graph):
+        session = SimulationSession(paper_graph, max_cached_tables=2)
+        for destination in (F, E, D, C):
+            session.compute(destination)
+        assert session.tables_cached == 2
+        assert session.stats.evictions == 2
+        assert session.stats.peak_cached_tables == 2
+
+
+class TestComputeMany:
+    def test_order_and_dedup(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        tables = session.compute_many([F, E, F, D, E])
+        assert list(tables) == [F, E, D]
+        assert session.stats.tables_computed == 3
+
+    def test_mixed_cached_and_uncached(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        tables = session.compute_many([F, E])
+        assert session.stats.hits == 1
+        assert session.stats.misses == 2
+        assert tables[F].best(B).path == (B, E, F)
+        assert tables[E].destination == E
+
+    def test_counts_fanouts(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute_many([F, E])
+        session.compute_many([F, E])
+        assert session.stats.fanouts == 2
+        assert session.stats.hit_rate == 0.5
+        assert session.stats.last_fanout_seconds >= 0.0
+
+    def test_serial_policy_never_uses_pool(self, paper_graph):
+        session = SimulationSession(paper_graph, parallel=False)
+        session.compute_many(list(paper_graph.iter_ases()))
+        assert session.stats.parallel_fanouts == 0
+
+    def test_auto_stays_serial_below_threshold(self, paper_graph):
+        session = SimulationSession(paper_graph, parallel="auto")
+        assert len(paper_graph) < AUTO_PARALLEL_THRESHOLD
+        session.compute_many(list(paper_graph.iter_ases()))
+        assert session.stats.parallel_fanouts == 0
+
+    def test_per_call_override_beats_session_policy(self, paper_graph):
+        session = SimulationSession(paper_graph, parallel=True,
+                                    max_workers=2)
+        session.compute_many([F, E], parallel=False)
+        assert session.stats.parallel_fanouts == 0
+
+
+class TestParallelFanout:
+    @pytest.mark.parametrize("destination_count", [6])
+    def test_pool_matches_serial(self, small_graph, destination_count):
+        destinations = small_graph.ases[:destination_count]
+        serial = SimulationSession(small_graph, parallel=False)
+        forced = SimulationSession(small_graph, parallel=True, max_workers=2)
+        serial_tables = serial.compute_many(destinations)
+        pool_tables = forced.compute_many(destinations)
+        assert forced.stats.parallel_fanouts == 1
+        for destination in destinations:
+            assert (
+                dict(pool_tables[destination].items())
+                == dict(serial_tables[destination].items())
+            )
+
+    def test_pool_results_are_cached(self, small_graph):
+        session = SimulationSession(small_graph, parallel=True, max_workers=2)
+        destinations = small_graph.ases[:4]
+        first = session.compute_many(destinations)
+        second = session.compute_many(destinations)
+        assert session.stats.hits == len(destinations)
+        for destination in destinations:
+            assert second[destination] is first[destination]
+
+    def test_pool_tables_wrap_parent_graph(self, small_graph):
+        session = SimulationSession(small_graph, parallel=True, max_workers=2)
+        tables = session.compute_many(small_graph.ases[:3])
+        for table in tables.values():
+            assert table.graph is small_graph
+
+
+class TestComputeAllRoutes:
+    def test_defaults_to_every_as(self, paper_graph):
+        tables = compute_all_routes(paper_graph)
+        assert sorted(tables) == paper_graph.ases
+
+    def test_shares_a_passed_session(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        compute_all_routes(paper_graph, [F, E], session=session)
+        assert session.stats.hits == 1
+        assert session.stats.tables_computed == 2
+
+    def test_rejects_foreign_session(self, paper_graph, triangle_graph):
+        session = SimulationSession(triangle_graph)
+        with pytest.raises(SessionError):
+            compute_all_routes(paper_graph, [F], session=session)
+
+
+class TestEnsureSessionAndAdopt:
+    def test_none_makes_fresh_session(self, paper_graph):
+        session = ensure_session(paper_graph)
+        assert session.graph is paper_graph
+
+    def test_same_graph_passes_through(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        assert ensure_session(paper_graph, session) is session
+
+    def test_copy_is_a_different_graph(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        with pytest.raises(SessionError):
+            ensure_session(paper_graph.copy(), session)
+
+    def test_adopt_seeds_the_cache(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        table = compute_routes(paper_graph, F)
+        session.adopt(table)
+        assert session.compute(F) is table
+        assert session.stats.hits == 1
+        assert session.stats.tables_computed == 0
+
+    def test_adopt_rejects_foreign_table(self, paper_graph):
+        table = compute_routes(paper_graph.copy(), F)
+        session = SimulationSession(paper_graph)
+        with pytest.raises(SessionError):
+            session.adopt(table)
+
+
+class TestForwarderIntegration:
+    def test_forwarder_adopts_constructor_tables(self, paper_graph):
+        from repro.dataplane import ASLevelForwarder
+
+        session = SimulationSession(paper_graph)
+        tables = {F: compute_routes(paper_graph, F)}
+        ASLevelForwarder(tables, session=session)
+        assert session.compute(F) is tables[F]
+        assert session.stats.tables_computed == 0
+
+    def test_on_demand_tables_come_from_shared_session(self, paper_graph):
+        from repro.dataplane import ASLevelForwarder
+
+        session = SimulationSession(paper_graph)
+        warm = session.compute(E)  # e.g. the control plane already ran
+        forwarder = ASLevelForwarder(
+            {F: session.compute(F)}, session=session
+        )
+        forwarder._ensure_destination(E)
+        assert forwarder._tables[E] is warm
+
+
+class TestMonitorStableStateCheck:
+    CONFIG = f"""
+router bgp {A}
+route-map AVOID permit 10
+ match empty path 200
+ try negotiation NEG
+ip as-path access-list 200 deny _{E}_
+negotiation NEG
+ match avoid {E}
+"""
+
+    def _monitor(self, paper_graph):
+        from repro.miro import ExportPolicy, MiroRuntime, PolicyMonitor
+        from repro.policylang import parse_config
+
+        runtime = MiroRuntime(paper_graph)
+        return PolicyMonitor(
+            runtime, A, parse_config(self.CONFIG).requester,
+            export_policy=ExportPolicy.EXPORT,
+        )
+
+    def test_trigger_fires_offline(self, paper_graph):
+        monitor = self._monitor(paper_graph)
+        # both of A's stable-state candidates to F traverse E
+        assert monitor.stable_state_check([F]) == {F: "NEG"}
+
+    def test_satisfied_destination_reports_none(self, paper_graph):
+        monitor = self._monitor(paper_graph)
+        # A reaches B directly, no E on any candidate
+        assert monitor.stable_state_check([B]) == {B: None}
+
+    def test_check_populates_shared_session(self, paper_graph):
+        monitor = self._monitor(paper_graph)
+        session = SimulationSession(paper_graph)
+        monitor.stable_state_check([F, B], session=session)
+        assert session.stats.misses == 2
+        session.compute(F)
+        assert session.stats.hits == 1
+
+
+class TestCrossExperimentSharing:
+    def test_tables_5_2_and_5_3_share_tables(self, small_graph):
+        """The acceptance criterion: running Table 5.2 then Table 5.3 on
+        the same graph through one session must report nonzero cache hits
+        — the second experiment reads tables the first computed."""
+        from repro.experiments import (
+            run_negotiation_state, run_success_rates,
+        )
+
+        session = SimulationSession(small_graph)
+        run_success_rates(small_graph, "small", n_destinations=4,
+                          sources_per_destination=5, seed=3, session=session)
+        after_first = session.stats.hits
+        run_negotiation_state(small_graph, n_destinations=4,
+                              sources_per_destination=5, seed=3,
+                              session=session)
+        assert session.stats.hits > after_first
+        assert session.stats.hits > 0
+
+    def test_export_document_carries_session_stats(self, tiny_graph):
+        from repro.experiments.export import export_results
+
+        document = export_results(
+            tiny_graph, "tiny", seed=1, n_destinations=2,
+            sources_per_destination=3, n_stubs=2,
+        )
+        stats = document["session_stats"]
+        assert stats["tables_computed"] > 0
+        assert stats["hits"] > 0
+        assert 0.0 < stats["hit_rate"] <= 1.0
+
+
+class TestCliStats:
+    def test_route_stats_flag(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "route", "--profile", "tiny", "--seed", "1",
+            "--destination", "1", "--limit", "3", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "routing-cost telemetry:" in out
+        assert "tables computed:       1" in out
+
+    def test_experiment_stats_flag(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "experiment", "--profile", "tiny", "--seed", "1",
+            "table5.2", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5.2" in out
+        assert "routing-cost telemetry:" in out
+
+    def test_stats_off_by_default(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "route", "--profile", "tiny", "--seed", "1",
+            "--destination", "1", "--limit", "3",
+        ]) == 0
+        assert "telemetry" not in capsys.readouterr().out

@@ -10,13 +10,7 @@ import pytest
 from repro.bgp import compute_routes
 from repro.errors import TopologyError
 from repro.topology import (
-    ASGraph,
-    Relationship,
-    TINY,
-    generate_topology,
-    infer_agarwal,
-    infer_gao,
-    inference_accuracy,
+    ASGraph, Relationship, infer_agarwal, infer_gao, inference_accuracy,
 )
 
 
