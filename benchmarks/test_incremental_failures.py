@@ -1,0 +1,95 @@
+"""Full vs. incremental route recomputation under single-link failures.
+
+A link failure invalidates only the routes that traversed it, so
+``recompute_routes`` re-settles a small affected region instead of the
+whole table.  This benchmark samples single-link failures on the Gao
+2005 data set and times both strategies per event; the incremental path
+must be at least 5x faster in aggregate.  Events/second and the mean
+affected-set fraction are emitted as a JSON blob for trend tracking.
+"""
+
+import json
+import random
+import time
+
+from repro.bgp import compute_routes, recompute_routes
+from repro.bgp.routing import affected_ases
+from repro.session import SimulationSession
+from repro.topology import TopologyDelta
+
+N_EVENTS = 25
+SEED = 42
+
+
+def test_incremental_beats_full_on_single_link_failures(benchmark, gao_2005):
+    graph = gao_2005
+    destination = graph.ases[0]
+    before = compute_routes(graph, destination)
+    rng = random.Random(SEED)
+    candidates = [
+        (a, b) for a, b, _ in sorted(graph.iter_links())
+        if destination not in (a, b)
+    ]
+    events = rng.sample(candidates, N_EVENTS)
+
+    def sweep():
+        full_seconds = incremental_seconds = 0.0
+        affected_total = 0
+        for a, b in events:
+            applied = TopologyDelta.link_down(a, b).apply(graph)
+            affected = affected_ases(graph, before, applied.changed_links)
+            affected_total += len(affected or ())
+            start = time.perf_counter()
+            incremental = recompute_routes(graph, before, applied)
+            incremental_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            full = compute_routes(graph, destination)
+            full_seconds += time.perf_counter() - start
+            assert {n: r.path for n, r in incremental.items()} == (
+                {n: r.path for n, r in full.items()}
+            )
+            applied.revert()
+        return full_seconds, incremental_seconds, affected_total
+
+    full_seconds, incremental_seconds, affected_total = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    mean_affected_fraction = affected_total / (N_EVENTS * len(graph.ases))
+    print()
+    print("INCREMENTAL-FAILURES-BENCH " + json.dumps({
+        "n_events": N_EVENTS,
+        "full_seconds": round(full_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup": round(full_seconds / incremental_seconds, 2)
+        if incremental_seconds else None,
+        "events_per_second": round(N_EVENTS / incremental_seconds, 2)
+        if incremental_seconds else None,
+        "mean_affected_fraction": round(mean_affected_fraction, 6),
+    }))
+
+    # the acceptance bar: incremental at least 5x faster in aggregate
+    assert incremental_seconds * 5 <= full_seconds
+
+
+def test_session_derives_after_failure(benchmark, gao_2005):
+    """Post-failure cache misses are served by derivation, not full
+    computation, and the derived tables come out at cache-like cost."""
+    destinations = gao_2005.ases[:10]
+    session = SimulationSession(gao_2005, parallel=False)
+    session.compute_many(destinations)  # warm the pre-failure tables
+    links = sorted(gao_2005.iter_links())
+    a, b = next(
+        (x, y) for x, y, _ in links
+        if not set(destinations) & {x, y}
+    )
+
+    def fail_and_refresh():
+        applied = TopologyDelta.link_down(a, b).apply(gao_2005)
+        session.compute_many(destinations)
+        applied.revert()
+
+    benchmark(fail_and_refresh)
+    stats = session.stats
+    assert stats.tables_derived > 0
+    assert stats.tables_computed == len(destinations)

@@ -18,7 +18,13 @@ from .policy import (
     select_best,
 )
 from .route import Route, RouteClass, better
-from .routing import RoutingTable, compute_all_routes, compute_routes
+from .routing import (
+    RoutingTable,
+    affected_ases,
+    compute_all_routes,
+    compute_routes,
+    recompute_routes,
+)
 
 __all__ = [
     "Route",
@@ -31,6 +37,8 @@ __all__ = [
     "select_best",
     "RoutingTable",
     "compute_routes",
+    "recompute_routes",
+    "affected_ases",
     "compute_all_routes",
     "RouterRoute",
     "OriginType",

@@ -23,13 +23,23 @@ lets everyone else re-select — the *independent_selection* model of §5.4.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..session import SimulationSession
 
 from ..errors import RoutingError, UnknownASError
-from ..topology.graph import ASGraph
+from ..topology.graph import ASGraph, LinkKey, link_key
 from .policy import exportable_route, make_route
 from .route import Route, RouteClass
 
@@ -220,6 +230,205 @@ def _run_phase(
             if route.contains(neighbor):
                 continue
             heapq.heappush(heap, (length + 1, (neighbor,) + route.path))
+
+
+def affected_ases(
+    graph: ASGraph,
+    table: RoutingTable,
+    changed: Optional[Iterable[Tuple[int, int]]],
+) -> Optional[Set[int]]:
+    """ASes whose stable route an incremental recompute must re-settle.
+
+    ``changed`` is the set of links that changed between the state
+    ``table`` was computed for and the current state of ``graph``
+    (endpoint order irrelevant) — typically
+    :attr:`repro.topology.delta.AppliedDelta.changed_links` or
+    :meth:`repro.topology.graph.ASGraph.changed_links_since`.
+
+    For a pure **failure** delta (every changed link is absent from the
+    current graph) the affected set is the ASes whose old stable route
+    traversed a changed link (or a removed AS): removing links only
+    removes candidate paths, every unaffected AS's old route — and, by
+    tree consistency, its next hop's whole chain — survives, and the
+    deterministic shortest-first relaxation re-selects it.  Re-settling
+    the affected region with the rest seeded as fixed then reproduces the
+    full computation's output, *unless* an affected AS's new export
+    improved (a lost customer route can reveal a shorter, less preferred
+    path) — :func:`recompute_routes` detects that at the region boundary
+    and falls back to a full computation (the randomized differential
+    test in ``tests/test_incremental_routing.py`` exercises this
+    equivalence).
+
+    Returns ``None`` when incremental recomputation is *not* applicable
+    and the caller must fall back to :func:`compute_routes`:
+
+    * ``changed`` is ``None`` (the change window is unknown),
+    * a changed link is currently present — an added or re-added link can
+      improve routes of ASes far from it, so no cheap superset of the
+      affected region exists, or
+    * the destination itself left the graph.
+    """
+    if changed is None:
+        return None
+    changed_keys: FrozenSet[LinkKey] = frozenset(
+        link_key(a, b) for a, b in changed
+    )
+    if table.destination not in graph:
+        return None
+    for a, b in changed_keys:
+        if graph.has_link(a, b):
+            return None  # link addition (or re-addition): no local bound
+    # A path can only visit a removed AS by crossing one of its former
+    # (hence changed) links, so missing-node detection needs to look at
+    # changed-link endpoints only, and each hop check is one set probe.
+    removed = frozenset(
+        p for key in changed_keys for p in key if p not in graph
+    )
+    hops = changed_keys | frozenset((b, a) for a, b in changed_keys)
+    affected: Set[int] = set()
+    for asn, route in table.items():
+        path = route.path
+        if not hops.isdisjoint(zip(path, path[1:])) or (
+            removed and not removed.isdisjoint(path)
+        ):
+            affected.add(asn)
+    return affected
+
+
+def recompute_routes(
+    graph: ASGraph,
+    table: RoutingTable,
+    changed: Optional[Iterable[Tuple[int, int]]],
+    affected: Optional[Set[int]] = None,
+) -> RoutingTable:
+    """Incrementally update ``table`` after the given link changes.
+
+    Re-settles only the affected region (see :func:`affected_ases`),
+    seeding every other AS's old route as fixed, and runs the same
+    three-phase relaxation as :func:`compute_routes` — the result is
+    identical to a fresh full computation on the current graph, at a cost
+    proportional to the affected region instead of the whole topology.
+    Falls back to :func:`compute_routes` whenever the affected set cannot
+    be bounded (see :func:`affected_ases`).
+
+    ``changed`` may be an iterable of ``(a, b)`` link pairs or an
+    :class:`repro.topology.delta.AppliedDelta`; ``affected`` may be
+    passed pre-computed to avoid deriving it twice.
+    """
+    destination = table.destination
+    if destination not in graph:
+        raise UnknownASError(destination)
+    if changed is not None and hasattr(changed, "changed_links"):
+        changed = changed.changed_links  # an AppliedDelta
+    if affected is None:
+        affected = affected_ases(graph, table, changed)
+        if affected is None:
+            return compute_routes(graph, destination)
+
+    best: Dict[int, Route] = {
+        asn: route
+        for asn, route in table.items()
+        if asn not in affected and asn in graph
+    }
+    best[destination] = Route((destination,), RouteClass.ORIGIN)
+    unsettled = {asn for asn in affected if asn in graph}
+
+    # Only routes held on the border of the unsettled region can
+    # propagate into it: a seed with no unsettled neighbour expands, if
+    # popped, solely toward ASes that are already settled, so its heap
+    # entry is dead weight.  Seeding just the frontier keeps each phase's
+    # cost proportional to the affected region, not the whole topology.
+    frontier = {
+        neighbor
+        for asn in unsettled
+        for neighbor in graph.neighbors(asn)
+        if neighbor in best
+    }
+
+    # Each phase replays compute_routes exactly, with one addition: a
+    # frontier seed whose route belongs to the phase gets its own
+    # (length, path) entry pushed, so popping it triggers the same
+    # intra-phase expansion (providers/peers' siblings/customers) the
+    # full run performs when that AS first adopts the route.
+
+    # ---- Phase 1: customer routes climb the hierarchy -----------------
+    heap: List[Tuple[int, Tuple[int, ...]]] = []
+    for asn in frontier:
+        route = best[asn]
+        if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+            heapq.heappush(heap, (route.length, route.path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    # ---- Phase 2: customer routes cross peering links -----------------
+    unsettled -= best.keys()
+    heap = []
+    for asn in frontier:
+        if best[asn].route_class is RouteClass.PEER:
+            heapq.heappush(heap, (best[asn].length, best[asn].path))
+    for asn in unsettled:
+        for peer in graph.peers(asn):
+            route = best.get(peer)
+            if route is None or route.route_class not in (
+                RouteClass.ORIGIN, RouteClass.CUSTOMER
+            ):
+                continue
+            if route.contains(asn):
+                continue
+            heapq.heappush(heap, (len(route.path), (asn,) + route.path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    # ---- Phase 3: best routes flow down to customers -------------------
+    unsettled -= best.keys()
+    heap = []
+    for asn in frontier:
+        if best[asn].route_class is RouteClass.PROVIDER:
+            heapq.heappush(heap, (best[asn].length, best[asn].path))
+    for asn in unsettled:
+        for provider in graph.providers(asn):
+            route = best.get(provider)
+            if route is None:
+                continue
+            if route.contains(asn):
+                continue
+            heapq.heappush(heap, (len(route.path), (asn,) + route.path))
+    _run_phase(
+        graph, best, heap,
+        expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
+        fixed=set(best),
+    )
+
+    # A failure can *improve* an AS's export: the selected route is not
+    # the shortest available path, so losing a customer route may reveal
+    # a shorter (if less preferred) one, whose export downstream then
+    # beats routes the old table kept.  Unaffected ASes were seeded as
+    # fixed, so verify each is still locally stable against the
+    # re-settled region's new offers; a violation means the affected
+    # bound was not closed and only a full recomputation is safe.
+    for asn in affected:
+        route = best.get(asn)
+        if route is None:
+            continue
+        for neighbor in graph.neighbors(asn):
+            if neighbor in affected or neighbor == destination:
+                continue
+            offer = exportable_route(graph, route, neighbor)
+            if offer is None:
+                continue
+            current = best.get(neighbor)
+            if current is None or (
+                offer.preference_key() > current.preference_key()
+            ):
+                return compute_routes(graph, destination)
+
+    return RoutingTable(graph, destination, best)
 
 
 def compute_all_routes(

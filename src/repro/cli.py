@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
-    repro topology    generate a topology, print its Table 5.1 attributes,
-                      optionally dump it in CAIDA format
-    repro route       compute and print routes toward one destination
-    repro avoid       run the avoid-an-AS application for one triple
-    repro experiment  regenerate a paper table/figure on a chosen profile
+    repro topology       generate a topology, print its Table 5.1
+                         attributes, optionally dump it in CAIDA format
+    repro route          compute and print routes toward one destination
+    repro avoid          run the avoid-an-AS application for one triple
+    repro experiment     regenerate a paper table/figure on a chosen profile
+    repro failure-sweep  measure BGP vs MIRO recovery from sampled failures
 
 Every command takes ``--profile``/``--seed`` (or ``--topology FILE`` to
 load a CAIDA-format dump) so runs are reproducible.
@@ -146,6 +147,31 @@ def _cmd_avoid(args: argparse.Namespace) -> int:
     return 0 if attempt.success else 2
 
 
+def _cmd_failure_sweep(args: argparse.Namespace) -> int:
+    from .experiments import render_table, run_failure_sweep
+
+    graph = _build_graph(args)
+    session = _build_session(args, graph)
+    name = args.topology or args.profile
+    sweep = run_failure_sweep(
+        graph, name, n_events=args.events,
+        as_failure_fraction=args.as_fraction,
+        n_destinations=args.destinations, seed=args.seed, session=session,
+    )
+    print(render_table(
+        ["Recovery scheme", "Recovered"],
+        sweep.as_rows(),
+        title=(
+            f"failure sweep on {name}: {sweep.n_link_events} link / "
+            f"{sweep.n_as_events} AS failures, "
+            f"{sweep.disrupted_sources} disrupted sources"
+        ),
+    ))
+    print(f"mean affected-set fraction: {sweep.mean_affected_fraction:.1%}")
+    _maybe_print_stats(args, session)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import (
         render_series,
@@ -263,6 +289,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "ch7", "overhead", "all"],
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    failures = sub.add_parser(
+        "failure-sweep",
+        help="BGP vs MIRO recovery from sampled link/AS failures",
+    )
+    _add_topology_args(failures)
+    _add_session_args(failures)
+    failures.add_argument("--events", type=int, default=12,
+                          help="failure events to sample (default 12)")
+    failures.add_argument("--as-fraction", type=float, default=0.25,
+                          help="fraction of events failing a whole AS "
+                               "instead of one link (default 0.25)")
+    failures.add_argument("--destinations", type=int, default=5,
+                          help="destinations scored per event (default 5)")
+    failures.set_defaults(func=_cmd_failure_sweep)
     return parser
 
 

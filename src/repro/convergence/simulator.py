@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConvergenceError
-from ..topology.graph import ASGraph
+from ..topology.delta import AppliedDelta, TopologyDelta
+from ..topology.graph import ASGraph, link_key
 from ..topology.relationships import Relationship
 from .model import (
     GuidelineMode,
@@ -299,6 +300,35 @@ class MiroConvergenceSystem:
                 self.effective[(asn, dest)] = new_effective
                 changed = True
         return changed
+
+    def apply_event(self, delta: TopologyDelta) -> AppliedDelta:
+        """Apply a topology event mid-simulation and withdraw stale routes.
+
+        The delta executes as a transaction on the live graph; every
+        selection (in both layers) whose path crosses a link the event
+        took down is withdrawn, like the burst of BGP withdrawals a real
+        failure triggers, and the next :meth:`run` re-converges from that
+        partial state.  Returns the transaction record so the caller can
+        later :meth:`~repro.topology.delta.AppliedDelta.revert` the
+        topology change — reverting restores the graph, not the
+        pre-event selections, so re-convergence after a repair is also
+        observable.
+        """
+        applied = delta.apply(self.graph)
+        down = {
+            link for link in applied.changed_links
+            if not self.graph.has_link(*link)
+        }
+        for state in (self.bgp, self.effective):
+            for key, selection in state.items():
+                if selection is None:
+                    continue
+                path = selection.path
+                if any(
+                    link_key(a, b) in down for a, b in zip(path, path[1:])
+                ):
+                    state[key] = None
+        return applied
 
     def fingerprint(self) -> Tuple:
         """Hashable snapshot of the whole system state."""

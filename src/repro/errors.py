@@ -60,5 +60,9 @@ class ConvergenceError(ReproError):
     """Convergence-simulation misuse (e.g. querying an unfinished run)."""
 
 
+class ExperimentError(ReproError):
+    """An experiment was configured with unusable parameters."""
+
+
 class DataPlaneError(ReproError):
     """Packet forwarding failed (no FIB entry, bad encapsulation, ...)."""

@@ -30,6 +30,7 @@ from .deployment import (
     run_incremental_deployment,
 )
 from .diversity import DiversitySeries, run_diversity
+from .failures import FailureEvent, FailureSweep, run_failure_sweep
 from .overhead import (
     MESSAGES_PER_NEGOTIATION,
     OverheadComparison,
@@ -69,6 +70,9 @@ __all__ = [
     "path_length_stats",
     "DiversitySeries",
     "run_diversity",
+    "FailureEvent",
+    "FailureSweep",
+    "run_failure_sweep",
     "SuccessRates",
     "NegotiationState",
     "run_success_rates",

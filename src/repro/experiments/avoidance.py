@@ -61,7 +61,7 @@ class NegotiationState:
 
     def as_row(self) -> Tuple:
         return (
-            f"{'strict' if self.policy is ExportPolicy.STRICT else 'export' if self.policy is ExportPolicy.EXPORT else 'flexible'}{self.policy.value}",
+            self.policy.label,
             f"{self.success_rate:.1%}",
             f"{self.ases_per_tuple:.2f}",
             f"{self.paths_per_tuple:.1f}",

@@ -23,6 +23,7 @@ from .convergence import run_counterexamples, run_guideline_sweep
 from .degree import degree_distribution, path_length_stats
 from .deployment import run_incremental_deployment
 from .diversity import run_diversity
+from .failures import run_failure_sweep
 from .overhead import run_overhead_comparison
 from .traffic import run_traffic_control
 
@@ -49,6 +50,18 @@ def _key(key: Any) -> str:
     if isinstance(key, tuple):
         return "/".join(str(_key(k)) for k in key)
     return str(key)
+
+
+def _failure_sweep_entry(sweep) -> Dict[str, Any]:
+    """Failure-sweep fields plus the derived recovery rates."""
+    entry = to_jsonable(sweep)
+    entry["bgp_recovery_rate"] = sweep.bgp_recovery_rate
+    entry["miro_recovery_rates"] = {
+        policy.label: sweep.miro_recovery_rate(policy)
+        for policy in ExportPolicy
+    }
+    entry["mean_affected_fraction"] = sweep.mean_affected_fraction
+    return entry
 
 
 def export_results(
@@ -113,6 +126,10 @@ def export_results(
             for (policy, model), curve in traffic.curves.items()
         },
         "power_nodes": to_jsonable(traffic.profile),
+        "failure_sweep": _failure_sweep_entry(run_failure_sweep(
+            graph, name, n_destinations=min(5, n_destinations), seed=seed,
+            session=session,
+        )),
         "fig_7_counterexamples": to_jsonable(run_counterexamples()),
         "guideline_sweep": to_jsonable(run_guideline_sweep(
             n_topologies=3, demands_per_topology=5, seed=seed,

@@ -20,6 +20,7 @@ from .convergence import run_counterexamples, run_guideline_sweep
 from .degree import degree_distribution
 from .deployment import run_incremental_deployment
 from .diversity import run_diversity
+from .failures import run_failure_sweep
 from .overhead import run_overhead_comparison
 from .report import render_series, render_table
 from .traffic import run_traffic_control
@@ -118,6 +119,20 @@ def full_report(
             for (policy, model), curve in sorted(traffic.curves.items())
         ],
         title=f"Fig 5.6/5.7: inbound control ({traffic.n_stubs} stubs)",
+    ))
+
+    failures = run_failure_sweep(
+        graph, name, n_destinations=min(5, n_destinations), seed=seed,
+        session=session,
+    )
+    sections.append(render_table(
+        ["Recovery scheme", "Recovered"],
+        failures.as_rows(),
+        title=(
+            f"§7 failure sweep: {failures.n_link_events} link / "
+            f"{failures.n_as_events} AS failures, "
+            f"{failures.disrupted_sources} disrupted sources"
+        ),
     ))
 
     counterexamples = run_counterexamples()

@@ -49,6 +49,11 @@ class ExportPolicy(enum.Enum):
             raise NegotiationError(f"unknown export policy label {label!r}")
         return table[normalized]
 
+    @property
+    def label(self) -> str:
+        """Full human-readable name with the paper suffix, e.g. ``"strict/s"``."""
+        return f"{self.name.lower()}{self.value}"
+
     def __str__(self) -> str:
         return self.value
 

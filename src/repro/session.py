@@ -16,6 +16,12 @@ what route computation actually cost.
   monotonic mutation counter of :class:`~repro.topology.graph.ASGraph`, so a
   link failure (or any other mutation) silently invalidates every stale
   table: the next lookup misses and recomputes against the new topology.
+  The miss is usually cheap, though — when the graph's change journal
+  bounds what moved, the new table is *derived* from the nearest cached
+  pre-mutation table via
+  :func:`~repro.bgp.routing.recompute_routes` instead of being computed
+  from scratch, and on each version advance superseded entries are
+  auto-pruned down to the one derivation parent kept per destination.
   The cache is LRU-bounded, so long sessions cannot grow without bound.
 
 * **Fan-out.**  :meth:`SimulationSession.compute_many` computes many
@@ -43,7 +49,12 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from .bgp.route import Route
-from .bgp.routing import RoutingTable, compute_routes
+from .bgp.routing import (
+    RoutingTable,
+    affected_ases,
+    compute_routes,
+    recompute_routes,
+)
 from .errors import ReproError, SessionError
 from .topology.graph import ASGraph
 
@@ -75,6 +86,9 @@ class SessionStats:
     hits: int = 0
     misses: int = 0
     tables_computed: int = 0
+    tables_derived: int = 0
+    affected_ases_total: int = 0
+    auto_pruned: int = 0
     fanouts: int = 0
     parallel_fanouts: int = 0
     last_fanout_seconds: float = 0.0
@@ -91,6 +105,13 @@ class SessionStats:
         """Fraction of lookups served from cache (0.0 when never queried)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def mean_affected_size(self) -> float:
+        """Mean affected-set size across derived tables (0.0 when none)."""
+        if not self.tables_derived:
+            return 0.0
+        return self.affected_ases_total / self.tables_derived
+
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready snapshot (counters plus the derived hit rate)."""
         return {
@@ -98,6 +119,9 @@ class SessionStats:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "tables_computed": self.tables_computed,
+            "tables_derived": self.tables_derived,
+            "mean_affected_size": self.mean_affected_size,
+            "auto_pruned": self.auto_pruned,
             "fanouts": self.fanouts,
             "parallel_fanouts": self.parallel_fanouts,
             "last_fanout_seconds": self.last_fanout_seconds,
@@ -113,12 +137,14 @@ class SessionStats:
             f"  cache hits / misses:   {self.hits} / {self.misses}"
             f"  ({self.hit_rate:.1%} hit rate)",
             f"  tables computed:       {self.tables_computed}",
+            f"  tables derived:        {self.tables_derived}"
+            f" (mean affected set {self.mean_affected_size:.1f} ASes)",
             f"  fan-outs:              {self.fanouts}"
             f" ({self.parallel_fanouts} parallel)",
             f"  compute wall-clock:    {self.total_compute_seconds:.3f} s"
             f" (last fan-out {self.last_fanout_seconds:.3f} s)",
             f"  peak cached tables:    {self.peak_cached_tables}"
-            f" ({self.evictions} evicted)",
+            f" ({self.evictions} evicted, {self.auto_pruned} auto-pruned)",
         ])
 
 
@@ -165,6 +191,64 @@ class RouteTableCache:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+    def prune_superseded(self, graph: ASGraph) -> int:
+        """Drop stale entries, keeping usable derivation parents.
+
+        Unlike :meth:`prune_stale` this keeps, per destination, the one
+        unpinned stale entry closest to the current graph state (fewest
+        changed links on the version chain) — the entry
+        :meth:`derivation_parent` would pick, so an incremental
+        recomputation after the mutation still has its seed.  Entries for
+        versions that are not ancestors of the current one (or pinned
+        entries, which cannot seed a derivation) are dropped outright.
+        """
+        current = graph.version
+        nearest: Dict[int, Tuple[int, CacheKey]] = {}
+        stale: List[CacheKey] = []
+        for key in self._entries:
+            version, destination, pk = key
+            if version == current:
+                continue
+            changed = graph.changed_links_since(version)
+            if changed is None or pk is not None:
+                stale.append(key)
+                continue
+            kept = nearest.get(destination)
+            if kept is None or len(changed) < kept[0]:
+                if kept is not None:
+                    stale.append(kept[1])
+                nearest[destination] = (len(changed), key)
+            else:
+                stale.append(key)
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def derivation_parent(
+        self, graph: ASGraph, destination: int
+    ) -> Optional[Tuple[RoutingTable, FrozenSet[Tuple[int, int]]]]:
+        """The best cached seed for incrementally recomputing ``destination``.
+
+        Scans unpinned entries for the destination whose version is an
+        ancestor of the current graph state and returns the nearest one
+        (fewest changed links) with its changed-link set, or None when no
+        cached table can be derived from.
+        """
+        best: Optional[Tuple[int, RoutingTable, FrozenSet[Tuple[int, int]]]]
+        best = None
+        for key, table in self._entries.items():
+            version, dest, pk = key
+            if dest != destination or pk is not None or version == graph.version:
+                continue
+            changed = graph.changed_links_since(version)
+            if changed is None:
+                continue
+            if best is None or len(changed) < best[0]:
+                best = (len(changed), table, changed)
+        if best is None:
+            return None
+        return best[1], best[2]
 
     def clear(self) -> None:
         self._entries.clear()
@@ -226,6 +310,7 @@ class SimulationSession:
         self._parallel = parallel
         self._max_workers = max_workers
         self._graph_pickles: Optional[bool] = None
+        self._seen_version = graph.version
 
     @property
     def graph(self) -> ASGraph:
@@ -247,13 +332,56 @@ class SimulationSession:
     def _key(self, destination: int, pinned: Optional[Dict[int, Route]]) -> CacheKey:
         return (self._graph.version, destination, pinned_key(pinned))
 
+    def _auto_prune(self) -> None:
+        """Reclaim superseded cache entries once per version advance.
+
+        Runs lazily at the next lookup after the graph's version moved,
+        keeping only the nearest derivation parent per destination (see
+        :meth:`RouteTableCache.prune_superseded`).  A revert that restores
+        an earlier version also counts as an advance — entries for the
+        abandoned branch are then the stale ones.
+        """
+        if self._graph.version == self._seen_version:
+            return
+        self._seen_version = self._graph.version
+        self._stats.auto_pruned += self._cache.prune_superseded(self._graph)
+
+    def _derive(self, destination: int) -> Optional[RoutingTable]:
+        """Try to build ``destination``'s table from a cached ancestor.
+
+        Uses :func:`~repro.bgp.routing.recompute_routes` on the nearest
+        cached pre-mutation table when the changed-link window is known
+        and the affected region is bounded (pure failures); returns None
+        otherwise, and the caller computes from scratch.  A derivation
+        still counts as a cache miss — only the *cost* of the miss shrinks.
+        """
+        parent = self._cache.derivation_parent(self._graph, destination)
+        if parent is None:
+            return None
+        old_table, changed = parent
+        affected = affected_ases(self._graph, old_table, changed)
+        if affected is None:
+            return None
+        table = recompute_routes(self._graph, old_table, changed, affected=affected)
+        self._stats.tables_derived += 1
+        self._stats.affected_ases_total += len(affected)
+        self._cache.put(self._key(destination, None), table)
+        return table
+
     # ------------------------------------------------------------------
     # single-table interface
     # ------------------------------------------------------------------
     def compute(
         self, destination: int, pinned: Optional[Dict[int, Route]] = None
     ) -> RoutingTable:
-        """Cached equivalent of :func:`~repro.bgp.routing.compute_routes`."""
+        """Cached equivalent of :func:`~repro.bgp.routing.compute_routes`.
+
+        On a miss after a topology mutation the table is *derived* from
+        the nearest cached pre-mutation table via incremental
+        recomputation whenever possible (see :meth:`_derive`), instead of
+        being recomputed from scratch.
+        """
+        self._auto_prune()
         key = self._key(destination, pinned)
         cached = self._cache.get(key)
         if cached is not None:
@@ -261,6 +389,11 @@ class SimulationSession:
             return cached
         self._stats.misses += 1
         start = time.perf_counter()
+        if pinned is None:
+            derived = self._derive(destination)
+            if derived is not None:
+                self._stats.total_compute_seconds += time.perf_counter() - start
+                return derived
         table = compute_routes(self._graph, destination, pinned=pinned)
         self._stats.total_compute_seconds += time.perf_counter() - start
         self._stats.tables_computed += 1
@@ -298,6 +431,7 @@ class SimulationSession:
         first.  ``parallel`` overrides the session-wide dispatch policy for
         this one call.
         """
+        self._auto_prune()
         ordered = list(dict.fromkeys(destinations))
         start = time.perf_counter()
         tables: Dict[int, RoutingTable] = {}
@@ -310,6 +444,18 @@ class SimulationSession:
             else:
                 self._stats.misses += 1
                 misses.append(destination)
+
+        if misses and pinned is None:
+            # derive what we can from pre-mutation tables; only the
+            # remainder is worth fanning out to a pool
+            remaining: List[int] = []
+            for destination in misses:
+                derived = self._derive(destination)
+                if derived is not None:
+                    tables[destination] = derived
+                else:
+                    remaining.append(destination)
+            misses = remaining
 
         used_pool = False
         if misses:

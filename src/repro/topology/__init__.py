@@ -1,6 +1,13 @@
 """AS-level topology substrate: graph, generation, inference, statistics."""
 
-from .graph import ASGraph
+from .graph import ASGraph, link_key
+from .delta import (
+    AppliedDelta,
+    DeltaOp,
+    DeltaOpKind,
+    TopologyDelta,
+    apply_each,
+)
 from .relationships import LinkType, Relationship, local_pref_for
 from .generator import (
     AGARWAL_2004,
@@ -36,6 +43,12 @@ from .stats import (
 
 __all__ = [
     "ASGraph",
+    "link_key",
+    "TopologyDelta",
+    "AppliedDelta",
+    "DeltaOp",
+    "DeltaOpKind",
+    "apply_each",
     "LinkType",
     "Relationship",
     "local_pref_for",

@@ -9,11 +9,24 @@ customer→provider DAG used by the convergence proofs (Ch. 7).
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from collections import OrderedDict, deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import DuplicateLinkError, TopologyError, UnknownASError
 from .relationships import LinkType, Relationship, link_type_for
+
+#: A link identity, endpoint-order normalised (smaller AS number first).
+LinkKey = Tuple[int, int]
+
+#: How many version steps the changed-links journal remembers.  Cached
+#: routing state older than this can no longer be incrementally updated
+#: (consumers fall back to a full recompute), which bounds graph memory.
+MAX_JOURNAL_STEPS = 1024
+
+
+def link_key(a: int, b: int) -> LinkKey:
+    """Canonical identity of the undirected link a—b."""
+    return (a, b) if a <= b else (b, a)
 
 
 class ASGraph:
@@ -28,20 +41,76 @@ class ASGraph:
     def __init__(self) -> None:
         # asn -> {neighbour_asn: relationship of neighbour as seen from asn}
         self._adj: Dict[int, Dict[int, Relationship]] = {}
-        # monotonic mutation counter; cache layers key routing tables on it
+        # current state id; cache layers key routing tables on it
         self._version: int = 0
+        # high-water mark: every *new* state gets a never-before-used id,
+        # so a reverted delta may restore an old id without collisions
+        self._version_counter: int = 0
+        # version -> (parent version, links changed in that step); bounded
+        self._journal: "OrderedDict[int, Tuple[int, FrozenSet[LinkKey]]]" = (
+            OrderedDict()
+        )
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter.
+        """State identifier for cache keying.
 
-        Bumped by every topology mutation (:meth:`add_as` of a new AS,
-        :meth:`add_link`, :meth:`remove_link`) and by derived-graph
-        constructors (:meth:`without_as`); preserved by :meth:`copy`.
-        Cached routing state keyed on ``(graph, version)`` is therefore
-        automatically invalidated by link failures and other mutations.
+        Every mutation (:meth:`add_as` of a new AS, :meth:`add_link`,
+        :meth:`remove_link`) moves the graph to a fresh, never-reused
+        version; derived-graph constructors (:meth:`without_as`) return a
+        strictly newer version; :meth:`copy` preserves it.  Cached routing
+        state keyed on ``(graph, version)`` is therefore automatically
+        invalidated by link failures and other mutations.
+
+        The one way a version can *recur* is
+        :meth:`repro.topology.delta.AppliedDelta.revert`, which restores
+        the exact pre-apply adjacency state and with it the pre-apply
+        version — by construction the same state, so cached tables for it
+        become valid (and servable) again.
         """
         return self._version
+
+    def _bump(self, changed: FrozenSet[LinkKey]) -> None:
+        """Move to a fresh version, journalling which links changed."""
+        self._version_counter += 1
+        parent = self._version
+        self._version = self._version_counter
+        self._journal[self._version] = (parent, changed)
+        while len(self._journal) > MAX_JOURNAL_STEPS:
+            self._journal.popitem(last=False)
+
+    def _restore_version(self, version: int) -> None:
+        """Adopt a previously-held version id.
+
+        Only :class:`~repro.topology.delta.AppliedDelta` calls this, after
+        restoring the adjacency state that ``version`` identified; the
+        allocation counter keeps its high-water mark so later mutations
+        still mint fresh ids.
+        """
+        self._version = version
+
+    def changed_links_since(self, old_version: int) -> Optional[FrozenSet[LinkKey]]:
+        """Links changed between ``old_version`` and the current version.
+
+        Returns the union of the per-step journal entries along the
+        version chain from the current version back to ``old_version`` —
+        the input an incremental route recomputation needs.  Returns
+        ``None`` when the steps are unknown: ``old_version`` is not an
+        ancestor of the current version (e.g. it was superseded by a
+        revert) or the journal has been trimmed past it.  ``None`` means
+        "assume everything changed".
+        """
+        if old_version == self._version:
+            return frozenset()
+        changed: Set[LinkKey] = set()
+        version = self._version
+        while version != old_version:
+            step = self._journal.get(version)
+            if step is None:
+                return None
+            version, step_changed = step
+            changed.update(step_changed)
+        return frozenset(changed)
 
     # ------------------------------------------------------------------
     # construction
@@ -52,7 +121,7 @@ class ASGraph:
             raise TopologyError(f"AS number must be a non-negative int, got {asn!r}")
         if asn not in self._adj:
             self._adj[asn] = {}
-            self._version += 1
+            self._bump(frozenset())
 
     def add_link(self, a: int, b: int, b_is: Relationship) -> None:
         """Add the link a—b where ``b_is`` is what b is *to a*.
@@ -68,7 +137,7 @@ class ASGraph:
             raise DuplicateLinkError(f"link {a}—{b} already exists")
         self._adj[a][b] = b_is
         self._adj[b][a] = b_is.inverse
-        self._version += 1
+        self._bump(frozenset((link_key(a, b),)))
 
     def add_customer_link(self, provider: int, customer: int) -> None:
         """Convenience: declare ``customer`` a customer of ``provider``."""
@@ -90,7 +159,7 @@ class ASGraph:
             raise TopologyError(f"no link {a}—{b}")
         del self._adj[a][b]
         del self._adj[b][a]
-        self._version += 1
+        self._bump(frozenset((link_key(a, b),)))
 
     # ------------------------------------------------------------------
     # queries
@@ -261,18 +330,30 @@ class ASGraph:
         clone = ASGraph()
         clone._adj = {a: dict(nbrs) for a, nbrs in self._adj.items()}
         clone._version = self._version
+        clone._version_counter = self._version_counter
+        clone._journal = OrderedDict(self._journal)
         return clone
 
     def without_as(self, asn: int) -> "ASGraph":
-        """A copy of the graph with ``asn`` and its links removed."""
+        """A copy of the graph with ``asn`` and its links removed.
+
+        Prefer :class:`repro.topology.delta.TopologyDelta` (``as_down``)
+        for failure modelling — it mutates in place, records the changed
+        links for incremental recomputation, and can be reverted; this
+        constructor remains for callers that need an independent copy.
+        """
         self._require(asn)
         clone = ASGraph()
         for a, nbrs in self._adj.items():
             if a == asn:
                 continue
             clone._adj[a] = {b: r for b, r in nbrs.items() if b != asn}
-        # a derived (mutated) topology: strictly newer than the source
-        clone._version = self._version + 1
+        # a derived (mutated) topology: strictly newer than the source,
+        # with the removed AS's links journalled as the changed step
+        clone._version_counter = self._version_counter
+        clone._journal = OrderedDict(self._journal)
+        clone._version = self._version
+        clone._bump(frozenset(link_key(asn, b) for b in self._adj[asn]))
         return clone
 
     # ------------------------------------------------------------------

@@ -101,3 +101,40 @@ class TestExperimentCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "vs BGP" in out
+
+
+class TestFailureSweepCommand:
+    def test_sweep_prints_recovery_table(self, capsys):
+        assert main([
+            "failure-sweep", "--profile", "tiny", "--seed", "1",
+            "--events", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failure sweep on tiny" in out
+        assert "bgp re-converged" in out
+        assert "miro strict/s" in out
+        assert "miro flexible/a" in out
+        assert "mean affected-set fraction:" in out
+
+    def test_stats_report_derived_tables(self, capsys):
+        assert main([
+            "failure-sweep", "--profile", "tiny", "--seed", "1",
+            "--events", "4", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tables derived:" in out
+        assert "tables computed:" in out
+
+    def test_event_count_honoured(self, capsys):
+        assert main([
+            "failure-sweep", "--profile", "tiny", "--seed", "3",
+            "--events", "6", "--as-fraction", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 link / 6 AS failures" in out
+
+    def test_zero_events_is_an_error(self, capsys):
+        assert main([
+            "failure-sweep", "--profile", "tiny", "--events", "0",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err

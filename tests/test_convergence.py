@@ -264,3 +264,66 @@ class TestProofSchedules:
             schedule = proof_schedule_guideline_b(graph)
             result = system.run(max_rounds=12, schedule=schedule)
             assert result.converged
+
+
+class TestTopologyEvents:
+    """Link/AS events driven through the delta API mid-simulation."""
+
+    def _system(self, graph, destination):
+        return MiroConvergenceSystem(
+            graph, [destination], [], GuidelineMode.GUIDELINE_B,
+            GaoRexfordRanker(graph),
+        )
+
+    def test_event_withdraws_severed_selections(self):
+        from repro.topology import TopologyDelta
+
+        graph = generate_topology(TINY, seed=0)
+        destination = graph.ases[0]
+        system = self._system(graph, destination)
+        assert system.run().converged
+        severed = next(
+            (s.path[0], s.path[1])
+            for s in system.bgp.values()
+            if s is not None and len(s.path) > 1
+        )
+        system.apply_event(TopologyDelta.link_down(*severed))
+        assert system.bgp[(severed[0], destination)] is None
+
+    def test_reconverges_after_event_and_revert(self):
+        from repro.topology import TopologyDelta
+
+        graph = generate_topology(TINY, seed=0)
+        destination = graph.ases[0]
+        system = self._system(graph, destination)
+        assert system.run().converged
+        routed = sum(1 for s in system.bgp.values() if s is not None)
+        severed = next(
+            (s.path[0], s.path[1])
+            for s in system.bgp.values()
+            if s is not None and len(s.path) > 1
+        )
+        applied = system.apply_event(TopologyDelta.link_down(*severed))
+        assert system.run().converged
+        applied.revert()
+        assert system.run().converged
+        assert sum(1 for s in system.bgp.values() if s is not None) == routed
+
+    def test_event_selections_match_stable_state(self):
+        from repro.bgp import compute_routes
+        from repro.topology import TopologyDelta
+
+        graph = generate_topology(TINY, seed=1)
+        destination = graph.ases[0]
+        system = self._system(graph, destination)
+        assert system.run().converged
+        a, b, _ = sorted(graph.iter_links())[0]
+        system.apply_event(TopologyDelta.link_down(a, b))
+        assert system.run().converged
+        table = compute_routes(graph, destination)
+        for asn in graph.ases:
+            selection = system.bgp[(asn, destination)]
+            route = table.best(asn)
+            got = None if selection is None else selection.path
+            want = None if route is None else route.path
+            assert got == want, f"AS {asn}: {got} != {want}"

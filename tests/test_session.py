@@ -477,3 +477,153 @@ class TestCliStats:
             "--destination", "1", "--limit", "3",
         ]) == 0
         assert "telemetry" not in capsys.readouterr().out
+
+
+class TestIncrementalDerivation:
+    """After a mutation, misses should be served by deriving from the
+    nearest cached pre-mutation table instead of recomputing."""
+
+    def test_miss_after_failure_derives_from_parent(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.remove_link(B, E)
+        fresh = session.compute(F)
+        assert fresh.best(B).path == (B, C, F)
+        assert session.stats.tables_computed == 1
+        assert session.stats.tables_derived == 1
+        assert session.stats.misses == 2  # a derivation is still a miss
+
+    def test_derived_table_matches_full_compute(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.remove_link(B, E)
+        derived = session.compute(F)
+        full = compute_routes(paper_graph, F)
+        assert {a: r.path for a, r in derived.items()} == {
+            a: r.path for a, r in full.items()
+        }
+
+    def test_affected_set_size_recorded(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.remove_link(B, E)
+        session.compute(F)
+        # pre-failure only A and B routed over B—E
+        assert session.stats.affected_ases_total == 2
+        assert session.stats.mean_affected_size == 2.0
+
+    def test_no_parent_means_full_compute(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        paper_graph.remove_link(B, E)
+        session.compute(F)
+        assert session.stats.tables_derived == 0
+        assert session.stats.tables_computed == 1
+
+    def test_link_addition_recomputes_fully(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.add_peer_link(A, C)
+        session.compute(F)
+        assert session.stats.tables_derived == 0
+        assert session.stats.tables_computed == 2
+
+    def test_pinned_misses_never_derive(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        base = session.compute(F)
+        alternate = [
+            r for r in base.candidates(B) if r.path == (B, C, F)
+        ][0]
+        paper_graph.remove_link(D, E)
+        session.compute(F, pinned={B: alternate})
+        assert session.stats.tables_derived == 0
+        assert session.stats.tables_computed == 2
+
+    def test_compute_many_derives_after_failure(self, paper_graph):
+        session = SimulationSession(paper_graph, parallel=False)
+        session.compute_many([F, E])
+        paper_graph.remove_link(B, E)
+        tables = session.compute_many([F, E])
+        assert session.stats.tables_derived == 2
+        assert session.stats.tables_computed == 2
+        full = compute_routes(paper_graph, F)
+        assert {a: r.path for a, r in tables[F].items()} == {
+            a: r.path for a, r in full.items()
+        }
+
+    def test_revert_serves_pre_failure_tables_from_cache(self, paper_graph):
+        from repro.topology import TopologyDelta
+
+        session = SimulationSession(paper_graph)
+        original = session.compute(F)
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        session.compute(F)
+        applied.revert()
+        assert session.compute(F) is original
+        assert session.stats.hits == 1
+
+    def test_chain_of_failures_derives_each_step(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.remove_link(B, E)
+        session.compute(F)
+        paper_graph.remove_link(D, E)
+        session.compute(F)
+        assert session.stats.tables_computed == 1
+        assert session.stats.tables_derived == 2
+
+    def test_stats_render_shows_derived_counts(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        paper_graph.remove_link(B, E)
+        session.compute(F)
+        text = session.stats.render()
+        assert "tables derived:        1" in text
+        assert "mean affected set 2.0 ASes" in text
+
+    def test_as_dict_exports_new_counters(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        stats = session.stats.as_dict()
+        for key in ("tables_derived", "mean_affected_size", "auto_pruned"):
+            assert key in stats
+
+
+class TestAutoPrune:
+    def test_superseded_entries_reclaimed_on_next_lookup(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        session.compute(F, pinned=None)
+        base = session.compute(F)
+        alternate = [
+            r for r in base.candidates(B) if r.path == (B, C, F)
+        ][0]
+        session.compute(F, pinned={B: alternate})
+        paper_graph.remove_link(D, E)
+        session.compute(E)
+        # the stale pinned entry is dropped; the unpinned F entry
+        # survives as F's derivation parent
+        assert session.stats.auto_pruned == 1
+        assert session.tables_cached == 2
+
+    def test_derivation_parents_survive_auto_prune(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        session.compute(E)
+        paper_graph.remove_link(B, E)
+        session.compute(F)  # triggers auto-prune, then derives
+        assert session.stats.auto_pruned == 0
+        assert session.stats.tables_derived == 1
+        assert session.tables_cached == 3
+
+    def test_abandoned_branch_pruned_after_revert(self, paper_graph):
+        from repro.topology import TopologyDelta
+
+        session = SimulationSession(paper_graph)
+        session.compute(F)
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        session.compute(F)
+        applied.revert()
+        paper_graph.remove_link(D, E)
+        session.compute(F)
+        # the post-failure entry's version is no ancestor of the current
+        # state, so it cannot seed derivations and is dropped
+        assert session.stats.auto_pruned == 1

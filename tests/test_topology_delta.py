@@ -1,0 +1,200 @@
+"""Tests for the topology-delta layer (apply/revert transactions)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    ASGraph,
+    AppliedDelta,
+    DeltaOpKind,
+    Relationship,
+    TopologyDelta,
+    apply_each,
+    link_key,
+)
+
+from conftest import A, B, C, D, E, F
+
+
+def snapshot(graph: ASGraph):
+    return {
+        (a, b): rel for a, b, rel in graph.iter_links()
+    }, set(graph.ases)
+
+
+class TestFactories:
+    def test_link_down_single_op(self):
+        delta = TopologyDelta.link_down(B, E)
+        assert len(delta.ops) == 1
+        assert delta.ops[0].kind is DeltaOpKind.LINK_DOWN
+
+    def test_compose_concatenates_in_order(self):
+        delta = TopologyDelta.compose(
+            TopologyDelta.link_down(B, E), TopologyDelta.as_down(C)
+        )
+        assert [op.kind for op in delta.ops] == [
+            DeltaOpKind.LINK_DOWN, DeltaOpKind.AS_DOWN
+        ]
+
+    def test_str_mentions_every_op(self):
+        delta = TopologyDelta.compose(
+            TopologyDelta.link_down(B, E), TopologyDelta.as_down(C)
+        )
+        assert "link-down" in str(delta) and "as-down" in str(delta)
+
+
+class TestLinkEvents:
+    def test_link_down_removes_and_records(self, paper_graph):
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        assert not paper_graph.has_link(B, E)
+        assert applied.changed_links == {link_key(B, E)}
+
+    def test_revert_restores_link_and_relationship(self, paper_graph):
+        before = snapshot(paper_graph)
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        applied.revert()
+        assert snapshot(paper_graph) == before
+        # E is B's customer again, not just any neighbour
+        assert paper_graph.relationship(B, E) is Relationship.CUSTOMER
+
+    def test_revert_restores_exact_version(self, paper_graph):
+        version = paper_graph.version
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        assert paper_graph.version != version
+        applied.revert()
+        assert paper_graph.version == version
+
+    def test_link_up_adds_new_link(self, paper_graph):
+        applied = TopologyDelta.link_up(
+            A, C, Relationship.PEER
+        ).apply(paper_graph)
+        assert paper_graph.relationship(A, C) is Relationship.PEER
+        applied.revert()
+        assert not paper_graph.has_link(A, C)
+
+    def test_double_revert_rejected(self, paper_graph):
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        applied.revert()
+        with pytest.raises(TopologyError):
+            applied.revert()
+
+    def test_revert_after_external_mutation_rejected(self, paper_graph):
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        paper_graph.remove_link(C, F)
+        with pytest.raises(TopologyError):
+            applied.revert()
+
+
+class TestASEvents:
+    def test_as_down_isolates_but_keeps_node(self, paper_graph):
+        applied = TopologyDelta.as_down(E).apply(paper_graph)
+        assert E in paper_graph
+        assert paper_graph.neighbors(E) == []
+        assert applied.changed_links == {
+            link_key(E, n) for n in (B, C, D, F)
+        }
+
+    def test_as_down_revert_restores_adjacency(self, paper_graph):
+        before = snapshot(paper_graph)
+        TopologyDelta.as_down(E).apply(paper_graph).revert()
+        assert snapshot(paper_graph) == before
+
+    def test_as_up_creates_and_revert_deletes_new_as(self, paper_graph):
+        new = 99
+        applied = TopologyDelta.as_up(
+            new, [(B, Relationship.PROVIDER)]
+        ).apply(paper_graph)
+        assert paper_graph.relationship(new, B) is Relationship.PROVIDER
+        applied.revert()
+        assert new not in paper_graph
+
+    def test_as_up_on_existing_isolated_as_keeps_node_on_revert(self):
+        graph = ASGraph()
+        graph.add_peer_link(1, 2)
+        graph.add_as(3)
+        applied = TopologyDelta.as_up(3, [(1, Relationship.PEER)]).apply(graph)
+        assert graph.has_link(3, 1)
+        applied.revert()
+        assert 3 in graph and graph.neighbors(3) == []
+
+
+class TestTransactionality:
+    def test_failed_op_rolls_back_earlier_ops(self, paper_graph):
+        before = snapshot(paper_graph)
+        version = paper_graph.version
+        bad = TopologyDelta.compose(
+            TopologyDelta.link_down(B, E),
+            TopologyDelta.link_down(A, C),  # no such link
+        )
+        with pytest.raises(TopologyError):
+            bad.apply(paper_graph)
+        assert snapshot(paper_graph) == before
+        assert paper_graph.version == version
+
+    def test_compose_applies_and_reverts_as_one(self, paper_graph):
+        before = snapshot(paper_graph)
+        delta = TopologyDelta.compose(
+            TopologyDelta.link_down(B, E),
+            TopologyDelta.as_down(C),
+            TopologyDelta.link_up(A, E, Relationship.PEER),
+        )
+        applied = delta.apply(paper_graph)
+        assert not paper_graph.has_link(B, E)
+        assert paper_graph.neighbors(C) == []
+        assert paper_graph.has_link(A, E)
+        applied.revert()
+        assert snapshot(paper_graph) == before
+
+    def test_apply_each_reverts_in_reverse_order(self, paper_graph):
+        before = snapshot(paper_graph)
+        records = apply_each(paper_graph, [
+            TopologyDelta.link_down(B, E),
+            TopologyDelta.as_down(C),
+        ])
+        assert all(isinstance(r, AppliedDelta) for r in records)
+        for record in reversed(records):
+            record.revert()
+        assert snapshot(paper_graph) == before
+
+    def test_same_delta_reusable_across_applies(self, paper_graph):
+        delta = TopologyDelta.link_down(B, E)
+        for _ in range(3):
+            applied = delta.apply(paper_graph)
+            assert not paper_graph.has_link(B, E)
+            applied.revert()
+            assert paper_graph.has_link(B, E)
+
+
+class TestVersionJournal:
+    def test_changed_links_since_accumulates_over_steps(self, paper_graph):
+        start = paper_graph.version
+        paper_graph.remove_link(B, E)
+        paper_graph.remove_link(C, F)
+        changed = paper_graph.changed_links_since(start)
+        assert changed == {link_key(B, E), link_key(C, F)}
+
+    def test_changed_links_since_same_version_is_empty(self, paper_graph):
+        assert paper_graph.changed_links_since(paper_graph.version) == frozenset()
+
+    def test_unknown_version_returns_none(self, paper_graph):
+        assert paper_graph.changed_links_since(-1) is None
+
+    def test_abandoned_branch_is_not_an_ancestor(self, paper_graph):
+        start = paper_graph.version
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        branch = paper_graph.version
+        applied.revert()
+        paper_graph.remove_link(C, F)
+        # the reverted failure's version identifies a sibling state, not
+        # an ancestor of the current one
+        assert paper_graph.changed_links_since(branch) is None
+        assert paper_graph.changed_links_since(start) == {link_key(C, F)}
+
+    def test_distinct_states_never_share_a_version(self, paper_graph):
+        seen = {paper_graph.version}
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        assert paper_graph.version not in seen
+        seen.add(paper_graph.version)
+        applied.revert()
+        paper_graph.remove_link(B, E)  # same adjacency as the delta state
+        assert paper_graph.version not in seen
