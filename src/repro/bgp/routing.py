@@ -23,6 +23,8 @@ lets everyone else re-select — the *independent_selection* model of §5.4.
 from __future__ import annotations
 
 import heapq
+import time
+from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -39,9 +41,62 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..session import SimulationSession
 
 from ..errors import RoutingError, UnknownASError
+from ..obs import DEFAULT_SIZE_BUCKETS, get_registry, get_tracer
 from ..topology.graph import ASGraph, LinkKey, link_key
 from .policy import exportable_route, make_route
 from .route import Route, RouteClass
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): per-phase timings feed the registry
+# unconditionally (a few perf_counter reads per table); spans only record
+# when the process-wide tracer is enabled (repro ... --trace FILE).
+# ----------------------------------------------------------------------
+_TRACER = get_tracer()
+_REGISTRY = get_registry()
+_TABLES_TOTAL = _REGISTRY.counter(
+    "repro_routing_tables_total",
+    "Stable-state routing tables settled, by computation mode",
+    labels=("mode",),
+)
+_PHASE_SECONDS = _REGISTRY.histogram(
+    "repro_routing_phase_seconds",
+    "Wall-clock seconds per settling phase (the three-phase propagation)",
+    labels=("phase", "mode"),
+)
+_FALLBACKS_TOTAL = _REGISTRY.counter(
+    "repro_routing_incremental_fallbacks_total",
+    "Incremental recomputations that fell back to a full computation",
+    labels=("reason",),
+)
+_AFFECTED_SIZE = _REGISTRY.histogram(
+    "repro_routing_affected_ases",
+    "Affected-region size per incremental recomputation",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_FRONTIER_SIZE = _REGISTRY.histogram(
+    "repro_routing_frontier_size",
+    "Frontier (settled-boundary) size seeding incremental recomputation",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+
+_PHASE_NAMES = ("phase1_climb", "phase2_peer", "phase3_descend")
+_PHASE_FULL = tuple(
+    _PHASE_SECONDS.labels(phase=p, mode="full") for p in _PHASE_NAMES
+)
+_PHASE_INCREMENTAL = tuple(
+    _PHASE_SECONDS.labels(phase=p, mode="incremental") for p in _PHASE_NAMES
+)
+
+
+@contextmanager
+def _phase_span(index: int, timers, destination: int):
+    """Time one settling phase into its histogram (and a span if tracing)."""
+    with _TRACER.span(_PHASE_NAMES[index], destination=destination):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            timers[index].observe(time.perf_counter() - start)
 
 
 class RoutingTable:
@@ -148,53 +203,61 @@ def compute_routes(
     best: Dict[int, Route] = dict(pinned)
     best[destination] = Route((destination,), RouteClass.ORIGIN)
 
-    # ---- Phase 1: customer routes climb the hierarchy -----------------
-    heap: List[Tuple[int, Tuple[int, ...]]] = []
-    for asn, route in best.items():
-        if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
-            heapq.heappush(heap, (route.length, route.path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
-        fixed=set(best),
-    )
+    with _TRACER.span("compute_routes", destination=destination,
+                      pinned=len(pinned)):
+        # ---- Phase 1: customer routes climb the hierarchy -------------
+        with _phase_span(0, _PHASE_FULL, destination):
+            heap: List[Tuple[int, Tuple[int, ...]]] = []
+            for asn, route in best.items():
+                if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+                    heapq.heappush(heap, (route.length, route.path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
+                fixed=set(best),
+            )
 
-    # ---- Phase 2: customer routes cross peering links -----------------
-    heap = []
-    for asn in list(best):
-        route = best[asn]
-        if route.route_class not in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
-            continue
-        for peer in graph.peers(asn):
-            if peer in best:
-                continue
-            if route.contains(peer):
-                continue
-            path = (peer,) + route.path
-            heapq.heappush(heap, (len(path) - 1, path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.siblings(asn),
-        fixed=set(best),
-    )
+        # ---- Phase 2: customer routes cross peering links -------------
+        with _phase_span(1, _PHASE_FULL, destination):
+            heap = []
+            for asn in list(best):
+                route = best[asn]
+                if route.route_class not in (
+                    RouteClass.ORIGIN, RouteClass.CUSTOMER
+                ):
+                    continue
+                for peer in graph.peers(asn):
+                    if peer in best:
+                        continue
+                    if route.contains(peer):
+                        continue
+                    path = (peer,) + route.path
+                    heapq.heappush(heap, (len(path) - 1, path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.siblings(asn),
+                fixed=set(best),
+            )
 
-    # ---- Phase 3: best routes flow down to customers -------------------
-    heap = []
-    for asn in list(best):
-        route = best[asn]
-        for customer in graph.customers(asn):
-            if customer in best:
-                continue
-            if route.contains(customer):
-                continue
-            path = (customer,) + route.path
-            heapq.heappush(heap, (len(path) - 1, path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
-        fixed=set(best),
-    )
+        # ---- Phase 3: best routes flow down to customers ---------------
+        with _phase_span(2, _PHASE_FULL, destination):
+            heap = []
+            for asn in list(best):
+                route = best[asn]
+                for customer in graph.customers(asn):
+                    if customer in best:
+                        continue
+                    if route.contains(customer):
+                        continue
+                    path = (customer,) + route.path
+                    heapq.heappush(heap, (len(path) - 1, path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
+                fixed=set(best),
+            )
 
+    _TABLES_TOTAL.labels(mode="full").inc()
     return RoutingTable(graph, destination, best)
 
 
@@ -323,7 +386,9 @@ def recompute_routes(
     if affected is None:
         affected = affected_ases(graph, table, changed)
         if affected is None:
+            _FALLBACKS_TOTAL.labels(reason="unbounded").inc()
             return compute_routes(graph, destination)
+    _AFFECTED_SIZE.observe(len(affected))
 
     best: Dict[int, Route] = {
         asn: route
@@ -344,90 +409,98 @@ def recompute_routes(
         for neighbor in graph.neighbors(asn)
         if neighbor in best
     }
+    _FRONTIER_SIZE.observe(len(frontier))
 
-    # Each phase replays compute_routes exactly, with one addition: a
-    # frontier seed whose route belongs to the phase gets its own
-    # (length, path) entry pushed, so popping it triggers the same
-    # intra-phase expansion (providers/peers' siblings/customers) the
-    # full run performs when that AS first adopts the route.
+    with _TRACER.span("recompute_routes", destination=destination,
+                      affected=len(affected), frontier=len(frontier)):
+        # Each phase replays compute_routes exactly, with one addition: a
+        # frontier seed whose route belongs to the phase gets its own
+        # (length, path) entry pushed, so popping it triggers the same
+        # intra-phase expansion (providers/peers' siblings/customers) the
+        # full run performs when that AS first adopts the route.
 
-    # ---- Phase 1: customer routes climb the hierarchy -----------------
-    heap: List[Tuple[int, Tuple[int, ...]]] = []
-    for asn in frontier:
-        route = best[asn]
-        if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
-            heapq.heappush(heap, (route.length, route.path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
-        fixed=set(best),
-    )
+        # ---- Phase 1: customer routes climb the hierarchy -------------
+        with _phase_span(0, _PHASE_INCREMENTAL, destination):
+            heap: List[Tuple[int, Tuple[int, ...]]] = []
+            for asn in frontier:
+                route = best[asn]
+                if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
+                    heapq.heappush(heap, (route.length, route.path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
+                fixed=set(best),
+            )
 
-    # ---- Phase 2: customer routes cross peering links -----------------
-    unsettled -= best.keys()
-    heap = []
-    for asn in frontier:
-        if best[asn].route_class is RouteClass.PEER:
-            heapq.heappush(heap, (best[asn].length, best[asn].path))
-    for asn in unsettled:
-        for peer in graph.peers(asn):
-            route = best.get(peer)
-            if route is None or route.route_class not in (
-                RouteClass.ORIGIN, RouteClass.CUSTOMER
-            ):
-                continue
-            if route.contains(asn):
-                continue
-            heapq.heappush(heap, (len(route.path), (asn,) + route.path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.siblings(asn),
-        fixed=set(best),
-    )
+        # ---- Phase 2: customer routes cross peering links -------------
+        with _phase_span(1, _PHASE_INCREMENTAL, destination):
+            unsettled -= best.keys()
+            heap = []
+            for asn in frontier:
+                if best[asn].route_class is RouteClass.PEER:
+                    heapq.heappush(heap, (best[asn].length, best[asn].path))
+            for asn in unsettled:
+                for peer in graph.peers(asn):
+                    route = best.get(peer)
+                    if route is None or route.route_class not in (
+                        RouteClass.ORIGIN, RouteClass.CUSTOMER
+                    ):
+                        continue
+                    if route.contains(asn):
+                        continue
+                    heapq.heappush(heap, (len(route.path), (asn,) + route.path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.siblings(asn),
+                fixed=set(best),
+            )
 
-    # ---- Phase 3: best routes flow down to customers -------------------
-    unsettled -= best.keys()
-    heap = []
-    for asn in frontier:
-        if best[asn].route_class is RouteClass.PROVIDER:
-            heapq.heappush(heap, (best[asn].length, best[asn].path))
-    for asn in unsettled:
-        for provider in graph.providers(asn):
-            route = best.get(provider)
+        # ---- Phase 3: best routes flow down to customers ---------------
+        with _phase_span(2, _PHASE_INCREMENTAL, destination):
+            unsettled -= best.keys()
+            heap = []
+            for asn in frontier:
+                if best[asn].route_class is RouteClass.PROVIDER:
+                    heapq.heappush(heap, (best[asn].length, best[asn].path))
+            for asn in unsettled:
+                for provider in graph.providers(asn):
+                    route = best.get(provider)
+                    if route is None:
+                        continue
+                    if route.contains(asn):
+                        continue
+                    heapq.heappush(heap, (len(route.path), (asn,) + route.path))
+            _run_phase(
+                graph, best, heap,
+                expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
+                fixed=set(best),
+            )
+
+        # A failure can *improve* an AS's export: the selected route is not
+        # the shortest available path, so losing a customer route may reveal
+        # a shorter (if less preferred) one, whose export downstream then
+        # beats routes the old table kept.  Unaffected ASes were seeded as
+        # fixed, so verify each is still locally stable against the
+        # re-settled region's new offers; a violation means the affected
+        # bound was not closed and only a full recomputation is safe.
+        for asn in affected:
+            route = best.get(asn)
             if route is None:
                 continue
-            if route.contains(asn):
-                continue
-            heapq.heappush(heap, (len(route.path), (asn,) + route.path))
-    _run_phase(
-        graph, best, heap,
-        expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
-        fixed=set(best),
-    )
+            for neighbor in graph.neighbors(asn):
+                if neighbor in affected or neighbor == destination:
+                    continue
+                offer = exportable_route(graph, route, neighbor)
+                if offer is None:
+                    continue
+                current = best.get(neighbor)
+                if current is None or (
+                    offer.preference_key() > current.preference_key()
+                ):
+                    _FALLBACKS_TOTAL.labels(reason="boundary_improved").inc()
+                    return compute_routes(graph, destination)
 
-    # A failure can *improve* an AS's export: the selected route is not
-    # the shortest available path, so losing a customer route may reveal
-    # a shorter (if less preferred) one, whose export downstream then
-    # beats routes the old table kept.  Unaffected ASes were seeded as
-    # fixed, so verify each is still locally stable against the
-    # re-settled region's new offers; a violation means the affected
-    # bound was not closed and only a full recomputation is safe.
-    for asn in affected:
-        route = best.get(asn)
-        if route is None:
-            continue
-        for neighbor in graph.neighbors(asn):
-            if neighbor in affected or neighbor == destination:
-                continue
-            offer = exportable_route(graph, route, neighbor)
-            if offer is None:
-                continue
-            current = best.get(neighbor)
-            if current is None or (
-                offer.preference_key() > current.preference_key()
-            ):
-                return compute_routes(graph, destination)
-
+    _TABLES_TOTAL.labels(mode="incremental").inc()
     return RoutingTable(graph, destination, best)
 
 

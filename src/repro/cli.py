@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro topology       generate a topology, print its Table 5.1
                          attributes, optionally dump it in CAIDA format
@@ -8,19 +8,25 @@ Five subcommands::
     repro avoid          run the avoid-an-AS application for one triple
     repro experiment     regenerate a paper table/figure on a chosen profile
     repro failure-sweep  measure BGP vs MIRO recovery from sampled failures
+    repro stats          run a small instrumented workload and export the
+                         metrics snapshot (json / prom / text)
 
 Every command takes ``--profile``/``--seed`` (or ``--topology FILE`` to
-load a CAIDA-format dump) so runs are reproducible.
+load a CAIDA-format dump) so runs are reproducible, plus the
+observability flags ``--trace FILE`` (write a chrome://tracing span dump)
+and ``--log-level LEVEL`` (enable structured logging on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .errors import ReproError
 from .miro import ExportPolicy, miro_attempt, single_path_attempt
+from .obs import configure_logging, get_registry, get_tracer
 from .session import SimulationSession
 from .sourcerouting import reachable_avoiding
 from .topology import PROFILES, generate_named, load, summarize
@@ -36,6 +42,17 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", metavar="FILE",
         help="load a CAIDA-format topology instead of generating one",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record spans and write a chrome://tracing JSON dump here",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        help="emit structured logs at this level on stderr",
     )
 
 
@@ -68,6 +85,8 @@ def _maybe_print_stats(args: argparse.Namespace, session: SimulationSession) -> 
     if getattr(args, "stats", False):
         print()
         print(session.stats.render())
+        print()
+        print(get_registry().render_text())
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -240,10 +259,54 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         print(full_report(graph, name, seed=args.seed, session=session,
                           include_stats=args.stats))
+        if args.stats:
+            print()
+            print(get_registry().render_text())
         return 0
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown experiment {which!r}")
     _maybe_print_stats(args, session)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a small instrumented workload and export the metrics snapshot.
+
+    The workload exercises every instrumented subsystem — route
+    computation (twice, so the cache-hit counters move), and one
+    negotiation-state experiment (so the §3.3 message counters move) —
+    then renders the registry in the requested format.
+    """
+    from .experiments import run_negotiation_state
+
+    graph = _build_graph(args)
+    session = _build_session(args, graph)
+    destinations = graph.ases[: args.destinations]
+    session.compute_many(destinations)
+    session.compute_many(destinations)  # replay: every table is a cache hit
+    run_negotiation_state(
+        graph, n_destinations=min(3, args.destinations),
+        sources_per_destination=4, seed=args.seed, session=session,
+    )
+    registry = get_registry()
+    if args.format == "json":
+        payload = json.dumps(
+            {
+                "metrics": registry.snapshot(),
+                "session_stats": session.stats.to_dict(),
+            },
+            indent=2, sort_keys=True,
+        )
+    elif args.format == "prom":
+        payload = registry.render_prometheus()
+    else:
+        payload = session.stats.render() + "\n\n" + registry.render_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.format} metrics snapshot to {args.out}")
+    else:
+        print(payload)
     return 0
 
 
@@ -256,11 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     topology = sub.add_parser("topology", help="generate/inspect a topology")
     _add_topology_args(topology)
+    _add_obs_args(topology)
     topology.add_argument("--out", help="dump CAIDA-format topology here")
     topology.set_defaults(func=_cmd_topology)
 
     route = sub.add_parser("route", help="compute BGP routes")
     _add_topology_args(route)
+    _add_obs_args(route)
     _add_session_args(route)
     route.add_argument("--destination", type=int, required=True)
     route.add_argument("--source", type=int)
@@ -270,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     avoid = sub.add_parser("avoid", help="avoid-an-AS application")
     _add_topology_args(avoid)
+    _add_obs_args(avoid)
     _add_session_args(avoid)
     avoid.add_argument("--source", type=int, required=True)
     avoid.add_argument("--destination", type=int, required=True)
@@ -282,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a result")
     _add_topology_args(experiment)
+    _add_obs_args(experiment)
     _add_session_args(experiment)
     experiment.add_argument(
         "which",
@@ -295,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="BGP vs MIRO recovery from sampled link/AS failures",
     )
     _add_topology_args(failures)
+    _add_obs_args(failures)
     _add_session_args(failures)
     failures.add_argument("--events", type=int, default=12,
                           help="failure events to sample (default 12)")
@@ -304,17 +372,47 @@ def build_parser() -> argparse.ArgumentParser:
     failures.add_argument("--destinations", type=int, default=5,
                           help="destinations scored per event (default 5)")
     failures.set_defaults(func=_cmd_failure_sweep)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a small instrumented workload and export metrics",
+    )
+    _add_topology_args(stats)
+    _add_obs_args(stats)
+    stats.add_argument("--parallel", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="route-table fan-out (default: auto)")
+    stats.add_argument("--destinations", type=int, default=4,
+                       help="destinations in the workload (default 4)")
+    stats.add_argument("--format", choices=["json", "prom", "text"],
+                       default="text",
+                       help="snapshot format (default: text)")
+    stats.add_argument("--out", metavar="FILE",
+                       help="write the snapshot here instead of stdout")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer = get_tracer()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        tracer.enable()
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace_path:
+            tracer.write(trace_path)
+            tracer.disable()
+            print(f"wrote chrome://tracing dump to {trace_path}",
+                  file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,9 +32,31 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConvergenceError
+from ..obs import get_logger, get_registry, get_tracer
 from ..topology.delta import AppliedDelta, TopologyDelta
 from ..topology.graph import ASGraph, link_key
 from ..topology.relationships import Relationship
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): activation and round totals make the §7
+# convergence cost (how much re-selection work a guideline induces) a
+# live counter; one span per run shows up on the --trace timeline.
+# ----------------------------------------------------------------------
+_TRACER = get_tracer()
+_LOG = get_logger("convergence")
+_ACTIVATIONS_TOTAL = get_registry().counter(
+    "repro_convergence_activations_total",
+    "AS activations executed across all convergence runs",
+)
+_ROUNDS_TOTAL = get_registry().counter(
+    "repro_convergence_rounds_total",
+    "Fair activation rounds executed across all convergence runs",
+)
+_RUNS_TOTAL = get_registry().counter(
+    "repro_convergence_runs_total",
+    "Convergence runs, by outcome (converged / oscillating / exhausted)",
+    labels=("outcome",),
+)
 from .model import (
     GuidelineMode,
     PartialOrder,
@@ -358,6 +380,28 @@ class MiroConvergenceSystem:
         repeated state fingerprint proves a cycle, reported as
         ``oscillating=True``.
         """
+        mode = self.mode.value if self.mode is not None else "mixed"
+        with _TRACER.span("convergence_run", mode=mode,
+                          ases=len(self.graph)) as span:
+            result = self._run_rounds(max_rounds, seed, schedule)
+            outcome = (
+                "converged" if result.converged
+                else "oscillating" if result.oscillating
+                else "exhausted"
+            )
+            span.set(outcome=outcome, rounds=result.rounds)
+        _RUNS_TOTAL.labels(outcome=outcome).inc()
+        if not result.converged:
+            _LOG.info("convergence_run_unstable", mode=mode, outcome=outcome,
+                      rounds=result.rounds)
+        return result
+
+    def _run_rounds(
+        self,
+        max_rounds: int,
+        seed: Optional[int],
+        schedule: Optional[Sequence[Sequence[int]]],
+    ) -> ConvergenceResult:
         rng = random.Random(seed) if seed is not None else None
         ases = self.graph.ases
         seen: Dict[Tuple, int] = {}
@@ -374,6 +418,8 @@ class MiroConvergenceSystem:
             for asn in order:
                 if self.activate(asn):
                     changed = True
+            _ROUNDS_TOTAL.inc()
+            _ACTIVATIONS_TOTAL.inc(len(order))
             if not changed:
                 return ConvergenceResult(
                     True, round_index + 1, False, dict(self.effective)

@@ -66,3 +66,7 @@ class ExperimentError(ReproError):
 
 class DataPlaneError(ReproError):
     """Packet forwarding failed (no FIB entry, bad encapsulation, ...)."""
+
+
+class ObservabilityError(ReproError):
+    """Instrumentation misuse (bad metric name, label mismatch, ...)."""

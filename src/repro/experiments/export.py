@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..miro.policies import ExportPolicy
+from ..obs import get_registry
 from ..topology.graph import ASGraph
 from ..topology.stats import summarize
 from .avoidance import run_negotiation_state, run_success_rates
@@ -140,7 +141,8 @@ def export_results(
             max_push_path_length=5, session=session,
         )),
     }
-    document["session_stats"] = session.stats.as_dict()
+    document["session_stats"] = session.stats.to_dict()
+    document["metrics"] = get_registry().snapshot()
     if path is not None:
         Path(path).write_text(json.dumps(document, indent=2))
     return document

@@ -28,7 +28,33 @@ from typing import List, Optional, Set, Tuple
 
 from ..bgp.routing import RoutingTable
 from ..errors import RoutingError
+from .negotiation import MESSAGES_TOTAL
 from .policies import ExportPolicy, offered_routes
+
+# The abstract avoid-an-AS model compresses each §3.3 exchange into one
+# offered_routes call; it charges the shared message counter the same way
+# the explicit agents do (request per contact, offer or decline per
+# response, accept+grant when a tunnel is adopted).
+_MSG_REQUEST = MESSAGES_TOTAL.labels(kind="request")
+_MSG_OFFER = MESSAGES_TOTAL.labels(kind="offer")
+_MSG_DECLINE = MESSAGES_TOTAL.labels(kind="decline")
+_MSG_ACCEPT = MESSAGES_TOTAL.labels(kind="accept")
+_MSG_GRANT = MESSAGES_TOTAL.labels(kind="grant")
+
+
+def _count_exchange(offers_received: int) -> None:
+    """Charge one modeled request/response pair to the message counter."""
+    _MSG_REQUEST.inc()
+    if offers_received:
+        _MSG_OFFER.inc()
+    else:
+        _MSG_DECLINE.inc()
+
+
+def _count_establishment() -> None:
+    """Charge the accept/grant handshake of an adopted tunnel."""
+    _MSG_ACCEPT.inc()
+    _MSG_GRANT.inc()
 
 
 class NegotiationScope(enum.Enum):
@@ -165,6 +191,7 @@ def miro_attempt(
         toward = via[-2] if len(via) >= 2 else None
         offers = offered_routes(table, responder, policy, toward=toward)
         paths_received += len(offers)
+        _count_exchange(len(offers))
         for offer in sorted(
             offers, key=lambda r: (r.length, r.path)
         ):
@@ -173,6 +200,7 @@ def miro_attempt(
             if source in offer.path:
                 continue  # pointless tunnel looping back through the source
             full = via + offer.path[1:]
+            _count_establishment()
             return AvoidanceAttempt(
                 True, "tunnel", negotiations, paths_received,
                 responder=responder, full_path=full,
@@ -219,12 +247,14 @@ def _responder_recursion(
             table, helper, policy, toward=responder, include_default=True
         )
         paths_received += len(offers)
+        _count_exchange(len(offers))
         for offer in sorted(offers, key=lambda r: (r.length, r.path)):
             if offer.contains(avoid) or source in offer.path:
                 continue
             if responder in offer.path:
                 continue
             full = via + offer.path
+            _count_establishment()
             return AvoidanceAttempt(
                 True, "tunnel-chain", negotiations, paths_received,
                 responder=responder, full_path=full,

@@ -26,8 +26,29 @@ from typing import Callable, List, Optional, Set, Tuple
 from ..bgp.route import Route
 from ..bgp.routing import RoutingTable
 from ..errors import NegotiationError
+from ..obs import get_logger, get_registry, get_tracer
 from .policies import ExportPolicy, offered_routes
 from .tunnels import Tunnel, TunnelTable
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): every §3.3 control-plane message is
+# counted at its *send* point, so the paper's §5.5 message-overhead
+# numbers are a live counter query.  The abstract-model drivers
+# (miro.avoidance, miro.runtime) charge the same family for the message
+# exchanges they model without constructing the dataclasses.
+# ----------------------------------------------------------------------
+_TRACER = get_tracer()
+_LOG = get_logger("miro.negotiation")
+MESSAGES_TOTAL = get_registry().counter(
+    "repro_miro_messages_total",
+    "MIRO negotiation messages by kind (request/offer/decline/accept/grant)",
+    labels=("kind",),
+)
+_MSG_REQUEST = MESSAGES_TOTAL.labels(kind="request")
+_MSG_OFFER = MESSAGES_TOTAL.labels(kind="offer")
+_MSG_DECLINE = MESSAGES_TOTAL.labels(kind="decline")
+_MSG_ACCEPT = MESSAGES_TOTAL.labels(kind="accept")
+_MSG_GRANT = MESSAGES_TOTAL.labels(kind="grant")
 
 
 @dataclass(frozen=True)
@@ -171,21 +192,17 @@ class RespondingAgent:
             )
         allowed = self.config.accept_from
         if allowed is not None and request.requester not in allowed:
-            return Decline(self.asn, request.requester, request.destination,
-                           "requester not accepted by local policy")
+            return self._decline(request,
+                                 "requester not accepted by local policy")
         if len(self.tunnels) >= self.config.max_tunnels:
-            return Decline(self.asn, request.requester, request.destination,
-                           "tunnel limit reached")
+            return self._decline(request, "tunnel limit reached")
         if self.config.rate_limit is not None:
             limit, window = self.config.rate_limit
             self._accept_times = [
                 t for t in self._accept_times if now - t < window
             ]
             if len(self._accept_times) >= limit:
-                return Decline(
-                    self.asn, request.requester, request.destination,
-                    "negotiation rate limit reached",
-                )
+                return self._decline(request, "negotiation rate limit reached")
             self._accept_times.append(now)
         if toward is None and self.table.graph.has_link(self.asn, request.requester):
             toward = request.requester
@@ -201,14 +218,24 @@ class RespondingAgent:
         if request.max_price is not None:
             priced = tuple(o for o in priced if o.price <= request.max_price)
         if not priced:
-            return Decline(self.asn, request.requester, request.destination,
-                           "no candidate routes satisfy the request")
+            return self._decline(request,
+                                 "no candidate routes satisfy the request")
+        _MSG_OFFER.inc()
         return RouteOffer(self.asn, request.requester, request.destination, priced)
+
+    def _decline(self, request: RouteRequest, reason: str) -> Decline:
+        """Build (and count) a decline message for the given request."""
+        _MSG_DECLINE.inc()
+        _LOG.debug("negotiation_declined", responder=self.asn,
+                   requester=request.requester,
+                   destination=request.destination, reason=reason)
+        return Decline(self.asn, request.requester, request.destination, reason)
 
     def handle_accept(self, accept: TunnelAccept) -> TunnelGrant:
         """Allocate a tunnel id and install downstream state (Fig. 4.2)."""
         if accept.responder != self.asn:
             raise NegotiationError("accept addressed to a different AS")
+        _MSG_GRANT.inc()
         tunnel_id = self.tunnels.allocate_id()
         tunnel = Tunnel(
             tunnel_id=tunnel_id,
@@ -257,6 +284,7 @@ class RequestingAgent:
     ) -> RouteRequest:
         if self.state is not NegotiationState.IDLE:
             raise NegotiationError(f"cannot request in state {self.state}")
+        _MSG_REQUEST.inc()
         self._request = RouteRequest(
             self.asn, responder, destination, constraint, max_price
         )
@@ -290,6 +318,7 @@ class RequestingAgent:
             return None
         self._chosen = min(candidates, key=self.rank)
         self.state = NegotiationState.ACCEPTED
+        _MSG_ACCEPT.inc()
         return TunnelAccept(
             requester=self.asn,
             responder=response.responder,
@@ -362,23 +391,28 @@ def negotiate(
     if toward is None:
         toward = via_path[-2] if len(via_path) >= 2 else None
 
-    responding = RespondingAgent(
-        responder, table, policy, config=responder_config
-    )
-    requesting = RequestingAgent(requester, rank=rank)
-    request = requesting.make_request(
-        responder, table.destination, constraint, max_price
-    )
-    response = responding.handle_request(request, toward=toward)
-    if isinstance(response, Decline):
-        requesting.handle_response(response)
-        return NegotiationOutcome(False, None, 0, response.reason)
-    accept = requesting.handle_response(response)
-    if accept is None:
-        return NegotiationOutcome(
-            False, None, len(response.routes),
-            "no offered route satisfies the requester",
+    with _TRACER.span("negotiate", requester=requester, responder=responder,
+                      destination=table.destination) as span:
+        responding = RespondingAgent(
+            responder, table, policy, config=responder_config
         )
-    grant = responding.handle_accept(accept)
-    tunnel = requesting.handle_grant(grant, via_path=via_path)
-    return NegotiationOutcome(True, tunnel, len(response.routes))
+        requesting = RequestingAgent(requester, rank=rank)
+        request = requesting.make_request(
+            responder, table.destination, constraint, max_price
+        )
+        response = responding.handle_request(request, toward=toward)
+        if isinstance(response, Decline):
+            requesting.handle_response(response)
+            span.set(established=False)
+            return NegotiationOutcome(False, None, 0, response.reason)
+        accept = requesting.handle_response(response)
+        if accept is None:
+            span.set(established=False)
+            return NegotiationOutcome(
+                False, None, len(response.routes),
+                "no offered route satisfies the requester",
+            )
+        grant = responding.handle_accept(accept)
+        tunnel = requesting.handle_grant(grant, via_path=via_path)
+        span.set(established=True, offered=len(response.routes))
+        return NegotiationOutcome(True, tunnel, len(response.routes))

@@ -20,10 +20,37 @@ from ..bgp.engine import EventDrivenBGP
 from ..bgp.policy import may_export
 from ..bgp.route import Route
 from ..errors import NegotiationError
+from ..obs import get_logger, get_registry, get_tracer
 from ..topology.graph import ASGraph
 from .policies import ExportPolicy
-from .negotiation import RouteConstraint
+from .negotiation import MESSAGES_TOTAL, RouteConstraint
 from .tunnels import Tunnel, TunnelTable
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): tunnel lifecycle events — established,
+# removed (by cause), and the current live level — plus the negotiation
+# messages the live establish() exchange implies.
+# ----------------------------------------------------------------------
+_TRACER = get_tracer()
+_LOG = get_logger("miro.runtime")
+_TUNNELS_ESTABLISHED = get_registry().counter(
+    "repro_miro_tunnels_established_total",
+    "Tunnels successfully negotiated and installed",
+)
+_TUNNELS_REMOVED = get_registry().counter(
+    "repro_miro_tunnels_removed_total",
+    "Tunnels removed, by cause (route_change / expired)",
+    labels=("cause",),
+)
+_LIVE_TUNNELS = get_registry().gauge(
+    "repro_miro_live_tunnels",
+    "Tunnels currently live across all ASes of the runtime",
+)
+_MSG_REQUEST = MESSAGES_TOTAL.labels(kind="request")
+_MSG_OFFER = MESSAGES_TOTAL.labels(kind="offer")
+_MSG_DECLINE = MESSAGES_TOTAL.labels(kind="decline")
+_MSG_ACCEPT = MESSAGES_TOTAL.labels(kind="accept")
+_MSG_GRANT = MESSAGES_TOTAL.labels(kind="grant")
 
 
 @dataclass(frozen=True)
@@ -121,12 +148,18 @@ class MiroRuntime:
                 f"AS {requester} has no known path to responder AS {responder}"
             )
         toward = via[-2] if len(via) >= 2 else None
+        _MSG_REQUEST.inc()
         offers = self.offered_routes(responder, destination, policy, toward)
         if constraint is not None:
             offers = [r for r in offers if constraint.satisfied_by(r)]
         offers = [r for r in offers if requester not in r.path]
         if not offers:
+            _MSG_DECLINE.inc()
+            _LOG.debug("negotiation_declined", requester=requester,
+                       responder=responder, destination=destination,
+                       reason="no candidate routes satisfy the request")
             return None
+        _MSG_OFFER.inc()
         chosen = min(offers, key=lambda r: (r.length, r.path))
         tunnel_id = self.tunnels[responder].allocate_id()
         tunnel = Tunnel(
@@ -145,10 +178,17 @@ class MiroRuntime:
             path=chosen.path,
             via_path=via,
         )
+        _MSG_ACCEPT.inc()
+        _MSG_GRANT.inc()
         self.tunnels[requester].install(tunnel, now=self.clock)
         self.tunnels[responder].install(mirror, now=self.clock)
         record = EstablishedTunnel(tunnel, requester, responder, destination)
         self._live.append(record)
+        _TUNNELS_ESTABLISHED.inc()
+        _LIVE_TUNNELS.set(len(self.live_tunnels()))
+        _LOG.info("tunnel_established", tunnel_id=tunnel_id,
+                  requester=requester, responder=responder,
+                  destination=destination, path=chosen.path)
         return record
 
     def live_tunnels(self) -> List[EstablishedTunnel]:
@@ -208,22 +248,30 @@ class MiroRuntime:
             self._live.remove(record)
         self._dirty_destinations.clear()
         self.torn_down.extend(removed)
+        if removed:
+            _TUNNELS_REMOVED.labels(cause="route_change").inc(len(removed))
+            _LIVE_TUNNELS.set(len(self.live_tunnels()))
+            for tunnel in removed:
+                _LOG.info("tunnel_torn_down", tunnel_id=tunnel.tunnel_id,
+                          destination=tunnel.destination, cause="route_change")
         return removed
 
     def fail_link(self, a: int, b: int) -> int:
         """Fail a link, reconverge, and revalidate tunnels (§4.3)."""
-        # tunnels whose via segment or tunnel path uses the link must be
-        # re-checked even if no best route changes (e.g. a direct-link via
-        # that no selected route crosses)
-        for record in self._live:
-            tunnel = record.tunnel
-            hops = list(zip(tunnel.via_path, tunnel.via_path[1:]))
-            hops += list(zip(tunnel.path, tunnel.path[1:]))
-            if (a, b) in hops or (b, a) in hops:
-                self._dirty_destinations.add(record.destination)
-        self.engine.fail_link(a, b)
-        processed = self.engine.run()
-        self.revalidate()
+        with _TRACER.span("miro_fail_link", a=a, b=b) as span:
+            # tunnels whose via segment or tunnel path uses the link must
+            # be re-checked even if no best route changes (e.g. a
+            # direct-link via that no selected route crosses)
+            for record in self._live:
+                tunnel = record.tunnel
+                hops = list(zip(tunnel.via_path, tunnel.via_path[1:]))
+                hops += list(zip(tunnel.path, tunnel.path[1:]))
+                if (a, b) in hops or (b, a) in hops:
+                    self._dirty_destinations.add(record.destination)
+            self.engine.fail_link(a, b)
+            processed = self.engine.run()
+            torn = self.revalidate()
+            span.set(messages=processed, torn_down=len(torn))
         return processed
 
     def restore_link(self, a: int, b: int) -> int:
@@ -253,4 +301,10 @@ class MiroRuntime:
         for table in self.tunnels.values():
             expired.extend(table.expire(self.clock))
         self.torn_down.extend(expired)
+        if expired:
+            _TUNNELS_REMOVED.labels(cause="expired").inc(len(expired))
+            _LIVE_TUNNELS.set(len(self.live_tunnels()))
+            for tunnel in expired:
+                _LOG.info("tunnel_expired", tunnel_id=tunnel.tunnel_id,
+                          destination=tunnel.destination)
         return expired

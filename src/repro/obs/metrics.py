@@ -1,0 +1,392 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The paper's evaluation (Ch. 5) is an accounting exercise — negotiation
+messages, tunnels, routing state, convergence activations — and the
+ROADMAP's scaling goal needs per-phase timings on top.  This module gives
+every layer a shared, in-process instrumentation plane without pulling in
+``prometheus_client`` or OpenTelemetry:
+
+* :class:`Counter` — monotonically increasing totals (messages sent,
+  tables computed, cache hits);
+* :class:`Gauge` — point-in-time levels (live tunnels, cached tables);
+* :class:`Histogram` — distributions with fixed buckets (phase seconds,
+  frontier sizes).
+
+Instruments are created through a :class:`MetricsRegistry` and may carry
+**labels** (``registry.counter(name, labels=("kind",)).labels(kind="offer")``),
+mirroring the Prometheus data model so the text exposition renders with
+:meth:`MetricsRegistry.render_prometheus`.  A registry also supports:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict of every sample
+  (the ``repro stats --format json`` exporter);
+* :meth:`MetricsRegistry.merge` — add another snapshot into this registry,
+  which is how per-worker metrics from the ``compute_many`` process pool
+  flow back into the parent process;
+* :meth:`MetricsRegistry.reset` — zero every sample in place, keeping
+  instrument identity so module-level handles stay valid (used by tests
+  and long-lived sessions).
+
+Hot-path cost is one attribute load plus one float add per event;
+instrument *creation* is locked, but increments are plain GIL-atomic
+arithmetic on ``__slots__`` attributes.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for durations in seconds (spans µs..10 s).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram buckets for set sizes (frontier / affected regions).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; cannot add {amount}"
+            )
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _absorb(self, sample: Dict[str, Any]) -> None:
+        self.value += sample["value"]
+
+
+class Gauge:
+    """A value that can go up and down (a level, not a total)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _absorb(self, sample: Dict[str, Any]) -> None:
+        # levels do not add across processes meaningfully; last write wins
+        self.value = sample["value"]
+
+
+class Histogram:
+    """A distribution over fixed buckets, plus running sum and count.
+
+    ``counts[i]`` holds observations in ``(bounds[i-1], bounds[i]]``; the
+    final slot is the +Inf overflow.  Rendering converts to Prometheus'
+    cumulative ``_bucket{le=...}`` form.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram buckets must be a sorted non-empty sequence, "
+                f"got {bounds!r}"
+            )
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _sample(self) -> Dict[str, Any]:
+        return {
+            "sum": self.sum,
+            "count": self.count,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+    def _absorb(self, sample: Dict[str, Any]) -> None:
+        if tuple(sample["bounds"]) != self.bounds:
+            raise ObservabilityError(
+                "cannot merge histograms with different buckets"
+            )
+        self.sum += sample["sum"]
+        self.count += sample["count"]
+        for i, n in enumerate(sample["counts"]):
+            self.counts[i] += n
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All samples of one metric name, one per label combination."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ObservabilityError(f"invalid label name {label!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], Instrument] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: object) -> Instrument:
+        """The child instrument for one label combination (created lazily)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _make_child(self) -> Instrument:
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_TIME_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def samples(self) -> Iterable[Tuple[Dict[str, str], Instrument]]:
+        for key, child in list(self._children.items()):
+            yield dict(zip(self.label_names, key)), child
+
+
+class MetricsRegistry:
+    """A named collection of metric families (the instrumentation plane)."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # instrument creation
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(name, kind, help, labels, buckets)
+                    self._families[name] = family
+        if family.kind != kind or family.label_names != tuple(labels):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {family.kind} "
+                f"with labels {family.label_names}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Union[Counter, MetricFamily]:
+        """A counter (family when ``labels`` given, else the bare child)."""
+        family = self._family(name, "counter", help, labels)
+        return family if labels else family.labels()
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Union[Gauge, MetricFamily]:
+        family = self._family(name, "gauge", help, labels)
+        return family if labels else family.labels()
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Union[Histogram, MetricFamily]:
+        family = self._family(name, "histogram", help, labels, buckets)
+        return family if labels else family.labels()
+
+    # ------------------------------------------------------------------
+    # export / merge / reset
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dict of every family and sample."""
+        out: Dict[str, Any] = {}
+        for name, family in sorted(self._families.items()):
+            out[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": [
+                    {"labels": labels, **child._sample()}
+                    for labels, child in family.samples()
+                ],
+            }
+        return out
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms add; gauges take the incoming value.  This
+        is how worker-process metrics from the ``compute_many`` pool land
+        in the parent registry.
+        """
+        for name, entry in snapshot.items():
+            buckets = None
+            if entry["type"] == "histogram" and entry["samples"]:
+                buckets = entry["samples"][0]["bounds"]
+            family = self._family(
+                name, entry["type"], entry.get("help", ""),
+                tuple(entry.get("label_names", ())), buckets,
+            )
+            for sample in entry["samples"]:
+                family.labels(**sample["labels"])._absorb(sample)
+
+    def reset(self) -> None:
+        """Zero every sample in place (module-level handles stay valid)."""
+        for family in self._families.values():
+            for _, child in family.samples():
+                child._reset()
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (``# HELP``/``# TYPE`` + samples)."""
+        lines: List[str] = []
+        for name, family in sorted(self._families.items()):
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for labels, child in family.samples():
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(child.bounds, child.counts):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_label_str(labels, le=_fmt(bound))} "
+                            f"{cumulative}"
+                        )
+                    cumulative += child.counts[-1]
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, le='+Inf')} "
+                        f"{cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_label_str(labels)} {_fmt(child.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_label_str(labels)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_label_str(labels)} {_fmt(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_text(self) -> str:
+        """Compact human-readable listing for ``--stats`` output.
+
+        Zero-valued samples are skipped so quiet subsystems do not drown
+        the interesting counters.
+        """
+        lines: List[str] = ["instrumentation snapshot:"]
+        for name, family in sorted(self._families.items()):
+            for labels, child in family.samples():
+                tag = _label_str(labels)
+                if isinstance(child, Histogram):
+                    if not child.count:
+                        continue
+                    lines.append(
+                        f"  {name}{tag}: count={child.count} "
+                        f"mean={child.mean:.6g} sum={child.sum:.6g}"
+                    )
+                else:
+                    if not child.value:
+                        continue
+                    lines.append(f"  {name}{tag}: {_fmt(child.value)}")
+        if len(lines) == 1:
+            lines.append("  (no samples recorded)")
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def _label_str(labels: Dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"

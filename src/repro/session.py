@@ -48,6 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
+from . import obs
 from .bgp.route import Route
 from .bgp.routing import (
     RoutingTable,
@@ -56,7 +57,35 @@ from .bgp.routing import (
     recompute_routes,
 )
 from .errors import ReproError, SessionError
+from .obs import get_logger, get_registry, get_tracer
 from .topology.graph import ASGraph
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): cache events land in the process-wide
+# registry (aggregated across sessions); SessionStats stays the
+# per-session view the existing telemetry APIs read.
+# ----------------------------------------------------------------------
+_TRACER = get_tracer()
+_LOG = get_logger("session")
+_CACHE_EVENTS = get_registry().counter(
+    "repro_session_cache_events_total",
+    "Route-table cache events (hit/miss/derive/evict/prune)",
+    labels=("event",),
+)
+_EV_HIT = _CACHE_EVENTS.labels(event="hit")
+_EV_MISS = _CACHE_EVENTS.labels(event="miss")
+_EV_DERIVE = _CACHE_EVENTS.labels(event="derive")
+_EV_EVICT = _CACHE_EVENTS.labels(event="evict")
+_EV_PRUNE = _CACHE_EVENTS.labels(event="prune")
+_CACHED_TABLES = get_registry().gauge(
+    "repro_session_cached_tables",
+    "Routing tables currently held by session caches",
+)
+_FANOUTS_TOTAL = get_registry().counter(
+    "repro_session_fanouts_total",
+    "compute_many fan-outs, by dispatch mode",
+    labels=("mode",),
+)
 
 #: ``parallel="auto"`` only spins up a pool for at least this many misses.
 AUTO_PARALLEL_THRESHOLD = 16
@@ -112,8 +141,14 @@ class SessionStats:
             return 0.0
         return self.affected_ases_total / self.tables_derived
 
-    def as_dict(self) -> Dict[str, float]:
-        """JSON-ready snapshot (counters plus the derived hit rate)."""
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready snapshot (counters plus the derived hit rate).
+
+        The single serialization path: ``--stats`` rendering, the JSON
+        exporter (:func:`repro.experiments.export.export_results`), and
+        the ``repro stats`` snapshot all read this dict.  All duration
+        fields are ``time.perf_counter()`` deltas (monotonic seconds).
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -130,21 +165,25 @@ class SessionStats:
             "evictions": self.evictions,
         }
 
+    #: Backward-compatible alias (pre-observability name).
+    as_dict = to_dict
+
     def render(self) -> str:
         """Human-readable multi-line summary for reports and ``--stats``."""
+        d = self.to_dict()
         return "\n".join([
             "routing-cost telemetry:",
-            f"  cache hits / misses:   {self.hits} / {self.misses}"
-            f"  ({self.hit_rate:.1%} hit rate)",
-            f"  tables computed:       {self.tables_computed}",
-            f"  tables derived:        {self.tables_derived}"
-            f" (mean affected set {self.mean_affected_size:.1f} ASes)",
-            f"  fan-outs:              {self.fanouts}"
-            f" ({self.parallel_fanouts} parallel)",
-            f"  compute wall-clock:    {self.total_compute_seconds:.3f} s"
-            f" (last fan-out {self.last_fanout_seconds:.3f} s)",
-            f"  peak cached tables:    {self.peak_cached_tables}"
-            f" ({self.evictions} evicted, {self.auto_pruned} auto-pruned)",
+            f"  cache hits / misses:   {d['hits']} / {d['misses']}"
+            f"  ({d['hit_rate']:.1%} hit rate)",
+            f"  tables computed:       {d['tables_computed']}",
+            f"  tables derived:        {d['tables_derived']}"
+            f" (mean affected set {d['mean_affected_size']:.1f} ASes)",
+            f"  fan-outs:              {d['fanouts']}"
+            f" ({d['parallel_fanouts']} parallel)",
+            f"  compute wall-clock:    {d['total_compute_seconds']:.3f} s"
+            f" (last fan-out {d['last_fanout_seconds']:.3f} s)",
+            f"  peak cached tables:    {d['peak_cached_tables']}"
+            f" ({d['evictions']} evicted, {d['auto_pruned']} auto-pruned)",
         ])
 
 
@@ -181,8 +220,11 @@ class RouteTableCache:
             self._entries.move_to_end(key)
         self._entries[key] = table
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            _EV_EVICT.inc()
+            _LOG.debug("cache_evict", destination=evicted_key[1],
+                       version=evicted_key[0])
         self.peak_size = max(self.peak_size, len(self._entries))
 
     def prune_stale(self, current_version: int) -> int:
@@ -255,26 +297,31 @@ class RouteTableCache:
 
 
 # ----------------------------------------------------------------------
-# process-pool plumbing: the graph ships once per worker (initializer),
-# jobs then carry only the destination and the pinned-route items.
+# process-pool plumbing: the graph and the parent's observability state
+# ship once per worker (initializer); jobs then carry only the
+# destination and the pinned-route items.  Each job result also carries
+# the worker's drained metrics/spans, which the parent absorbs — so phase
+# timings and spans recorded inside workers land in the parent registry
+# and trace (tagged with the worker's pid).
 # ----------------------------------------------------------------------
 _WORKER_GRAPH: Optional[ASGraph] = None
 
 
-def _pool_init(graph: ASGraph) -> None:
+def _pool_init(graph: ASGraph, obs_state: Tuple[bool, float]) -> None:
     global _WORKER_GRAPH
     _WORKER_GRAPH = graph
+    obs.configure_worker(obs_state)
 
 
 def _pool_compute(
     job: Tuple[int, Optional[Tuple[Tuple[int, Route], ...]]],
-) -> Tuple[int, Dict[int, Route]]:
+) -> Tuple[int, Dict[int, Route], Dict[str, object]]:
     destination, pinned_items = job
     pinned = dict(pinned_items) if pinned_items else None
     table = compute_routes(_WORKER_GRAPH, destination, pinned=pinned)
     # ship only the selected-route mapping back; the parent re-wraps it
     # around its own graph object (avoids one graph copy per table)
-    return destination, dict(table.items())
+    return destination, dict(table.items()), obs.drain_worker()
 
 
 class SimulationSession:
@@ -344,7 +391,12 @@ class SimulationSession:
         if self._graph.version == self._seen_version:
             return
         self._seen_version = self._graph.version
-        self._stats.auto_pruned += self._cache.prune_superseded(self._graph)
+        pruned = self._cache.prune_superseded(self._graph)
+        self._stats.auto_pruned += pruned
+        if pruned:
+            _EV_PRUNE.inc(pruned)
+            _LOG.debug("cache_auto_prune", pruned=pruned,
+                       version=self._graph.version)
 
     def _derive(self, destination: int) -> Optional[RoutingTable]:
         """Try to build ``destination``'s table from a cached ancestor.
@@ -365,7 +417,9 @@ class SimulationSession:
         table = recompute_routes(self._graph, old_table, changed, affected=affected)
         self._stats.tables_derived += 1
         self._stats.affected_ases_total += len(affected)
+        _EV_DERIVE.inc()
         self._cache.put(self._key(destination, None), table)
+        _CACHED_TABLES.set(len(self._cache))
         return table
 
     # ------------------------------------------------------------------
@@ -386,8 +440,10 @@ class SimulationSession:
         cached = self._cache.get(key)
         if cached is not None:
             self._stats.hits += 1
+            _EV_HIT.inc()
             return cached
         self._stats.misses += 1
+        _EV_MISS.inc()
         start = time.perf_counter()
         if pinned is None:
             derived = self._derive(destination)
@@ -398,6 +454,7 @@ class SimulationSession:
         self._stats.total_compute_seconds += time.perf_counter() - start
         self._stats.tables_computed += 1
         self._cache.put(key, table)
+        _CACHED_TABLES.set(len(self._cache))
         return table
 
     def adopt(
@@ -434,44 +491,53 @@ class SimulationSession:
         self._auto_prune()
         ordered = list(dict.fromkeys(destinations))
         start = time.perf_counter()
-        tables: Dict[int, RoutingTable] = {}
-        misses: List[int] = []
-        for destination in ordered:
-            cached = self._cache.get(self._key(destination, pinned))
-            if cached is not None:
-                self._stats.hits += 1
-                tables[destination] = cached
-            else:
-                self._stats.misses += 1
-                misses.append(destination)
-
-        if misses and pinned is None:
-            # derive what we can from pre-mutation tables; only the
-            # remainder is worth fanning out to a pool
-            remaining: List[int] = []
-            for destination in misses:
-                derived = self._derive(destination)
-                if derived is not None:
-                    tables[destination] = derived
+        with _TRACER.span("compute_many", destinations=len(ordered)) as span:
+            tables: Dict[int, RoutingTable] = {}
+            misses: List[int] = []
+            for destination in ordered:
+                cached = self._cache.get(self._key(destination, pinned))
+                if cached is not None:
+                    self._stats.hits += 1
+                    _EV_HIT.inc()
+                    tables[destination] = cached
                 else:
-                    remaining.append(destination)
-            misses = remaining
+                    self._stats.misses += 1
+                    _EV_MISS.inc()
+                    misses.append(destination)
+            span.set(misses=len(misses))
 
-        used_pool = False
-        if misses:
-            policy = self._parallel if parallel is None else parallel
-            if self._use_pool(policy, len(misses)):
-                used_pool = self._fanout_pool(misses, pinned, tables)
-            for destination in misses:
-                if destination not in tables:
-                    table = compute_routes(self._graph, destination, pinned=pinned)
-                    self._cache.put(self._key(destination, pinned), table)
-                    tables[destination] = table
-            self._stats.tables_computed += len(misses)
+            if misses and pinned is None:
+                # derive what we can from pre-mutation tables; only the
+                # remainder is worth fanning out to a pool
+                remaining: List[int] = []
+                for destination in misses:
+                    derived = self._derive(destination)
+                    if derived is not None:
+                        tables[destination] = derived
+                    else:
+                        remaining.append(destination)
+                misses = remaining
+
+            used_pool = False
+            if misses:
+                policy = self._parallel if parallel is None else parallel
+                if self._use_pool(policy, len(misses)):
+                    used_pool = self._fanout_pool(misses, pinned, tables)
+                for destination in misses:
+                    if destination not in tables:
+                        table = compute_routes(
+                            self._graph, destination, pinned=pinned
+                        )
+                        self._cache.put(self._key(destination, pinned), table)
+                        tables[destination] = table
+                self._stats.tables_computed += len(misses)
+                _CACHED_TABLES.set(len(self._cache))
+            span.set(pool=used_pool)
 
         elapsed = time.perf_counter() - start
         self._stats.fanouts += 1
         self._stats.parallel_fanouts += 1 if used_pool else 0
+        _FANOUTS_TOTAL.labels(mode="parallel" if used_pool else "serial").inc()
         self._stats.last_fanout_seconds = elapsed
         self._stats.total_compute_seconds += elapsed
         return {destination: tables[destination] for destination in ordered}
@@ -511,12 +577,13 @@ class SimulationSession:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_init,
-                initargs=(self._graph,),
+                initargs=(self._graph, obs.worker_state()),
             ) as pool:
                 chunk = max(1, len(jobs) // (4 * workers))
-                for destination, best in pool.map(
+                for destination, best, payload in pool.map(
                     _pool_compute, jobs, chunksize=chunk
                 ):
+                    obs.absorb_worker(payload)
                     table = RoutingTable(self._graph, destination, best)
                     self._cache.put(self._key(destination, pinned), table)
                     tables[destination] = table

@@ -10,10 +10,24 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.topology import ASGraph, generate_topology, SMALL, TINY
 
 # Paper example AS numbers.
 A, B, C, D, E, F = 1, 2, 3, 4, 5, 6
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Zero the global metrics/trace plane between tests.
+
+    The registry and tracer are process-wide singletons (module-level
+    instrument handles stay valid across :func:`repro.obs.reset`), so
+    every test starts from empty counters and a disabled tracer.
+    """
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture
