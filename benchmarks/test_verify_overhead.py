@@ -1,0 +1,99 @@
+"""Cost of the verification harness relative to the work it checks.
+
+Two measurements on the Gao 2005 data set:
+
+* ``audit_session`` over a warm session versus the fan-out that filled
+  it — the per-report price of ``repro experiment all --verify``;
+* one full oracle round (serial + incremental ancestors + invariants)
+  versus plain ``compute_many`` over the same destinations — the
+  per-step price of a ``repro verify`` campaign.
+
+Verification recomputes every audited table from scratch and walks every
+path, so it is necessarily slower than a cache hit; the assertions bound
+it to the same order of magnitude as the cold computation it duplicates.
+"""
+
+import json
+import time
+
+from repro.session import SimulationSession
+from repro.topology import TopologyDelta
+from repro.verify import DifferentialOracle, audit_session
+
+N_AUDIT_TABLES = 8
+N_ORACLE_DESTINATIONS = 6
+
+
+def test_session_audit_overhead(benchmark, gao_2005):
+    destinations = gao_2005.ases[:N_AUDIT_TABLES]
+    session = SimulationSession(gao_2005)
+
+    def fill_then_audit():
+        session.clear_cache()
+        start = time.perf_counter()
+        session.compute_many(destinations)
+        fill = time.perf_counter() - start
+        start = time.perf_counter()
+        result = audit_session(session, destinations=destinations)
+        audit = time.perf_counter() - start
+        return fill, audit, result
+
+    fill, audit, result = benchmark.pedantic(
+        fill_then_audit, rounds=1, iterations=1
+    )
+
+    print()
+    print("VERIFY-OVERHEAD-BENCH " + json.dumps({
+        "kind": "session_audit",
+        "n_tables": result.tables_checked,
+        "fill_seconds": round(fill, 6),
+        "audit_seconds": round(audit, 6),
+        "overhead_ratio": round(audit / fill, 2) if fill else None,
+    }))
+
+    assert result.ok
+    assert result.tables_checked == len(destinations)
+    # the audit recomputes each table once and checks three invariants;
+    # it must stay within a small constant factor of the fill it audits
+    assert audit <= fill * 6 + 0.5
+
+
+def test_oracle_round_overhead(benchmark, gao_2005):
+    destinations = gao_2005.ases[:N_ORACLE_DESTINATIONS]
+
+    def plain_then_verified():
+        plain_session = SimulationSession(gao_2005)
+        start = time.perf_counter()
+        plain_session.compute_many(destinations)
+        plain = time.perf_counter() - start
+
+        oracle = DifferentialOracle(gao_2005, destinations)
+        start = time.perf_counter()
+        baseline = oracle.check(include_pool=False)
+        link = next((a, b) for a, b, _ in gao_2005.iter_links())
+        applied = TopologyDelta.link_down(*link).apply(gao_2005)
+        try:
+            after = oracle.check(include_pool=False)
+        finally:
+            applied.revert()
+        verified = time.perf_counter() - start
+        return plain, verified, baseline, after
+
+    plain, verified, baseline, after = benchmark.pedantic(
+        plain_then_verified, rounds=1, iterations=1
+    )
+
+    print()
+    print("VERIFY-OVERHEAD-BENCH " + json.dumps({
+        "kind": "oracle_round",
+        "n_destinations": len(destinations),
+        "plain_seconds": round(plain, 6),
+        "verified_seconds": round(verified, 6),
+        "overhead_ratio": round(verified / plain, 2) if plain else None,
+    }))
+
+    assert baseline.ok and after.ok
+    # two oracle rounds = 2x serial + 2x full reference + incremental
+    # replays from remembered ancestors; bound the multiple so the
+    # campaign driver's per-step cost stays predictable
+    assert verified <= plain * 12 + 1.0

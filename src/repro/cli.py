@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro topology       generate a topology, print its Table 5.1
                          attributes, optionally dump it in CAIDA format
@@ -8,6 +8,8 @@ Six subcommands::
     repro avoid          run the avoid-an-AS application for one triple
     repro experiment     regenerate a paper table/figure on a chosen profile
     repro failure-sweep  measure BGP vs MIRO recovery from sampled failures
+    repro verify         fault-injection campaigns cross-checking every
+                         route-computation path and routing invariant
     repro stats          run a small instrumented workload and export the
                          metrics snapshot (json / prom / text)
 
@@ -33,10 +35,12 @@ from .topology import PROFILES, generate_named, load, summarize
 from .topology import dumps as dump_topology
 
 
-def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+def _add_topology_args(
+    parser: argparse.ArgumentParser, default_profile: str = "gao-2005"
+) -> None:
     parser.add_argument(
-        "--profile", default="gao-2005", choices=sorted(PROFILES),
-        help="generator profile (default: gao-2005)",
+        "--profile", default=default_profile, choices=sorted(PROFILES),
+        help=f"generator profile (default: {default_profile})",
     )
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument(
@@ -258,7 +262,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from .experiments import full_report
 
         print(full_report(graph, name, seed=args.seed, session=session,
-                          include_stats=args.stats))
+                          include_stats=args.stats, verify=args.verify))
         if args.stats:
             print()
             print(get_registry().render_text())
@@ -267,6 +271,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         raise ReproError(f"unknown experiment {which!r}")
     _maybe_print_stats(args, session)
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run the route-equivalence verification harness (``repro verify``).
+
+    Seeded fault-injection campaigns cross-check every route-computation
+    path (full / incremental / session-serial / session-pool) and the
+    stable-state invariants after every injected event; exit code 1 when
+    anything diverges or violates.
+    """
+    from .verify import run_campaigns
+
+    def make_graph():
+        return _build_graph(args)
+
+    def progress(campaign: int, outcome) -> None:
+        state = "ok" if outcome.ok else "FAIL"
+        print(
+            f"campaign {campaign + 1}/{args.campaigns}: "
+            f"{outcome.steps} events, {outcome.checks} checks [{state}]",
+            file=sys.stderr,
+        )
+
+    report = run_campaigns(
+        make_graph,
+        seed=args.seed,
+        campaigns=args.campaigns,
+        n_events=args.events,
+        n_destinations=args.destinations,
+        include_pool=not args.no_pool,
+        tunnel_campaigns=args.tunnel_campaigns,
+        topology=args.topology or args.profile,
+        progress=progress if not args.quiet else None,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote verify report to {args.out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -355,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table5.2", "table5.3", "fig5.2", "fig5.4", "fig5.6",
                  "ch7", "overhead", "all"],
     )
+    experiment.add_argument(
+        "--verify", action="store_true",
+        help="audit the session's routing tables after the report "
+             "(invariants + fresh-computation equivalence; 'all' only)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     failures = sub.add_parser(
@@ -372,6 +422,30 @@ def build_parser() -> argparse.ArgumentParser:
     failures.add_argument("--destinations", type=int, default=5,
                           help="destinations scored per event (default 5)")
     failures.set_defaults(func=_cmd_failure_sweep)
+
+    verify = sub.add_parser(
+        "verify",
+        help="route-equivalence verification: fault-injection campaigns "
+             "cross-checking every computation path + invariants",
+    )
+    _add_topology_args(verify, default_profile="verify-500")
+    _add_obs_args(verify)
+    verify.add_argument("--campaigns", type=int, default=25,
+                        help="fault-injection campaigns to run (default 25)")
+    verify.add_argument("--events", type=int, default=8,
+                        help="fault events per campaign (default 8)")
+    verify.add_argument("--destinations", type=int, default=6,
+                        help="destinations cross-checked per campaign "
+                             "(default 6)")
+    verify.add_argument("--tunnel-campaigns", type=int, default=2,
+                        help="tunnel-consistency sub-campaigns (default 2)")
+    verify.add_argument("--no-pool", action="store_true",
+                        help="skip the process-pool comparison path")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-campaign progress on stderr")
+    verify.add_argument("--out", metavar="FILE",
+                        help="write the full JSON report here")
+    verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
         "stats",

@@ -65,13 +65,18 @@ def full_report(
     n_stubs: int = 12,
     session: Optional[SimulationSession] = None,
     include_stats: bool = True,
+    verify: bool = False,
 ) -> str:
     """Every table and figure on one topology, as one text report.
 
     One :class:`~repro.session.SimulationSession` threads through every
     experiment, so the routing tables Table 5.2 computes are the ones
     Table 5.3 and the figures read back from cache; the closing telemetry
-    section reports what that sharing saved.
+    section reports what that sharing saved.  With ``verify`` the report
+    closes with a route-table audit: the session's tables — the exact
+    mix of cached, derived, and pool-computed state the figures consumed
+    — are checked against the routing invariants and fresh full
+    computations (see :func:`repro.verify.audit_session`).
     """
     session = ensure_session(graph, session)
     sections: List[str] = []
@@ -204,6 +209,13 @@ def full_report(
             overhead.as_rows(),
             title="Control-plane overhead (§3.2)",
         ))
+
+    if verify:
+        from ..verify import audit_session
+
+        with _section("verify_audit"):
+            audit = audit_session(session)
+            sections.append(audit.render())
 
     if include_stats:
         sections.append(session.stats.render())

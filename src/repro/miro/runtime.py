@@ -161,7 +161,18 @@ class MiroRuntime:
             return None
         _MSG_OFFER.inc()
         chosen = min(offers, key=lambda r: (r.length, r.path))
+        # The downstream AS assigns the identifier (§3.5, unique within
+        # that AS) — but the state is installed at *both* endpoints, and
+        # a requester holding tunnels from several responders can be
+        # handed the same number twice.  Keep drawing from the
+        # responder's monotonic allocator until the id is free at both
+        # ends (found by the verify harness's tunnel campaign).
         tunnel_id = self.tunnels[responder].allocate_id()
+        while (
+            self.tunnels[requester].has(tunnel_id)
+            or self.tunnels[responder].has(tunnel_id)
+        ):
+            tunnel_id = self.tunnels[responder].allocate_id()
         tunnel = Tunnel(
             tunnel_id=tunnel_id,
             upstream=requester,

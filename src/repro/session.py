@@ -219,13 +219,18 @@ class RouteTableCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = table
+        # the peak is the pre-eviction size: a put that overflows the LRU
+        # bound momentarily holds maxsize+1 tables, and that pressure is
+        # exactly what the telemetry must report (an always-full cache
+        # capped at maxsize would otherwise be indistinguishable from a
+        # comfortably sized one)
+        self.peak_size = max(self.peak_size, len(self._entries))
         while len(self._entries) > self.maxsize:
             evicted_key, _ = self._entries.popitem(last=False)
             self.evictions += 1
             _EV_EVICT.inc()
             _LOG.debug("cache_evict", destination=evicted_key[1],
                        version=evicted_key[0])
-        self.peak_size = max(self.peak_size, len(self._entries))
 
     def prune_stale(self, current_version: int) -> int:
         """Drop entries for graph versions other than ``current_version``."""
@@ -244,8 +249,17 @@ class RouteTableCache:
         recomputation after the mutation still has its seed.  Entries for
         versions that are not ancestors of the current one (or pinned
         entries, which cannot seed a derivation) are dropped outright.
+
+        A destination that already has an unpinned current-version table
+        needs no seed at all — lookups hit that table and nothing is
+        derived — so its stale entries are dropped too, instead of one
+        of them surviving as dead, never-useful work.
         """
         current = graph.version
+        covered = {
+            key[1] for key in self._entries
+            if key[0] == current and key[2] is None
+        }
         nearest: Dict[int, Tuple[int, CacheKey]] = {}
         stale: List[CacheKey] = []
         for key in self._entries:
@@ -253,7 +267,7 @@ class RouteTableCache:
             if version == current:
                 continue
             changed = graph.changed_links_since(version)
-            if changed is None or pk is not None:
+            if changed is None or pk is not None or destination in covered:
                 stale.append(key)
                 continue
             kept = nearest.get(destination)
@@ -563,35 +577,55 @@ class SimulationSession:
         pinned: Optional[Dict[int, Route]],
         tables: Dict[int, RoutingTable],
     ) -> bool:
-        """Dispatch ``misses`` across a process pool; True on success.
+        """Dispatch ``misses`` across a process pool; True if any job ran.
 
-        Any pool-infrastructure failure (spawn refused, broken worker,
-        pickling quirk) leaves ``tables`` partially filled and returns
-        False so the caller finishes serially.  Library errors — e.g. an
-        invalid pinned route — propagate unchanged.
+        Each job is consumed as its own future: a job that fails on pool
+        infrastructure (spawn refused, broken worker, pickling quirk) is
+        simply left out of ``tables`` and the caller recomputes that one
+        destination serially, while every *successful* job's drained
+        metrics/spans payload is absorbed exactly once — a failed job
+        ships no payload, so nothing is lost with it and nothing is
+        double-counted when its table is recomputed in the parent.
+        Library errors — e.g. an invalid pinned route — propagate
+        unchanged.  Returns False only when no job completed (the fan-out
+        was effectively serial).
         """
         pinned_items = tuple(pinned.items()) if pinned else None
-        jobs = [(destination, pinned_items) for destination in misses]
         workers = self._max_workers or min(len(misses), os.cpu_count() or 1)
         try:
-            with ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_init,
                 initargs=(self._graph, obs.worker_state()),
-            ) as pool:
-                chunk = max(1, len(jobs) // (4 * workers))
-                for destination, best, payload in pool.map(
-                    _pool_compute, jobs, chunksize=chunk
-                ):
-                    obs.absorb_worker(payload)
-                    table = RoutingTable(self._graph, destination, best)
-                    self._cache.put(self._key(destination, pinned), table)
-                    tables[destination] = table
-        except ReproError:
-            raise
+            )
         except Exception:
             return False
-        return True
+        succeeded = 0
+        try:
+            try:
+                futures = [
+                    (destination,
+                     pool.submit(_pool_compute, (destination, pinned_items)))
+                    for destination in misses
+                ]
+            except Exception:
+                return False
+            for destination, future in futures:
+                try:
+                    dest, best, payload = future.result()
+                except ReproError:
+                    raise
+                except Exception:
+                    _LOG.warning("pool_job_failed", destination=destination)
+                    continue
+                obs.absorb_worker(payload)
+                table = RoutingTable(self._graph, dest, best)
+                self._cache.put(self._key(dest, pinned), table)
+                tables[dest] = table
+                succeeded += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return succeeded > 0
 
     # ------------------------------------------------------------------
     # maintenance

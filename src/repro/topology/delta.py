@@ -224,6 +224,49 @@ class AppliedDelta:
         self.graph._restore_version(self.version_before)
         self.reverted = True
 
+    def reapply(self) -> None:
+        """Re-execute a reverted delta, restoring the post-apply state.
+
+        The forward operations run again (transactionally, like
+        :meth:`TopologyDelta.apply`), then the recorded post-apply
+        :attr:`~repro.topology.graph.ASGraph.version` is restored — the
+        adjacency is bit-identical to what that version identified, so
+        routing tables cached after the original apply become servable
+        again.  A failure campaign can thus flap the same event
+        (apply → revert → reapply → …) without the version journal ever
+        drifting or the caches recomputing either side of the flap.
+
+        Re-applying a delta that is currently applied raises
+        :class:`~repro.errors.TopologyError` — executing the forward
+        operations twice would corrupt the graph (links double-removed)
+        and the version journal along with it.  So does re-applying after
+        the graph moved on from the reverted state: ``version_after`` no
+        longer identifies the adjacency the re-execution would produce.
+        """
+        if not self.reverted:
+            raise TopologyError(
+                f"delta [{self.delta}] is already applied; revert it "
+                f"before re-applying"
+            )
+        if self.graph.version != self.version_before:
+            raise TopologyError(
+                f"cannot re-apply delta [{self.delta}]: the graph has been "
+                f"mutated since it was reverted (version "
+                f"{self.graph.version} != {self.version_before})"
+            )
+        undo: List[DeltaOp] = []
+        changed: Set[LinkKey] = set()
+        try:
+            for op in self.delta.ops:
+                undo.append(TopologyDelta._execute(self.graph, op, changed))
+        except TopologyError:
+            _run_inverse(self.graph, undo)
+            self.graph._restore_version(self.version_before)
+            raise
+        self.graph._restore_version(self.version_after)
+        self._undo = tuple(undo)
+        self.reverted = False
+
 
 def _run_inverse(graph: ASGraph, undo: List[DeltaOp]) -> None:
     """Run recorded inverse ops, newest first (used by revert/rollback)."""

@@ -96,11 +96,19 @@ TINY = TopologyProfile(
     "tiny", n_ases=40, n_tier1=4, tier2_fraction=0.15,
     tier3_fraction=0.25, peer_fraction=0.10, sibling_fraction=0.02,
 )
+#: 500-AS profile sized for the ``repro verify`` campaign default: big
+#: enough for tier structure and multi-phase routes, small enough to
+#: re-verify whole tables after every injected fault.
+VERIFY_500 = TopologyProfile(
+    "verify-500", n_ases=500, n_tier1=8, tier2_fraction=0.09,
+    tier3_fraction=0.22, peer_fraction=0.08, sibling_fraction=0.014,
+)
 
 PROFILES: Dict[str, TopologyProfile] = {
     p.name: p
     for p in (
-        GAO_2000, GAO_2003, GAO_2005, AGARWAL_2004, APRIL_2009, SMALL, TINY
+        GAO_2000, GAO_2003, GAO_2005, AGARWAL_2004, APRIL_2009, SMALL, TINY,
+        VERIFY_500,
     )
 }
 

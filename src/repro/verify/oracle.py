@@ -1,0 +1,208 @@
+"""Differential oracle: all route-computation paths must agree.
+
+The repo produces a routing table four ways — full
+:func:`~repro.bgp.routing.compute_routes`, incremental
+:func:`~repro.bgp.routing.recompute_routes` from a pre-mutation table,
+:class:`~repro.session.SimulationSession` serial (cache + derivation),
+and the session's process-pool fan-out.  The paper's numbers are only
+credible if they are interchangeable, so the oracle computes every
+destination via every path and reports the first divergence as a
+concrete ``(mode, destination, asn, expected, actual)`` tuple.
+
+The full computation is the reference: it is the direct transcription of
+the three-phase stable-state construction and the one the randomized
+differential tests pin against the event-driven simulator.  Everything
+else must match it byte for byte (paths compared exactly, not just
+preference-equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.routing import RoutingTable, compute_routes, recompute_routes
+from ..obs import get_logger, get_registry
+from ..session import SimulationSession
+from ..topology.graph import ASGraph
+
+_LOG = get_logger("verify")
+_ORACLE_CHECKS = get_registry().counter(
+    "repro_verify_oracle_checks_total",
+    "Differential table comparisons, by computation mode",
+    labels=("mode",),
+)
+_ORACLE_DIVERGENCES = get_registry().counter(
+    "repro_verify_oracle_divergences_total",
+    "Differential comparisons that found a mismatch, by computation mode",
+    labels=("mode",),
+)
+
+
+def table_paths(table: RoutingTable) -> Dict[int, Tuple[int, ...]]:
+    """Canonical comparable form of a table: ``{asn: selected path}``."""
+    return {asn: route.path for asn, route in table.items()}
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where one computation path disagrees with the oracle."""
+
+    mode: str
+    destination: int
+    asn: int
+    expected: Optional[Tuple[int, ...]]
+    actual: Optional[Tuple[int, ...]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "destination": self.destination,
+            "asn": self.asn,
+            "expected": list(self.expected) if self.expected else None,
+            "actual": list(self.actual) if self.actual else None,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.mode}] dest={self.destination} asn={self.asn}: "
+            f"expected {self.expected}, got {self.actual}"
+        )
+
+
+def first_divergence(
+    reference: RoutingTable, candidate: RoutingTable, mode: str
+) -> Optional[Divergence]:
+    """Compare two tables AS by AS; None when byte-identical."""
+    _ORACLE_CHECKS.labels(mode=mode).inc()
+    expected = table_paths(reference)
+    actual = table_paths(candidate)
+    for asn in sorted(expected.keys() | actual.keys()):
+        if expected.get(asn) != actual.get(asn):
+            _ORACLE_DIVERGENCES.labels(mode=mode).inc()
+            return Divergence(
+                mode, reference.destination, asn,
+                expected.get(asn), actual.get(asn),
+            )
+    return None
+
+
+@dataclass
+class OracleCheck:
+    """One :meth:`DifferentialOracle.check` round's output.
+
+    ``references`` are the fresh full-computation tables — callers feed
+    them to the invariant checkers so reference work is never done twice.
+    """
+
+    divergences: List[Divergence]
+    references: Dict[int, RoutingTable]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+class DifferentialOracle:
+    """Cross-checks every computation path on one graph, statefully.
+
+    The oracle owns a serial :class:`SimulationSession` (so the cache /
+    derivation path is exercised with real history across mutations) and
+    remembers the last few reference tables per destination; each
+    :meth:`check` recomputes incrementally *from every remembered
+    ancestor* whose change window the version journal still bounds.  Call
+    :meth:`check` after every topology event; the graph mutates in place
+    between calls.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        destinations: Sequence[int],
+        max_ancestors: int = 4,
+        pool_workers: int = 2,
+    ) -> None:
+        self.graph = graph
+        self.destinations = list(destinations)
+        self.max_ancestors = max_ancestors
+        self.pool_workers = pool_workers
+        self.session = SimulationSession(graph, parallel=False)
+        self.checks = 0
+        self._history: Dict[int, List[Tuple[int, RoutingTable]]] = {
+            destination: [] for destination in self.destinations
+        }
+
+    def check(self, include_pool: bool = False) -> OracleCheck:
+        """Compare all paths for every destination.
+
+        Stops at the first divergence per destination (later ASes of a
+        diverged table are noise), but still reports independent
+        divergences of different destinations/modes.
+        """
+        self.checks += 1
+        divergences: List[Divergence] = []
+        references: Dict[int, RoutingTable] = {}
+        serial = self.session.compute_many(self.destinations)
+        pool_tables: Optional[Dict[int, RoutingTable]] = None
+        if include_pool:
+            pool_session = SimulationSession(
+                self.graph, parallel=True, max_workers=self.pool_workers
+            )
+            pool_tables = pool_session.compute_many(
+                self.destinations, parallel=True
+            )
+        for destination in self.destinations:
+            reference = compute_routes(self.graph, destination)
+            references[destination] = reference
+            found = first_divergence(
+                reference, serial[destination], "session-serial"
+            )
+            if found is None:
+                for version, ancestor in self._history[destination]:
+                    changed = self.graph.changed_links_since(version)
+                    if changed is None:
+                        continue
+                    incremental = recompute_routes(
+                        self.graph, ancestor, changed
+                    )
+                    found = first_divergence(
+                        reference, incremental, f"incremental@v{version}"
+                    )
+                    if found is not None:
+                        break
+            if found is None and pool_tables is not None:
+                found = first_divergence(
+                    reference, pool_tables[destination], "session-pool"
+                )
+            if found is not None:
+                _LOG.warning("oracle_divergence", mode=found.mode,
+                             destination=found.destination, asn=found.asn)
+                divergences.append(found)
+            self._remember(destination, reference)
+        return OracleCheck(divergences, references)
+
+    def _remember(self, destination: int, table: RoutingTable) -> None:
+        history = self._history[destination]
+        version = self.graph.version
+        history[:] = [(v, t) for v, t in history if v != version]
+        history.append((version, table))
+        del history[: -self.max_ancestors]
+
+
+@dataclass
+class OracleReport:
+    """Aggregate of one run of differential checks."""
+
+    checks: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checks": self.checks,
+            "ok": self.ok,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }

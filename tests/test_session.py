@@ -99,6 +99,44 @@ class TestRouteTableCache:
         assert (1, F, None) in cache
         assert (0, F, None) not in cache
 
+    def test_peak_size_records_pre_eviction_pressure(self, paper_graph):
+        """Regression: the peak must be sampled before eviction trims the
+        cache back to maxsize, otherwise peak can never exceed maxsize and
+        an overflowing cache is indistinguishable from a comfortable one."""
+        cache = RouteTableCache(maxsize=2)
+        for destination in (F, E, D):
+            cache.put((0, destination, None),
+                      self._table(paper_graph, destination))
+        assert len(cache) == 2
+        assert cache.peak_size == 3
+
+    def test_prune_superseded_drops_seed_covered_by_current_table(
+        self, paper_graph
+    ):
+        """Regression: a stale derivation parent is dead weight once an
+        unpinned current-version table for the same destination is cached —
+        lookups hit that table and nothing is ever derived from the seed."""
+        cache = RouteTableCache(maxsize=8)
+        cache.put((paper_graph.version, F, None), self._table(paper_graph, F))
+        paper_graph.remove_link(B, E)
+        current_key = (paper_graph.version, F, None)
+        cache.put(current_key, self._table(paper_graph, F))
+        assert cache.prune_superseded(paper_graph) == 1
+        assert current_key in cache
+        assert len(cache) == 1
+
+    def test_prune_superseded_keeps_seed_for_uncovered_destination(
+        self, paper_graph
+    ):
+        cache = RouteTableCache(maxsize=8)
+        seed_key = (paper_graph.version, F, None)
+        cache.put(seed_key, self._table(paper_graph, F))
+        paper_graph.remove_link(B, E)
+        cache.put((paper_graph.version, E, None),
+                  self._table(paper_graph, E))
+        assert cache.prune_superseded(paper_graph) == 0
+        assert seed_key in cache
+
 
 class TestPinnedKey:
     def test_none_and_empty_collapse(self):
@@ -229,7 +267,8 @@ class TestInvalidationOnMutation:
             session.compute(destination)
         assert session.tables_cached == 2
         assert session.stats.evictions == 2
-        assert session.stats.peak_cached_tables == 2
+        # peak reports pre-eviction pressure: maxsize + 1 during overflow
+        assert session.stats.peak_cached_tables == 3
 
 
 class TestComputeMany:
@@ -303,6 +342,123 @@ class TestParallelFanout:
         tables = session.compute_many(small_graph.ases[:3])
         for table in tables.values():
             assert table.graph is small_graph
+
+
+def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
+    """An in-process stand-in for ProcessPoolExecutor for fault injection.
+
+    Jobs for destinations in ``fail_for`` raise ``error`` from
+    ``future.result()``; every other job computes the real table and ships
+    a synthetic drained-metrics payload (one ``repro_test_pool_jobs_total``
+    increment), exactly like a real worker's ``obs.drain_worker()``.
+    """
+    payload_template = {
+        "metrics": {
+            "repro_test_pool_jobs_total": {
+                "type": "counter",
+                "help": "synthetic per-job worker metric",
+                "label_names": [],
+                "samples": [{"labels": {}, "value": 1.0}],
+            },
+        },
+        "spans": [],
+    }
+
+    class FakeFuture:
+        def __init__(self, value=None, exc=None):
+            self._value = value
+            self._exc = exc
+
+        def result(self):
+            if self._exc is not None:
+                raise self._exc
+            return self._value
+
+    class FakeExecutor:
+        def __init__(self, max_workers=None, initializer=None, initargs=()):
+            self._graph = initargs[0]
+
+        def submit(self, fn, job):
+            destination, pinned_items = job
+            if destination in fail_for:
+                return FakeFuture(exc=error(f"injected fault for {destination}"))
+            pinned = dict(pinned_items) if pinned_items else None
+            table = compute_routes(self._graph, destination, pinned=pinned)
+            return FakeFuture(
+                value=(destination, dict(table.items()), payload_template)
+            )
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    return FakeExecutor
+
+
+class TestPoolFaultInjection:
+    """compute_many's pool failure path: a crashed job falls back to a
+    serial recompute, and worker telemetry is absorbed exactly once per
+    successful job — never lost with a failure, never double-counted by
+    the fallback."""
+
+    def _session(self, small_graph, monkeypatch, fail_for=frozenset(),
+                 error=RuntimeError):
+        import repro.session as session_module
+        monkeypatch.setattr(
+            session_module, "ProcessPoolExecutor",
+            _fake_pool_executor(fail_for=fail_for, error=error),
+        )
+        return SimulationSession(small_graph, parallel=True, max_workers=2)
+
+    def _jobs_absorbed(self):
+        from repro.obs import get_registry
+        counter = get_registry().counter(
+            "repro_test_pool_jobs_total", "synthetic per-job worker metric"
+        )
+        return counter.value
+
+    def test_failed_job_recomputed_serially(self, small_graph, monkeypatch):
+        destinations = small_graph.ases[:6]
+        broken = destinations[2]
+        session = self._session(small_graph, monkeypatch, fail_for={broken})
+        tables = session.compute_many(destinations)
+        expected = compute_routes(small_graph, broken)
+        assert dict(tables[broken].items()) == dict(expected.items())
+        assert set(tables) == set(destinations)
+        assert session.stats.parallel_fanouts == 1
+        assert session.stats.tables_computed == len(destinations)
+
+    def test_worker_metrics_absorbed_once_per_successful_job(
+        self, small_graph, monkeypatch
+    ):
+        destinations = small_graph.ases[:6]
+        failing = set(destinations[:2])
+        session = self._session(small_graph, monkeypatch, fail_for=failing)
+        session.compute_many(destinations)
+        # failed jobs ship no payload; the serial fallback must not
+        # re-absorb (or invent) telemetry for them
+        assert self._jobs_absorbed() == len(destinations) - len(failing)
+
+    def test_all_jobs_failing_degrades_to_serial(self, small_graph, monkeypatch):
+        destinations = small_graph.ases[:5]
+        session = self._session(small_graph, monkeypatch,
+                                fail_for=set(destinations))
+        tables = session.compute_many(destinations)
+        serial = SimulationSession(small_graph, parallel=False)
+        for destination in destinations:
+            assert (
+                dict(tables[destination].items())
+                == dict(serial.compute(destination).items())
+            )
+        # no job completed: the fan-out was effectively serial
+        assert session.stats.parallel_fanouts == 0
+        assert self._jobs_absorbed() == 0.0
+
+    def test_library_errors_propagate_from_pool(self, small_graph, monkeypatch):
+        destinations = small_graph.ases[:4]
+        session = self._session(small_graph, monkeypatch,
+                                fail_for={destinations[1]}, error=RoutingError)
+        with pytest.raises(RoutingError):
+            session.compute_many(destinations)
 
 
 class TestComputeAllRoutes:

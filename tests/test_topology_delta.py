@@ -85,6 +85,56 @@ class TestLinkEvents:
             applied.revert()
 
 
+class TestReapply:
+    def test_reapply_restores_post_apply_state_and_version(self, paper_graph):
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        after = snapshot(paper_graph)
+        applied.revert()
+        applied.reapply()
+        assert snapshot(paper_graph) == after
+        assert paper_graph.version == applied.version_after
+        assert not applied.reverted
+
+    def test_reapply_of_applied_state_rejected(self, paper_graph):
+        """Re-executing forward ops on an already-applied graph would
+        corrupt adjacency and version journal; it must raise instead."""
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        with pytest.raises(TopologyError, match="already applied"):
+            applied.reapply()
+        # and the graph is untouched by the rejected call
+        assert paper_graph.version == applied.version_after
+        assert not paper_graph.has_link(B, E)
+
+    def test_reapply_after_external_mutation_rejected(self, paper_graph):
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        applied.revert()
+        paper_graph.remove_link(C, F)
+        with pytest.raises(TopologyError, match="mutated since"):
+            applied.reapply()
+
+    def test_flap_cycle_is_revertible_again(self, paper_graph):
+        before = snapshot(paper_graph)
+        applied = TopologyDelta.as_down(E).apply(paper_graph)
+        for _ in range(3):
+            applied.revert()
+            applied.reapply()
+        applied.revert()
+        assert snapshot(paper_graph) == before
+        assert paper_graph.version == applied.version_before
+
+    def test_reapply_preserves_changed_links_derivability(self, paper_graph):
+        """After revert+reapply, the original changed-link window must
+        still resolve so cached tables keep deriving incrementally."""
+        version_0 = paper_graph.version
+        applied = TopologyDelta.link_down(B, E).apply(paper_graph)
+        applied.revert()
+        applied.reapply()
+        assert (
+            paper_graph.changed_links_since(version_0)
+            == applied.changed_links
+        )
+
+
 class TestASEvents:
     def test_as_down_isolates_but_keeps_node(self, paper_graph):
         applied = TopologyDelta.as_down(E).apply(paper_graph)

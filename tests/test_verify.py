@@ -1,0 +1,420 @@
+"""Tests for the route-equivalence verification harness (repro.verify).
+
+Covers the invariant checkers (clean tables pass, corrupted tables are
+flagged with the right invariant name), the differential oracle (all
+computation paths agree; planted differences are localized), the
+fault-injection campaign driver (deterministic replay, clean runs on
+generated topologies), and the headline satellite: a seeded campaign
+with a planted incremental-path bug whose divergence the oracle
+minimizes down to the exact event and destination.
+"""
+
+import json
+
+import pytest
+
+from repro.bgp import compute_routes
+from repro.bgp.routing import RoutingTable
+from repro.session import SimulationSession
+from repro.topology import TopologyDelta, generate_named
+from repro.verify import (
+    CampaignEvent,
+    DifferentialOracle,
+    audit_session,
+    check_fixed_point,
+    check_forwarding_tree,
+    check_table,
+    check_tunnel_consistency,
+    check_valley_free,
+    execute_event,
+    first_divergence,
+    replay_divergence,
+    run_campaign,
+    run_campaigns,
+    run_tunnel_campaign,
+    table_paths,
+)
+import repro.verify.oracle as oracle_module
+
+from conftest import A, B, C, D, E, F
+
+
+def _corrupt(table, best):
+    """A RoutingTable like ``table`` but with ``best`` as its mapping."""
+    return RoutingTable(table.graph, table.destination, best)
+
+
+class TestInvariants:
+    def test_clean_tables_pass(self, paper_graph):
+        for destination in paper_graph.ases:
+            table = compute_routes(paper_graph, destination)
+            assert check_table(table) == []
+
+    def test_clean_tables_pass_after_failure(self, paper_graph):
+        paper_graph.remove_link(B, E)
+        assert check_table(compute_routes(paper_graph, F)) == []
+
+    def test_valley_free_flags_wrong_holder(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        best = dict(table.items())
+        best[A] = best[B]  # A "selects" a route held by B
+        violations = check_valley_free(_corrupt(table, best))
+        assert violations
+        assert violations[0].invariant == "valley-free"
+        assert violations[0].asn == A
+
+    def test_valley_free_flags_removed_link(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        paper_graph.remove_link(B, E)  # B's selected path now uses a ghost
+        violations = check_valley_free(table)
+        assert any(v.asn == B for v in violations)
+
+    def test_checkers_report_rather_than_crash_on_stale_table(self):
+        """A table audited against a mutated graph must yield violations,
+        not a TopologyError from relationship lookups on dead links."""
+        graph = generate_named("tiny", seed=3)
+        table = compute_routes(graph, graph.ases[1])
+        link = next((a, b) for a, b, _ in graph.iter_links())
+        graph.remove_link(*link)
+        violations = check_table(table)
+        assert violations
+        assert any("absent from the topology" in v.detail for v in violations)
+
+    def test_forwarding_tree_flags_missing_next_hop(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        best = dict(table.items())
+        del best[E]  # every route via E now dangles
+        violations = check_forwarding_tree(_corrupt(table, best))
+        assert violations
+        assert all(v.invariant == "forwarding-tree" for v in violations)
+        assert any("next hop" in v.detail for v in violations)
+
+    def test_fixed_point_flags_suboptimal_selection(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        selected = table.best(B)
+        worse = [
+            r for r in table.candidates(B)
+            if r.preference_key() != selected.preference_key()
+        ]
+        assert worse, "paper graph should offer B a non-best candidate"
+        best = dict(table.items())
+        best[B] = worse[0]
+        violations = check_fixed_point(_corrupt(table, best))
+        assert any(
+            v.invariant == "fixed-point" and v.asn == B for v in violations
+        )
+
+    def test_fixed_point_flags_phantom_route(self, paper_graph):
+        # F unreachable for everyone except a phantom entry at B
+        paper_graph.remove_link(B, E)
+        paper_graph.remove_link(C, F)
+        paper_graph.remove_link(D, E)
+        paper_graph.remove_link(E, F)
+        table = compute_routes(paper_graph, F)
+        assert table.best(B) is None
+        # fabricate: B claims the old (B, E, F) route nobody exports
+        from repro.bgp.route import Route, RouteClass
+
+        best = dict(table.items())
+        best[B] = Route((B, E, F), RouteClass.CUSTOMER)
+        violations = check_table(_corrupt(table, best))
+        assert violations  # flagged by valley-free and/or fixed-point
+
+
+class TestTunnelConsistency:
+    def test_clean_runtime_passes_under_failures(self, small_graph):
+        established, violations = run_tunnel_campaign(
+            small_graph, seed=7, n_destinations=2, n_pairs=4, n_failures=3
+        )
+        assert established > 0
+        assert violations == []
+
+    def test_half_removed_tunnel_is_flagged(self, small_graph):
+        from repro.miro.policies import ExportPolicy
+        from repro.miro.runtime import MiroRuntime
+
+        runtime = MiroRuntime(small_graph, seed=0)
+        destination = small_graph.ases[0]
+        runtime.originate_all([destination])
+        record = None
+        for asn in small_graph.ases:
+            best = runtime.engine.best(asn, destination)
+            if best is None or len(best.path) < 3:
+                continue
+            record = runtime.establish(
+                asn, best.path[1], destination, ExportPolicy.FLEXIBLE
+            )
+            if record is not None:
+                break
+        assert record is not None
+        # corrupt: drop the responder's half behind the runtime's back
+        runtime.tunnels[record.responder].remove(record.tunnel.tunnel_id)
+        violations = check_tunnel_consistency(runtime)
+        assert any(
+            v.invariant == "tunnel-consistency"
+            and v.asn == record.responder for v in violations
+        )
+
+    def test_requester_side_ids_never_collide(self, small_graph):
+        """Regression for the bug the tunnel campaign found: a requester
+        granted tunnels by several responders (each allocating from its
+        own id space) must not see install() collide."""
+        established, violations = run_tunnel_campaign(
+            small_graph, seed=5, n_destinations=3, n_pairs=8, n_failures=0
+        )
+        assert established > 0
+        assert violations == []
+
+
+class TestOracle:
+    def test_table_paths_canonical(self, paper_graph):
+        table = compute_routes(paper_graph, F)
+        paths = table_paths(table)
+        assert paths[B] == (B, E, F)
+        assert paths[F] == (F,)
+
+    def test_identical_tables_have_no_divergence(self, paper_graph):
+        reference = compute_routes(paper_graph, F)
+        again = compute_routes(paper_graph, F)
+        assert first_divergence(reference, again, "test") is None
+
+    def test_divergence_reports_smallest_asn(self, paper_graph):
+        reference = compute_routes(paper_graph, F)
+        best = dict(reference.items())
+        dropped = sorted(asn for asn in best if asn != F)[:2]
+        for asn in dropped:
+            del best[asn]
+        found = first_divergence(reference, _corrupt(reference, best), "test")
+        assert found is not None
+        assert found.asn == dropped[0]
+        assert found.actual is None
+        assert found.expected is not None
+        assert found.mode == "test"
+
+    def test_all_paths_agree_across_mutations(self, small_graph):
+        destinations = small_graph.ases[:4]
+        oracle = DifferentialOracle(small_graph, destinations)
+        assert oracle.check().ok
+        applied = TopologyDelta.link_down(
+            *next(
+                (a, b) for a, b, _ in small_graph.iter_links()
+            )
+        ).apply(small_graph)
+        assert oracle.check().ok  # incremental ancestors now exercised
+        applied.revert()
+        assert oracle.check(include_pool=False).ok
+
+    def test_check_returns_reference_tables(self, paper_graph):
+        oracle = DifferentialOracle(paper_graph, [F, E])
+        result = oracle.check()
+        assert set(result.references) == {F, E}
+        assert result.references[F].best(B).path == (B, E, F)
+
+
+class TestCampaignEvents:
+    def test_json_roundtrip(self):
+        events = [
+            CampaignEvent("link-down", links=((1, 2),)),
+            CampaignEvent("compound", links=((1, 2), (3, 4))),
+            CampaignEvent("as-down", asn=9),
+            CampaignEvent("revert"),
+            CampaignEvent("reapply"),
+        ]
+        for event in events:
+            assert CampaignEvent.from_dict(event.to_dict()) == event
+
+    def test_impossible_events_are_noops(self, paper_graph):
+        version = paper_graph.version
+        stack, last = [], None
+        last = execute_event(
+            paper_graph, stack, last, CampaignEvent("revert")
+        )
+        last = execute_event(
+            paper_graph, stack, last, CampaignEvent("reapply")
+        )
+        last = execute_event(
+            paper_graph, stack, last,
+            CampaignEvent("link-down", links=((A, F),)),  # no such link
+        )
+        assert paper_graph.version == version
+        assert stack == [] and last is None
+
+    def test_event_stream_replays_deterministically(self):
+        make = lambda: generate_named("tiny", seed=11)
+        outcome = run_campaign(
+            make, seed=3, n_events=10, n_destinations=3, include_pool=False
+        )
+        assert outcome.ok
+
+        def replay():
+            graph = make()
+            stack, last = [], None
+            for event in outcome.events:
+                last = execute_event(graph, stack, last, event)
+            return graph
+
+        first, second = replay(), replay()
+        assert first.version == second.version
+        assert (
+            sorted(first.iter_links()) == sorted(second.iter_links())
+        )
+
+
+class TestCampaigns:
+    def test_clean_campaign_on_generated_topology(self):
+        make = lambda: generate_named("tiny", seed=5)
+        outcome = run_campaign(
+            make, seed=0, n_events=6, n_destinations=3, include_pool=False
+        )
+        assert outcome.ok
+        assert outcome.steps == 6
+        assert outcome.checks == 7  # baseline + one per event
+        assert outcome.reproduction is None
+
+    def test_run_campaigns_aggregates(self):
+        make = lambda: generate_named("tiny", seed=5)
+        report = run_campaigns(
+            make, seed=0, campaigns=2, n_events=4, n_destinations=2,
+            include_pool=False, tunnel_campaigns=1, topology="tiny",
+        )
+        assert report.ok
+        assert report.steps == 8
+        assert report.tunnels_checked > 0
+        assert "PASS" in report.render()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["campaigns"] == 2
+
+
+class TestPlantedIncrementalBug:
+    """Satellite: the oracle must localize a planted incremental-path bug
+    to the exact event and destination, with a minimized reproduction."""
+
+    @pytest.fixture
+    def planted(self, monkeypatch):
+        """Make the oracle's incremental path silently drop one routed AS
+        from every recomputed table (the classic affected-set-too-small
+        failure mode)."""
+        real = oracle_module.recompute_routes
+
+        def buggy(graph, table, changed, affected=None):
+            result = real(graph, table, changed, affected=affected)
+            best = dict(result.items())
+            victims = [
+                asn for asn in sorted(best) if asn != result.destination
+            ]
+            if victims:
+                del best[victims[-1]]
+                return RoutingTable(graph, result.destination, best)
+            return result
+
+        monkeypatch.setattr(oracle_module, "recompute_routes", buggy)
+        return buggy
+
+    def test_campaign_localizes_planted_bug(self, planted):
+        make = lambda: generate_named("tiny", seed=5)
+        outcome = run_campaign(
+            make, seed=0, n_events=6, n_destinations=3, include_pool=False
+        )
+        assert not outcome.ok
+        assert outcome.divergences
+        first = outcome.divergences[0]
+        assert first.mode.startswith("incremental@v")
+        assert first.actual is None  # the dropped AS
+        assert first.expected is not None
+
+        repro = outcome.reproduction
+        assert repro is not None
+        assert repro.destination == first.destination
+        # minimized to the single event that makes the incremental path
+        # run at all (the campaign stops at the first divergence, so the
+        # stream was already short; minimization must not lose the bug)
+        assert 1 <= len(repro.events) <= len(outcome.events)
+        assert len(repro.events) == 1
+        assert repro.divergence.mode.startswith("incremental@v")
+        assert repro.divergence.destination == repro.destination
+
+    def test_minimized_stream_reproduces_and_empty_does_not(self, planted):
+        make = lambda: generate_named("tiny", seed=5)
+        outcome = run_campaign(
+            make, seed=0, n_events=6, n_destinations=3, include_pool=False
+        )
+        repro = outcome.reproduction
+        assert repro is not None
+        assert replay_divergence(make, repro.events, repro.destination)
+        assert replay_divergence(make, [], repro.destination) is None
+
+    def test_report_renders_reproduction(self, planted):
+        make = lambda: generate_named("tiny", seed=5)
+        report = run_campaigns(
+            make, seed=0, campaigns=3, n_events=6, n_destinations=3,
+            include_pool=False, tunnel_campaigns=0, topology="tiny",
+        )
+        assert not report.ok
+        # the run stops at the diverging campaign
+        assert len(report.outcomes) <= 3
+        text = report.render()
+        assert "minimized reproduction" in text
+        assert "FAIL" in text
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["divergence_count"] >= 1
+
+
+class TestAudit:
+    def test_clean_session_audit_passes(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute_many(paper_graph.ases)
+        result = audit_session(session)
+        assert result.ok
+        assert result.tables_checked > 0
+        assert "PASS" in result.render()
+
+    def test_audit_catches_adopted_corruption(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        reference = compute_routes(paper_graph, F)
+        best = dict(reference.items())
+        del best[A]
+        session.adopt(RoutingTable(paper_graph, F, best))
+        result = audit_session(session, destinations=[F])
+        assert not result.ok
+        assert result.divergences
+        assert result.divergences[0].asn == A
+        assert "FAIL" in result.render()
+
+    def test_audit_survives_mutations(self, paper_graph):
+        session = SimulationSession(paper_graph)
+        session.compute_many(paper_graph.ases)
+        paper_graph.remove_link(B, E)
+        session.compute(F)  # derived from the pre-failure table
+        assert audit_session(session).ok
+
+
+class TestVerifyCli:
+    def test_verify_command_passes_and_writes_report(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "verify-report.json"
+        code = main([
+            "verify", "--profile", "tiny", "--seed", "0",
+            "--campaigns", "1", "--events", "3", "--destinations", "2",
+            "--tunnel-campaigns", "1", "--no-pool", "--quiet",
+            "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["campaigns"] == 1
+        assert payload["topology"] == "tiny"
+
+    def test_experiment_all_verify_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "experiment", "all", "--profile", "tiny", "--seed", "0",
+            "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-table audit:" in out
+        assert "result: PASS" in out
