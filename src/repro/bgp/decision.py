@@ -40,7 +40,7 @@ class SessionType(enum.Enum):
     IBGP = "ibgp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouterRoute:
     """A candidate route as seen inside one router.
 

@@ -30,7 +30,7 @@ from .policy import exportable_route, select_best
 from .route import Route
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Update:
     """A BGP message: an announcement (``route`` set) or a withdrawal."""
 

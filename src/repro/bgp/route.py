@@ -50,9 +50,15 @@ _LOCAL_PREF = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
-    """An AS-level route: ``path[0]`` holds it, ``path[-1]`` originates it."""
+    """An AS-level route: ``path[0]`` holds it, ``path[-1]`` originates it.
+
+    Slotted: simulations hold one ``Route`` per (AS, destination) pair, so
+    at verify-500 scale a routing campaign keeps hundreds of thousands of
+    live instances — dropping the per-instance ``__dict__`` is a real
+    memory win (measured in ``benchmarks/test_snapshot_memory.py``).
+    """
 
     path: Tuple[int, ...]
     route_class: RouteClass
@@ -64,6 +70,20 @@ class Route:
             raise RoutingError(f"AS path contains a loop: {self.path}")
         if self.route_class is RouteClass.ORIGIN and len(self.path) != 1:
             raise RoutingError("ORIGIN routes must have a single-AS path")
+
+    @classmethod
+    def _trusted(cls, path: Tuple[int, ...], route_class: RouteClass) -> "Route":
+        """Construct without validation.
+
+        Only for callers that guarantee the invariants by construction —
+        the settling kernel never extends a path with an AS already on it,
+        so re-checking loop-freedom on every emitted route would just tax
+        the hot path.  Everyone else goes through the normal constructor.
+        """
+        route = object.__new__(cls)
+        object.__setattr__(route, "path", path)
+        object.__setattr__(route, "route_class", route_class)
+        return route
 
     @property
     def holder(self) -> int:

@@ -18,6 +18,27 @@ AS adopts is always an extension of the next hop's own selected path.
 
 The optional ``pinned`` argument fixes selected routes at given ASes and
 lets everyone else re-select — the *independent_selection* model of §5.4.
+
+Two implementations of the same settling semantics live here:
+
+* :func:`compute_routes_snapshot` — the production kernel.  It settles in
+  **index space** on a frozen
+  :class:`~repro.topology.snapshot.TopologySnapshot` (flat per-class
+  adjacency slices, int paths, incremental route classification) and
+  translates back to ASN-keyed :class:`~repro.bgp.route.Route` objects at
+  the boundary.  :func:`compute_routes` is its graph-level front door.
+* :func:`compute_routes_reference` — the legacy dict walk over the
+  mutable :class:`~repro.topology.graph.ASGraph`, kept as the
+  independent oracle the kernel is held byte-equal to
+  (:mod:`repro.verify.oracle`).
+
+Both orders heap entries by ``(length, path)``; every entry is a distinct
+such pair, so the pop order — and with it the selected table — is
+independent of seeding and neighbour-iteration order.  Snapshot indices
+are assigned in ascending ASN order, so index-path comparisons decide
+ties exactly like ASN-path comparisons: the two implementations agree
+byte for byte, which the differential oracle enforces under seeded fault
+campaigns.
 """
 
 from __future__ import annotations
@@ -43,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from ..errors import RoutingError, UnknownASError
 from ..obs import DEFAULT_SIZE_BUCKETS, get_registry, get_tracer
 from ..topology.graph import ASGraph, LinkKey, link_key
+from ..topology.snapshot import TopologySnapshot
 from .policy import exportable_route, make_route
 from .route import Route, RouteClass
 
@@ -85,6 +107,23 @@ _PHASE_FULL = tuple(
 )
 _PHASE_INCREMENTAL = tuple(
     _PHASE_SECONDS.labels(phase=p, mode="incremental") for p in _PHASE_NAMES
+)
+_PHASE_REFERENCE = tuple(
+    _PHASE_SECONDS.labels(phase=p, mode="reference") for p in _PHASE_NAMES
+)
+
+#: Route-class codes the snapshot kernel settles with — the
+#: :class:`RouteClass` *values*, so class comparisons are int compares.
+_ORIGIN = RouteClass.ORIGIN.value  # 4
+_CUSTOMER = RouteClass.CUSTOMER.value  # 3
+_PEER = RouteClass.PEER.value  # 2
+_PROVIDER = RouteClass.PROVIDER.value  # 1
+_CODE_TO_CLASS = (
+    None,
+    RouteClass.PROVIDER,
+    RouteClass.PEER,
+    RouteClass.CUSTOMER,
+    RouteClass.ORIGIN,
 )
 
 
@@ -154,7 +193,11 @@ class RoutingTable:
         if asn == self._destination:
             learned.append(self._best[asn])
             return learned
-        for neighbor in self._graph.neighbors(asn):
+        # Enumerate neighbours through the memoized snapshot: same ASes in
+        # the same (insertion) order as ASGraph.neighbors, but without a
+        # fresh list allocation per call — MIRO negotiations enumerate
+        # candidates for thousands of (AS, destination) pairs per sweep.
+        for neighbor in self._graph.snapshot().neighbors_asn(asn):
             route = self._best.get(neighbor)
             if route is None:
                 continue
@@ -173,21 +216,10 @@ class RoutingTable:
         )
 
 
-def compute_routes(
-    graph: ASGraph,
-    destination: int,
-    pinned: Optional[Dict[int, Route]] = None,
-) -> RoutingTable:
-    """Compute the stable Gao–Rexford routing state for ``destination``.
-
-    ``pinned`` maps AS numbers to routes those ASes are forced to select
-    (they advertise the pinned route and never re-select); every other AS
-    selects normally.  Pinned routes must be held by the given AS and
-    target ``destination``.
-    """
-    if destination not in graph:
-        raise UnknownASError(destination)
-    pinned = dict(pinned or {})
+def _validate_pinned(
+    destination: int, pinned: Dict[int, Route]
+) -> None:
+    """Shared pinned-route validation for every computation entry point."""
     for asn, route in pinned.items():
         if route.holder != asn:
             raise RoutingError(
@@ -200,13 +232,267 @@ def compute_routes(
     if destination in pinned:
         raise RoutingError("cannot pin a route at the destination itself")
 
-    best: Dict[int, Route] = dict(pinned)
-    best[destination] = Route((destination,), RouteClass.ORIGIN)
+
+def compute_routes(
+    graph: ASGraph,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> RoutingTable:
+    """Compute the stable Gao–Rexford routing state for ``destination``.
+
+    ``pinned`` maps AS numbers to routes those ASes are forced to select
+    (they advertise the pinned route and never re-select); every other AS
+    selects normally.  Pinned routes must be held by the given AS and
+    target ``destination``.
+
+    This is the graph-level front door of the snapshot kernel: it settles
+    on ``graph.snapshot()`` in index space
+    (:func:`compute_routes_snapshot`) and wraps the translated result —
+    byte-identical to the legacy walk, which survives as
+    :func:`compute_routes_reference` for the differential oracle.
+    """
+    if destination not in graph:
+        raise UnknownASError(destination)
+    pinned = dict(pinned or {})
+    snapshot = graph.snapshot()
+    try:
+        best = compute_routes_snapshot(snapshot, destination, pinned)
+    except UnknownASError:
+        # A pinned path references an AS outside the current topology —
+        # representable in the legacy walk (pinned routes pass through
+        # untranslated) but not in index space.  Rare enough that the
+        # dict walk's answer is the cheap correct fallback.
+        return compute_routes_reference(graph, destination, pinned)
+    return RoutingTable(graph, destination, best)
+
+
+def _resolve_link_class(off: list, adj: list, idx_path: Tuple[int, ...]) -> int:
+    """Sibling-resolved class code of an index path, from actual links.
+
+    The index-space mirror of :func:`repro.bgp.policy.classify_path`: the
+    first non-sibling link from the holder end decides, an all-sibling
+    (or single-AS) path counts as a customer route.  Only consulted for
+    *seeded* routes (pinned and the origin), whose stored class is not
+    necessarily the link-derived one the settling propagation must use.
+    """
+    for a, b in zip(idx_path, idx_path[1:]):
+        base = 4 * a
+        if b in adj[off[base]: off[base + 1]]:
+            return _CUSTOMER  # learned from a customer
+        if b in adj[off[base + 1]: off[base + 2]]:
+            return _PROVIDER  # learned from a provider
+        if b in adj[off[base + 2]: off[base + 3]]:
+            return _PEER  # learned from a peer
+        # sibling link: transparent, classify on the next one
+    return _CUSTOMER
+
+
+def compute_routes_snapshot(
+    snapshot: TopologySnapshot,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> Dict[int, Route]:
+    """Settle the stable state for ``destination`` on a frozen snapshot.
+
+    The production kernel: works entirely in snapshot index space — flat
+    per-class adjacency slices, int-tuple paths, heap entries of
+    ``(length, path, class)`` — and translates to an ASN-keyed best-route
+    dict only at the end.  Route classes are settled *incrementally*:
+    prepending a neighbour determines the new class from the link being
+    crossed (provider link → customer route, peer link → peer route,
+    customer link → provider route, sibling link → inherited), so the
+    kernel never re-walks a path the way ``classify_path`` does.
+
+    Self-contained on purpose: pool workers call this with nothing but
+    the shipped snapshot (no mutable graph on the far side).  Returns the
+    plain dict; :func:`compute_routes` wraps it into a
+    :class:`RoutingTable`.  Output is byte-identical to
+    :func:`compute_routes_reference` — the oracle's enforced invariant.
+    """
+    dest = snapshot.index_of(destination)
+    pinned = dict(pinned or {})
+    _validate_pinned(destination, pinned)
+
+    n = snapshot.n
+    off, adj = snapshot.class_lists()
+    # Per-node settling state, indexed by snapshot index: the selected
+    # index path, its reported class, and its *propagation* class (what a
+    # sibling inherits — link-derived, which for a pinned route may
+    # differ from the class the pin reports).
+    best_path: List[Optional[Tuple[int, ...]]] = [None] * n
+    best_cls = [0] * n
+    prop_cls = [0] * n
+    order: List[int] = []  # adoption order, for output-dict fidelity
+
+    for asn, route in pinned.items():
+        idx_path = snapshot.path_to_indices(route.path)
+        holder = idx_path[0]
+        best_path[holder] = idx_path
+        best_cls[holder] = route.route_class.value
+        prop_cls[holder] = _resolve_link_class(off, adj, idx_path)
+    best_path[dest] = (dest,)
+    best_cls[dest] = _ORIGIN
+    prop_cls[dest] = _CUSTOMER  # what the origin's siblings inherit
+
+    push = heapq.heappush
+    pop = heapq.heappop
+    heapify = heapq.heapify
 
     with _TRACER.span("compute_routes", destination=destination,
                       pinned=len(pinned)):
         # ---- Phase 1: customer routes climb the hierarchy -------------
+        # Seeds: every settled ORIGIN/CUSTOMER route (its own entry, so
+        # popping it triggers the holder's in-phase expansion).
         with _phase_span(0, _PHASE_FULL, destination):
+            heap: List[Tuple[int, Tuple[int, ...], int]] = []
+            for i in range(n):
+                path = best_path[i]
+                if path is not None and best_cls[i] >= _CUSTOMER:
+                    heap.append((len(path) - 1, path, best_cls[i]))
+            heapify(heap)
+            while heap:
+                length, path, cls = pop(heap)
+                holder = path[0]
+                current = best_path[holder]
+                if current is not None:
+                    if current != path:
+                        continue  # already settled on another path
+                    cls = prop_cls[holder]  # a seed: propagate, don't adopt
+                else:
+                    best_path[holder] = path
+                    best_cls[holder] = cls
+                    prop_cls[holder] = cls
+                    order.append(holder)
+                base = 4 * holder
+                for k in range(off[base + 1], off[base + 2]):  # providers
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        push(heap, (length + 1, (nb,) + path, _CUSTOMER))
+                for k in range(off[base + 3], off[base + 4]):  # siblings
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        push(heap, (length + 1, (nb,) + path, cls))
+
+        # ---- Phase 2: customer routes cross peering links -------------
+        # Seeds: each unsettled peer of a settled ORIGIN/CUSTOMER holder
+        # learns the path across the peering link (class PEER); in-phase
+        # the adopted route spreads only through sibling links.
+        with _phase_span(1, _PHASE_FULL, destination):
+            heap = []
+            for i in range(n):
+                path = best_path[i]
+                if path is None or best_cls[i] < _CUSTOMER:
+                    continue
+                base = 4 * i
+                hops = len(path)
+                for k in range(off[base + 2], off[base + 3]):  # peers
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        heap.append((hops, (nb,) + path, _PEER))
+            heapify(heap)
+            while heap:
+                length, path, cls = pop(heap)
+                holder = path[0]
+                current = best_path[holder]
+                if current is not None:
+                    if current != path:
+                        continue
+                    cls = prop_cls[holder]
+                else:
+                    best_path[holder] = path
+                    best_cls[holder] = cls
+                    prop_cls[holder] = cls
+                    order.append(holder)
+                base = 4 * holder
+                for k in range(off[base + 3], off[base + 4]):  # siblings
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        push(heap, (length + 1, (nb,) + path, cls))
+
+        # ---- Phase 3: best routes flow down to customers ---------------
+        # Seeds: each unsettled customer of any settled holder learns the
+        # path down the provider link (class PROVIDER); in-phase the route
+        # chains through further customer links and sibling links.
+        with _phase_span(2, _PHASE_FULL, destination):
+            heap = []
+            for i in range(n):
+                path = best_path[i]
+                if path is None:
+                    continue
+                base = 4 * i
+                hops = len(path)
+                for k in range(off[base], off[base + 1]):  # customers
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        heap.append((hops, (nb,) + path, _PROVIDER))
+            heapify(heap)
+            while heap:
+                length, path, cls = pop(heap)
+                holder = path[0]
+                current = best_path[holder]
+                if current is not None:
+                    if current != path:
+                        continue
+                    cls = prop_cls[holder]
+                else:
+                    best_path[holder] = path
+                    best_cls[holder] = cls
+                    prop_cls[holder] = cls
+                    order.append(holder)
+                base = 4 * holder
+                for k in range(off[base], off[base + 1]):  # customers
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        push(heap, (length + 1, (nb,) + path, _PROVIDER))
+                for k in range(off[base + 3], off[base + 4]):  # siblings
+                    nb = adj[k]
+                    if best_path[nb] is None and nb not in path:
+                        push(heap, (length + 1, (nb,) + path, cls))
+
+    # Translate back to ASN space, in the legacy walk's exact dict order:
+    # pinned entries first (the very objects the caller pinned), then the
+    # origin, then adoptions in settling order.  The kernel never extends
+    # a path with an AS already on it, so the trusted constructor is safe.
+    asn_at = snapshot.asns.__getitem__
+    best: Dict[int, Route] = dict(pinned)
+    best[destination] = Route((destination,), RouteClass.ORIGIN)
+    new = Route.__new__
+    set_field = object.__setattr__
+    for i in order:
+        route = new(Route)
+        set_field(route, "path", tuple(map(asn_at, best_path[i])))
+        set_field(route, "route_class", _CODE_TO_CLASS[best_cls[i]])
+        best[asn_at(i)] = route
+    _TABLES_TOTAL.labels(mode="full").inc()
+    return best
+
+
+def compute_routes_reference(
+    graph: ASGraph,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> RoutingTable:
+    """The legacy dict-walk settling — the oracle's independent reference.
+
+    Semantically identical to :func:`compute_routes`, implemented the
+    pre-snapshot way: Route objects throughout, ``classify_path`` on
+    every adoption, mutable-graph accessors for expansion.  Slower, and
+    kept that way on purpose — it shares no hot-path code with the
+    kernel, so :mod:`repro.verify.oracle` can hold the two byte-equal
+    without a common bug hiding in both.
+    """
+    if destination not in graph:
+        raise UnknownASError(destination)
+    pinned = dict(pinned or {})
+    _validate_pinned(destination, pinned)
+
+    best: Dict[int, Route] = dict(pinned)
+    best[destination] = Route((destination,), RouteClass.ORIGIN)
+
+    with _TRACER.span("compute_routes_reference", destination=destination,
+                      pinned=len(pinned)):
+        # ---- Phase 1: customer routes climb the hierarchy -------------
+        with _phase_span(0, _PHASE_REFERENCE, destination):
             heap: List[Tuple[int, Tuple[int, ...]]] = []
             for asn, route in best.items():
                 if route.route_class in (RouteClass.ORIGIN, RouteClass.CUSTOMER):
@@ -218,7 +504,7 @@ def compute_routes(
             )
 
         # ---- Phase 2: customer routes cross peering links -------------
-        with _phase_span(1, _PHASE_FULL, destination):
+        with _phase_span(1, _PHASE_REFERENCE, destination):
             heap = []
             for asn in list(best):
                 route = best[asn]
@@ -240,7 +526,7 @@ def compute_routes(
             )
 
         # ---- Phase 3: best routes flow down to customers ---------------
-        with _phase_span(2, _PHASE_FULL, destination):
+        with _phase_span(2, _PHASE_REFERENCE, destination):
             heap = []
             for asn in list(best):
                 route = best[asn]
@@ -257,7 +543,7 @@ def compute_routes(
                 fixed=set(best),
             )
 
-    _TABLES_TOTAL.labels(mode="full").inc()
+    _TABLES_TOTAL.labels(mode="reference").inc()
     return RoutingTable(graph, destination, best)
 
 
@@ -390,6 +676,32 @@ def recompute_routes(
             return compute_routes(graph, destination)
     _AFFECTED_SIZE.observe(len(affected))
 
+    # Frontier discovery, expansion, and the boundary-stability check all
+    # enumerate neighbourhoods of the *current* graph state.  When a hot
+    # path already derived the snapshot for this version, ride its cached
+    # tuples; never derive one here — an incremental event touches a
+    # handful of ASes, and a whole-graph derivation would cost more than
+    # the re-settling it serves.
+    snap = graph.peek_snapshot()
+    if snap is not None:
+        neighbors = snap.neighbors_asn
+        siblings = snap.siblings_asn
+        peers = snap.peers_asn
+        providers = snap.providers_asn
+        expand_up = snap.expand_up_asn
+        expand_down = snap.expand_down_asn
+    else:
+        neighbors = graph.neighbors
+        siblings = graph.siblings
+        peers = graph.peers
+        providers = graph.providers
+
+        def expand_up(asn: int) -> List[int]:
+            return graph.providers(asn) + graph.siblings(asn)
+
+        def expand_down(asn: int) -> List[int]:
+            return graph.customers(asn) + graph.siblings(asn)
+
     best: Dict[int, Route] = {
         asn: route
         for asn, route in table.items()
@@ -406,7 +718,7 @@ def recompute_routes(
     frontier = {
         neighbor
         for asn in unsettled
-        for neighbor in graph.neighbors(asn)
+        for neighbor in neighbors(asn)
         if neighbor in best
     }
     _FRONTIER_SIZE.observe(len(frontier))
@@ -428,7 +740,7 @@ def recompute_routes(
                     heapq.heappush(heap, (route.length, route.path))
             _run_phase(
                 graph, best, heap,
-                expand=lambda asn: graph.providers(asn) + graph.siblings(asn),
+                expand=expand_up,
                 fixed=set(best),
             )
 
@@ -440,7 +752,7 @@ def recompute_routes(
                 if best[asn].route_class is RouteClass.PEER:
                     heapq.heappush(heap, (best[asn].length, best[asn].path))
             for asn in unsettled:
-                for peer in graph.peers(asn):
+                for peer in peers(asn):
                     route = best.get(peer)
                     if route is None or route.route_class not in (
                         RouteClass.ORIGIN, RouteClass.CUSTOMER
@@ -451,7 +763,7 @@ def recompute_routes(
                     heapq.heappush(heap, (len(route.path), (asn,) + route.path))
             _run_phase(
                 graph, best, heap,
-                expand=lambda asn: graph.siblings(asn),
+                expand=siblings,
                 fixed=set(best),
             )
 
@@ -463,7 +775,7 @@ def recompute_routes(
                 if best[asn].route_class is RouteClass.PROVIDER:
                     heapq.heappush(heap, (best[asn].length, best[asn].path))
             for asn in unsettled:
-                for provider in graph.providers(asn):
+                for provider in providers(asn):
                     route = best.get(provider)
                     if route is None:
                         continue
@@ -472,7 +784,7 @@ def recompute_routes(
                     heapq.heappush(heap, (len(route.path), (asn,) + route.path))
             _run_phase(
                 graph, best, heap,
-                expand=lambda asn: graph.customers(asn) + graph.siblings(asn),
+                expand=expand_down,
                 fixed=set(best),
             )
 
@@ -487,7 +799,7 @@ def recompute_routes(
             route = best.get(asn)
             if route is None:
                 continue
-            for neighbor in graph.neighbors(asn):
+            for neighbor in neighbors(asn):
                 if neighbor in affected or neighbor == destination:
                     continue
                 offer = exportable_route(graph, route, neighbor)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 from typing import List, Optional
 
@@ -104,6 +105,10 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     print(f"sibling:            {summary.n_sibling}")
     print(f"stub ASes:          {summary.n_stubs}")
     print(f"multi-homed ASes:   {summary.n_multihomed}")
+    snapshot = graph.snapshot()
+    print(f"snapshot:           {snapshot.n} indices, "
+          f"{snapshot.num_directed_edges} directed edges, "
+          f"{len(pickle.dumps(snapshot))} pickled bytes")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(dump_topology(graph))

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .log import StructLogger, StructuredFormatter, configure_logging, get_logger
 from .metrics import (
+    DEFAULT_BYTE_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -56,6 +57,7 @@ __all__ = [
     "StructuredFormatter",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
     "configure_logging",
     "get_logger",
     "get_registry",

@@ -54,6 +54,12 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
 )
 
+#: Default histogram buckets for payload sizes in bytes (256 B..16 MiB).
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144,
+    1048576, 4194304, 16777216,
+)
+
 
 class Counter:
     """A monotonically increasing total."""

@@ -28,9 +28,15 @@ what route computation actually cost.
   destinations at once.  Per-destination stable-state computation is
   embarrassingly parallel (each destination's three-phase propagation is
   independent), so uncached destinations can be dispatched across a
-  ``concurrent.futures`` process pool when the graph pickles, with a serial
-  fallback when it does not (or when the pool cannot start).  Results come
-  back in deterministic input order regardless of completion order.
+  ``concurrent.futures`` process pool, with a serial fallback when the
+  pool cannot start.  What ships to each worker is not the mutable
+  :class:`~repro.topology.graph.ASGraph` but its frozen
+  :class:`~repro.topology.snapshot.TopologySnapshot` — a fraction of the
+  pickle bytes (flat int arrays instead of dict-of-dicts), and all the
+  snapshot kernel (:func:`repro.bgp.routing.compute_routes_snapshot`)
+  needs on the far side.  Ship size and serialization time land in the
+  ``repro_session_pool_ship_*`` histograms.  Results come back in
+  deterministic input order regardless of completion order.
 
 * **Telemetry.**  :class:`SessionStats` counts cache hits/misses, tables
   computed, fan-outs, wall-clock time, and the peak number of cached
@@ -54,11 +60,13 @@ from .bgp.routing import (
     RoutingTable,
     affected_ases,
     compute_routes,
+    compute_routes_snapshot,
     recompute_routes,
 )
-from .errors import ReproError, SessionError
-from .obs import get_logger, get_registry, get_tracer
+from .errors import ReproError, SessionError, UnknownASError
+from .obs import DEFAULT_BYTE_BUCKETS, get_logger, get_registry, get_tracer
 from .topology.graph import ASGraph
+from .topology.snapshot import TopologySnapshot
 
 # ----------------------------------------------------------------------
 # instrumentation (repro.obs): cache events land in the process-wide
@@ -85,6 +93,15 @@ _FANOUTS_TOTAL = get_registry().counter(
     "repro_session_fanouts_total",
     "compute_many fan-outs, by dispatch mode",
     labels=("mode",),
+)
+_POOL_SHIP_BYTES = get_registry().histogram(
+    "repro_session_pool_ship_bytes",
+    "Pickled topology-snapshot payload shipped to each pool fan-out",
+    buckets=DEFAULT_BYTE_BUCKETS,
+)
+_POOL_SHIP_SECONDS = get_registry().histogram(
+    "repro_session_pool_ship_seconds",
+    "Wall-clock seconds serializing the snapshot payload per pool fan-out",
 )
 
 #: ``parallel="auto"`` only spins up a pool for at least this many misses.
@@ -311,31 +328,44 @@ class RouteTableCache:
 
 
 # ----------------------------------------------------------------------
-# process-pool plumbing: the graph and the parent's observability state
-# ship once per worker (initializer); jobs then carry only the
-# destination and the pinned-route items.  Each job result also carries
-# the worker's drained metrics/spans, which the parent absorbs — so phase
-# timings and spans recorded inside workers land in the parent registry
-# and trace (tagged with the worker's pid).
+# process-pool plumbing: the frozen topology snapshot and the parent's
+# observability state ship once per worker (initializer); jobs then carry
+# only the destination and the pinned-route items.  Workers never see the
+# mutable graph — the snapshot kernel settles directly on the shipped
+# arrays.  Each job result also carries the worker's drained
+# metrics/spans, which the parent absorbs — so phase timings and spans
+# recorded inside workers land in the parent registry and trace (tagged
+# with the worker's pid).
 # ----------------------------------------------------------------------
-_WORKER_GRAPH: Optional[ASGraph] = None
+_WORKER_SNAPSHOT: Optional[TopologySnapshot] = None
 
 
-def _pool_init(graph: ASGraph, obs_state: Tuple[bool, float]) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = graph
+def _pool_init(
+    snapshot: TopologySnapshot, obs_state: Tuple[bool, float]
+) -> None:
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = snapshot
     obs.configure_worker(obs_state)
 
 
 def _pool_compute(
     job: Tuple[int, Optional[Tuple[Tuple[int, Route], ...]]],
-) -> Tuple[int, Dict[int, Route], Dict[str, object]]:
+) -> Tuple[int, Optional[Dict[int, Route]], Dict[str, object]]:
     destination, pinned_items = job
     pinned = dict(pinned_items) if pinned_items else None
-    table = compute_routes(_WORKER_GRAPH, destination, pinned=pinned)
+    try:
+        best = compute_routes_snapshot(
+            _WORKER_SNAPSHOT, destination, pinned=pinned
+        )
+    except UnknownASError:
+        # Not representable in index space (a pinned path referencing an
+        # AS outside the snapshot, or a destination the parent will reject
+        # anyway): hand the job back for the parent's serial path, which
+        # falls back to the legacy walk — or raises the right error.
+        best = None
     # ship only the selected-route mapping back; the parent re-wraps it
-    # around its own graph object (avoids one graph copy per table)
-    return destination, dict(table.items()), obs.drain_worker()
+    # around its own graph object (no graph on this side at all)
+    return destination, best, obs.drain_worker()
 
 
 class SimulationSession:
@@ -347,8 +377,9 @@ class SimulationSession:
 
     ``parallel`` picks the :meth:`compute_many` dispatch policy:
 
-    * ``"auto"`` (default) — use a process pool when the graph pickles and
-      at least :data:`AUTO_PARALLEL_THRESHOLD` destinations miss the cache;
+    * ``"auto"`` (default) — use a process pool when the graph's snapshot
+      pickles and at least :data:`AUTO_PARALLEL_THRESHOLD` destinations
+      miss the cache;
     * ``True`` — always try the pool for misses (still falls back to serial
       when the pool cannot start);
     * ``False`` — always compute serially.
@@ -370,7 +401,7 @@ class SimulationSession:
         self._stats = SessionStats()
         self._parallel = parallel
         self._max_workers = max_workers
-        self._graph_pickles: Optional[bool] = None
+        self._snapshot_pickles: Optional[bool] = None
         self._seen_version = graph.version
 
     @property
@@ -563,13 +594,13 @@ class SimulationSession:
             (os.cpu_count() or 1) < 2 or n_misses < AUTO_PARALLEL_THRESHOLD
         ):
             return False
-        if self._graph_pickles is None:
+        if self._snapshot_pickles is None:
             try:
-                pickle.dumps(self._graph)
-                self._graph_pickles = True
+                pickle.dumps(self._graph.snapshot())
+                self._snapshot_pickles = True
             except Exception:
-                self._graph_pickles = False
-        return self._graph_pickles
+                self._snapshot_pickles = False
+        return self._snapshot_pickles
 
     def _fanout_pool(
         self,
@@ -592,11 +623,23 @@ class SimulationSession:
         """
         pinned_items = tuple(pinned.items()) if pinned else None
         workers = self._max_workers or min(len(misses), os.cpu_count() or 1)
+        # What each worker receives is the frozen snapshot of the current
+        # state.  Measure the payload once — the executor serializes the
+        # same object per worker — so the ship-cost histograms reflect
+        # what the pool actually pays per fan-out.
+        snapshot = self._graph.snapshot()
+        ship_start = time.perf_counter()
+        try:
+            ship_bytes = len(pickle.dumps(snapshot))
+        except Exception:
+            return False
+        _POOL_SHIP_SECONDS.observe(time.perf_counter() - ship_start)
+        _POOL_SHIP_BYTES.observe(ship_bytes)
         try:
             pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_init,
-                initargs=(self._graph, obs.worker_state()),
+                initargs=(snapshot, obs.worker_state()),
             )
         except Exception:
             return False
@@ -619,6 +662,10 @@ class SimulationSession:
                     _LOG.warning("pool_job_failed", destination=destination)
                     continue
                 obs.absorb_worker(payload)
+                if best is None:
+                    # the worker could not settle this job in index space;
+                    # the caller's serial loop picks it up
+                    continue
                 table = RoutingTable(self._graph, dest, best)
                 self._cache.put(self._key(dest, pinned), table)
                 tables[dest] = table

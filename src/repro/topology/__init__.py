@@ -1,12 +1,14 @@
 """AS-level topology substrate: graph, generation, inference, statistics."""
 
 from .graph import ASGraph, link_key
+from .snapshot import TopologySnapshot
 from .delta import (
     AppliedDelta,
     DeltaOp,
     DeltaOpKind,
     TopologyDelta,
     apply_each,
+    changed_link_indices,
 )
 from .relationships import LinkType, Relationship, local_pref_for
 from .generator import (
@@ -44,6 +46,8 @@ from .stats import (
 __all__ = [
     "ASGraph",
     "link_key",
+    "TopologySnapshot",
+    "changed_link_indices",
     "TopologyDelta",
     "AppliedDelta",
     "DeltaOp",

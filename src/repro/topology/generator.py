@@ -26,7 +26,7 @@ from .graph import ASGraph
 from .relationships import LinkType, Relationship
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopologyProfile:
     """Parameters controlling :func:`generate_topology`.
 

@@ -10,10 +10,23 @@ customer→provider DAG used by the convergence proofs (Ch. 7).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..errors import DuplicateLinkError, TopologyError, UnknownASError
 from .relationships import LinkType, Relationship, link_type_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .snapshot import TopologySnapshot
 
 #: A link identity, endpoint-order normalised (smaller AS number first).
 LinkKey = Tuple[int, int]
@@ -50,6 +63,8 @@ class ASGraph:
         self._journal: "OrderedDict[int, Tuple[int, FrozenSet[LinkKey]]]" = (
             OrderedDict()
         )
+        # memoized frozen view of the current version (see snapshot())
+        self._snapshot: Optional["TopologySnapshot"] = None
 
     @property
     def version(self) -> int:
@@ -72,6 +87,7 @@ class ASGraph:
 
     def _bump(self, changed: FrozenSet[LinkKey]) -> None:
         """Move to a fresh version, journalling which links changed."""
+        self._snapshot = None
         self._version_counter += 1
         parent = self._version
         self._version = self._version_counter
@@ -111,6 +127,38 @@ class ASGraph:
             version, step_changed = step
             changed.update(step_changed)
         return frozenset(changed)
+
+    def snapshot(self) -> "TopologySnapshot":
+        """The frozen, int-indexed view of the current graph state.
+
+        Derived at most once per :attr:`version`: the result is memoized
+        and every mutation (:meth:`_bump`) invalidates it, so hot paths —
+        the settling kernel, the session pool, candidate enumeration —
+        can call this freely and share one immutable
+        :class:`~repro.topology.snapshot.TopologySnapshot` until the
+        topology actually changes.  :meth:`copy` shares the memo (the
+        snapshot is immutable); a reverted delta rebuilds it on first use.
+        """
+        from .snapshot import TopologySnapshot
+
+        snap = self._snapshot
+        if snap is None or snap.version != self._version:
+            snap = self._snapshot = TopologySnapshot.build(self)
+        return snap
+
+    def peek_snapshot(self) -> Optional["TopologySnapshot"]:
+        """The memoized snapshot of the current state, or ``None``.
+
+        Never derives: callers whose workload is small relative to a
+        whole-graph derivation (e.g. an incremental recompute touching a
+        handful of ASes) use this to ride the flat arrays when some hot
+        path already paid for them, and fall back to the mutable
+        adjacency otherwise.
+        """
+        snap = self._snapshot
+        if snap is not None and snap.version == self._version:
+            return snap
+        return None
 
     # ------------------------------------------------------------------
     # construction
@@ -332,6 +380,9 @@ class ASGraph:
         clone._version = self._version
         clone._version_counter = self._version_counter
         clone._journal = OrderedDict(self._journal)
+        # snapshots are immutable, so the clone can share the memo; each
+        # object's next mutation drops only its own reference
+        clone._snapshot = self._snapshot
         return clone
 
     def without_as(self, asn: int) -> "ASGraph":
@@ -392,6 +443,13 @@ class ASGraph:
         if any(n not in self._adj for n in nodes):
             return False
         return all(self.has_link(a, b) for a, b in zip(nodes, nodes[1:]))
+
+    def __getstate__(self):
+        # the snapshot memo is derived state; shipping it would double the
+        # payload of any graph pickle (and it rebuilds in one pass anyway)
+        state = self.__dict__.copy()
+        state["_snapshot"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ASGraph(n={len(self)}, links={self.num_links})"

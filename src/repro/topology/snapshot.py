@@ -1,0 +1,335 @@
+"""Frozen, int-indexed topology snapshots — the hot-path representation.
+
+:class:`~repro.topology.graph.ASGraph` is the *builder* representation:
+a dict-of-dicts adjacency that is cheap to mutate, journal, and revert.
+Every hot path in the repo, however — the three-phase settling kernel,
+the incremental recompute behind the failure sweeps, the ``compute_many``
+process-pool fan-out — only ever *reads* the topology, and pays dict
+hashing, fresh-list accessor allocations, and (for the pool) the pickling
+of the whole mutable graph on every use.
+
+:class:`TopologySnapshot` is the read-only counterpart: a frozen,
+CSR-style view with dense ``asn ↔ index`` maps and flat neighbour arrays,
+built once per graph version by :meth:`ASGraph.snapshot` (memoized on the
+version counter, so mutation invalidates it automatically).  The snapshot
+is the unit of work the routing kernel settles on, the payload the
+session ships to pool workers (a fraction of the mutable graph's pickle),
+and — being immutable and self-contained — the natural shard a future
+multi-host backend can distribute.
+
+Index assignment is *monotonic in the AS number* (``asns`` is sorted
+ascending), so lexicographic comparison of index paths is equivalent to
+lexicographic comparison of the corresponding ASN paths — the settling
+kernel's deterministic tie-break survives the translation byte for byte.
+
+Two adjacency layouts are kept, both flat:
+
+* ``nbr_off`` / ``nbr`` — neighbours of node ``i`` in the **builder's
+  insertion order** (``nbr[nbr_off[i]:nbr_off[i+1]]``), mirroring
+  ``ASGraph.neighbors`` exactly so candidate enumeration stays
+  order-identical;
+* ``cls_off`` / ``cls_adj`` — the same edges grouped by relationship
+  class.  Node ``i``'s customers are
+  ``cls_adj[cls_off[4*i] : cls_off[4*i+1]]``, then providers, peers, and
+  siblings in the following three segments (insertion order within each
+  class, matching ``ASGraph.customers`` and friends).
+
+The per-class segments are what the settling kernel iterates with plain
+index arithmetic — no per-pop list building, no dict probes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..errors import UnknownASError
+from ..obs import get_registry
+from .relationships import Relationship
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import ASGraph
+
+_SNAPSHOT_BUILDS = get_registry().counter(
+    "repro_topology_snapshot_builds_total",
+    "Topology snapshots derived from mutable graphs",
+)
+
+#: Relationship-class segment order inside ``cls_adj`` (and the codes the
+#: settling kernel switches on).
+CLASS_CUSTOMER = 0
+CLASS_PROVIDER = 1
+CLASS_PEER = 2
+CLASS_SIBLING = 3
+
+_REL_TO_CLASS: Dict[Relationship, int] = {
+    Relationship.CUSTOMER: CLASS_CUSTOMER,
+    Relationship.PROVIDER: CLASS_PROVIDER,
+    Relationship.PEER: CLASS_PEER,
+    Relationship.SIBLING: CLASS_SIBLING,
+}
+
+
+class TopologySnapshot:
+    """A frozen, int-indexed, CSR-style view of one :class:`ASGraph` state.
+
+    Instances are immutable by contract: every field is written once by
+    :meth:`build` and never mutated (the ``_*_asn`` members are lazy
+    caches of derived tuples, not state).  Do not modify the arrays.
+    """
+
+    __slots__ = (
+        "version",
+        "asns",
+        "index",
+        "nbr_off",
+        "nbr",
+        "cls_off",
+        "cls_adj",
+        # lazy ASN-level accessor caches (derived, excluded from pickles)
+        "_nbr_asn",
+        "_cust_asn",
+        "_prov_asn",
+        "_peer_asn",
+        "_sib_asn",
+        "_up_asn",
+        "_down_asn",
+        "_off_list",
+        "_adj_list",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        asns: Tuple[int, ...],
+        nbr_off: array,
+        nbr: array,
+        cls_off: array,
+        cls_adj: array,
+    ) -> None:
+        self.version = version
+        self.asns = asns
+        self.index = {asn: i for i, asn in enumerate(asns)}
+        self.nbr_off = nbr_off
+        self.nbr = nbr
+        self.cls_off = cls_off
+        self.cls_adj = cls_adj
+        self._nbr_asn: Dict[int, Tuple[int, ...]] = {}
+        self._cust_asn: Dict[int, Tuple[int, ...]] = {}
+        self._prov_asn: Dict[int, Tuple[int, ...]] = {}
+        self._peer_asn: Dict[int, Tuple[int, ...]] = {}
+        self._sib_asn: Dict[int, Tuple[int, ...]] = {}
+        self._up_asn: Dict[int, Tuple[int, ...]] = {}
+        self._down_asn: Dict[int, Tuple[int, ...]] = {}
+        self._off_list: Optional[list] = None
+        self._adj_list: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: "ASGraph") -> "TopologySnapshot":
+        """Derive a snapshot of ``graph``'s current state.
+
+        Prefer :meth:`ASGraph.snapshot`, which memoizes the result on the
+        graph's version counter; building directly always re-derives.
+        """
+        adj_map = graph._adj
+        asns = tuple(sorted(adj_map))
+        index = {asn: i for i, asn in enumerate(asns)}
+        nbr_off = array("l", [0])
+        nbr = array("l")
+        cls_off = array("l", [0])
+        cls_adj = array("l")
+        for asn in asns:
+            groups: Tuple[list, list, list, list] = ([], [], [], [])
+            for neighbor, rel in adj_map[asn].items():
+                nbr.append(index[neighbor])
+                groups[_REL_TO_CLASS[rel]].append(index[neighbor])
+            nbr_off.append(len(nbr))
+            for group in groups:
+                cls_adj.extend(group)
+                cls_off.append(len(cls_adj))
+        snapshot = cls(graph.version, asns, nbr_off, nbr, cls_off, cls_adj)
+        _SNAPSHOT_BUILDS.inc()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # identity / translation
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.asns)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self.nbr)
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.index
+
+    def index_of(self, asn: int) -> int:
+        """Dense index of ``asn`` (raises :class:`UnknownASError`)."""
+        try:
+            return self.index[asn]
+        except KeyError:
+            raise UnknownASError(asn) from None
+
+    def asn_of(self, idx: int) -> int:
+        return self.asns[idx]
+
+    def path_to_indices(self, path: Iterable[int]) -> Tuple[int, ...]:
+        """Translate an ASN path into index space (raises on unknown AS)."""
+        index = self.index
+        try:
+            return tuple(index[asn] for asn in path)
+        except KeyError as exc:
+            raise UnknownASError(exc.args[0]) from None
+
+    def path_to_asns(self, idx_path: Iterable[int]) -> Tuple[int, ...]:
+        """Translate an index path back into AS numbers."""
+        asns = self.asns
+        return tuple(asns[i] for i in idx_path)
+
+    def link_indices(
+        self, links: Iterable[Tuple[int, int]]
+    ) -> FrozenSet[Tuple[int, int]]:
+        """Map ``(a, b)`` ASN link pairs to normalized index pairs.
+
+        Pairs with an endpoint absent from the snapshot are dropped —
+        exactly the links an index-space consumer cannot act on.  Endpoint
+        order is normalized to ``(min_index, max_index)``.
+        """
+        index = self.index
+        out = set()
+        for a, b in links:
+            ia = index.get(a)
+            ib = index.get(b)
+            if ia is None or ib is None:
+                continue
+            out.add((ia, ib) if ia <= ib else (ib, ia))
+        return frozenset(out)
+
+    def class_lists(self) -> Tuple[list, list]:
+        """``(cls_off, cls_adj)`` as plain lists, for the settling kernel.
+
+        Indexing a plain list is measurably faster than indexing an
+        :mod:`array` in CPython's interpreter loop; the conversion is done
+        once per snapshot and shared by every kernel run on it.
+        """
+        if self._off_list is None:
+            self._off_list = self.cls_off.tolist()
+            self._adj_list = self.cls_adj.tolist()
+        return self._off_list, self._adj_list
+
+    # ------------------------------------------------------------------
+    # ASN-level accessors (allocation-free after first use per node).
+    # Cached per node, not per snapshot: an incremental recompute touches
+    # a handful of ASes on a thousand-AS snapshot, and must not pay a
+    # whole-graph cache warm-up for them.
+    # ------------------------------------------------------------------
+    def _segment(
+        self, cache: Dict[int, Tuple[int, ...]], asn: int, lo: int, hi: int
+    ) -> Tuple[int, ...]:
+        """ASN tuple for ``asn``'s class segments ``lo..hi`` (exclusive)."""
+        i = self.index_of(asn)
+        cached = cache.get(i)
+        if cached is None:
+            asns = self.asns
+            cls_off = self.cls_off
+            cls_adj = self.cls_adj
+            cached = cache[i] = tuple(
+                asns[cls_adj[k]]
+                for k in range(cls_off[4 * i + lo], cls_off[4 * i + hi])
+            )
+        return cached
+
+    def neighbors_asn(self, asn: int) -> Tuple[int, ...]:
+        """All neighbours of ``asn``, in the builder's insertion order.
+
+        Returns a cached tuple — unlike :meth:`ASGraph.neighbors`, no
+        fresh list is allocated per call, which is what the settling and
+        invariant hot loops need.  Callers must not rely on it being a
+        list (and cannot mutate it).
+        """
+        i = self.index_of(asn)
+        cache = self._nbr_asn
+        cached = cache.get(i)
+        if cached is None:
+            asns = self.asns
+            nbr = self.nbr
+            lo, hi = self.nbr_off[i], self.nbr_off[i + 1]
+            cached = cache[i] = tuple(asns[nbr[k]] for k in range(lo, hi))
+        return cached
+
+    def customers_asn(self, asn: int) -> Tuple[int, ...]:
+        return self._segment(self._cust_asn, asn, 0, 1)
+
+    def providers_asn(self, asn: int) -> Tuple[int, ...]:
+        return self._segment(self._prov_asn, asn, 1, 2)
+
+    def peers_asn(self, asn: int) -> Tuple[int, ...]:
+        return self._segment(self._peer_asn, asn, 2, 3)
+
+    def siblings_asn(self, asn: int) -> Tuple[int, ...]:
+        return self._segment(self._sib_asn, asn, 3, 4)
+
+    def expand_up_asn(self, asn: int) -> Tuple[int, ...]:
+        """Providers then siblings of ``asn`` — the Phase-1 expansion set."""
+        i = self.index_of(asn)
+        cached = self._up_asn.get(i)
+        if cached is None:
+            cached = self._up_asn[i] = (
+                self._segment(self._prov_asn, asn, 1, 2)
+                + self._segment(self._sib_asn, asn, 3, 4)
+            )
+        return cached
+
+    def expand_down_asn(self, asn: int) -> Tuple[int, ...]:
+        """Customers then siblings of ``asn`` — the Phase-3 expansion set."""
+        i = self.index_of(asn)
+        cached = self._down_asn.get(i)
+        if cached is None:
+            cached = self._down_asn[i] = (
+                self._segment(self._cust_asn, asn, 0, 1)
+                + self._segment(self._sib_asn, asn, 3, 4)
+            )
+        return cached
+
+    # ------------------------------------------------------------------
+    # pickling: ship only the core arrays; the index map and the lazy
+    # accessor caches are derived state, rebuilt on the receiving side.
+    # Every array (and the asns tuple) is packed into the smallest
+    # sufficient unsigned typecode — a tuple of Python ints or an
+    # 8-byte-per-entry array would pickle larger than the mutable graph's
+    # memoized dict walk, defeating the pool-ship win.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pack(values) -> array:
+        for code in ("H", "I"):
+            try:
+                return array(code, values)
+            except OverflowError:
+                continue
+        return array("q", values)
+
+    def __getstate__(self):
+        pack = self._pack
+        return (
+            self.version, pack(self.asns),
+            pack(self.nbr_off), pack(self.nbr),
+            pack(self.cls_off), pack(self.cls_adj),
+        )
+
+    def __setstate__(self, state) -> None:
+        version, asns, nbr_off, nbr, cls_off, cls_adj = state
+        self.__init__(version, tuple(asns), nbr_off, nbr, cls_off, cls_adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TopologySnapshot(n={len(self.asns)}, "
+            f"directed_edges={len(self.nbr)}, version={self.version})"
+        )

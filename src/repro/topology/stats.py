@@ -14,7 +14,7 @@ from .graph import ASGraph
 from .relationships import LinkType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopologySummary:
     """The Table 5.1 attribute row for one topology."""
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-from ..bgp.routing import compute_routes
+from ..bgp.routing import compute_routes_reference
 from ..obs import get_registry, get_tracer
 from ..session import SimulationSession
 from .invariants import Violation, check_table
@@ -75,7 +75,9 @@ def audit_session(
     sampled table is fetched *through the session* (so the audit sees
     exactly what the experiments saw, cache hits included), checked
     against the per-table invariants, and compared to an independent
-    :func:`~repro.bgp.routing.compute_routes` run.
+    :func:`~repro.bgp.routing.compute_routes_reference` run — the legacy
+    dict walk, so the audit shares no hot-path code with the snapshot
+    kernel that produced the session's tables.
     """
     graph = session.graph
     if destinations is None:
@@ -88,7 +90,7 @@ def audit_session(
             table = session.compute(destination)
             result.tables_checked += 1
             result.violations.extend(check_table(table))
-            reference = compute_routes(graph, destination)
+            reference = compute_routes_reference(graph, destination)
             divergence = first_divergence(reference, table, "session-audit")
             if divergence is not None:
                 result.divergences.append(divergence)

@@ -19,7 +19,13 @@ exhaustively against a concrete :class:`~repro.bgp.routing.RoutingTable`
 The checkers deliberately re-derive everything from first principles
 (:mod:`repro.bgp.policy` primitives) instead of calling back into the
 machinery under test, so a bug in the propagation, the incremental
-recomputation, or the session cache cannot hide itself.
+recomputation, or the session cache cannot hide itself.  The one shared
+surface is candidate *enumeration*: :meth:`RoutingTable.candidates`
+walks neighbours through the memoized topology snapshot's arrays (the
+hot-path representation), while every legality judgment about those
+candidates — valley-freedom, export permission, preference — still comes
+from the mutable graph and the policy primitives, independent of the
+snapshot kernel under test.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..bgp.policy import exportable_route, may_export, select_best
+from ..bgp.policy import may_export, select_best
 from ..bgp.routing import RoutingTable
 from ..obs import get_registry
 

@@ -1,19 +1,22 @@
 """Differential oracle: all route-computation paths must agree.
 
-The repo produces a routing table four ways — full
-:func:`~repro.bgp.routing.compute_routes`, incremental
-:func:`~repro.bgp.routing.recompute_routes` from a pre-mutation table,
-:class:`~repro.session.SimulationSession` serial (cache + derivation),
-and the session's process-pool fan-out.  The paper's numbers are only
-credible if they are interchangeable, so the oracle computes every
-destination via every path and reports the first divergence as a
-concrete ``(mode, destination, asn, expected, actual)`` tuple.
+The repo produces a routing table five ways — the snapshot kernel
+:func:`~repro.bgp.routing.compute_routes` (index-space settling on a
+frozen :class:`~repro.topology.snapshot.TopologySnapshot`), the legacy
+dict walk :func:`~repro.bgp.routing.compute_routes_reference`,
+incremental :func:`~repro.bgp.routing.recompute_routes` from a
+pre-mutation table, :class:`~repro.session.SimulationSession` serial
+(cache + derivation), and the session's process-pool fan-out.  The
+paper's numbers are only credible if they are interchangeable, so the
+oracle computes every destination via every path and reports the first
+divergence as a concrete ``(mode, destination, asn, expected, actual)``
+tuple.
 
-The full computation is the reference: it is the direct transcription of
-the three-phase stable-state construction and the one the randomized
-differential tests pin against the event-driven simulator.  Everything
-else must match it byte for byte (paths compared exactly, not just
-preference-equivalent).
+The legacy dict walk is the reference: it is the direct transcription of
+the three-phase stable-state construction, shares no hot-path code with
+the snapshot kernel, and is the one the randomized differential tests
+pin against the event-driven simulator.  Everything else must match it
+byte for byte (paths compared exactly, not just preference-equivalent).
 """
 
 from __future__ import annotations
@@ -21,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..bgp.routing import RoutingTable, compute_routes, recompute_routes
+from ..bgp.routing import (
+    RoutingTable,
+    compute_routes,
+    compute_routes_reference,
+    recompute_routes,
+)
 from ..obs import get_logger, get_registry
 from ..session import SimulationSession
 from ..topology.graph import ASGraph
@@ -152,11 +160,19 @@ class DifferentialOracle:
                 self.destinations, parallel=True
             )
         for destination in self.destinations:
-            reference = compute_routes(self.graph, destination)
+            reference = compute_routes_reference(self.graph, destination)
             references[destination] = reference
+            # the production path first: the index-space snapshot kernel
+            # against the legacy dict walk it must reproduce byte for byte
             found = first_divergence(
-                reference, serial[destination], "session-serial"
+                reference,
+                compute_routes(self.graph, destination),
+                "snapshot-kernel",
             )
+            if found is None:
+                found = first_divergence(
+                    reference, serial[destination], "session-serial"
+                )
             if found is None:
                 for version, ancestor in self._history[destination]:
                     changed = self.graph.changed_links_since(version)

@@ -168,3 +168,68 @@ class TestPinnedRoutes:
         table = compute_routes(graph, 3)
         assert table.best(1).path == (1, 2, 3)
         assert table.best(1).route_class is RouteClass.CUSTOMER
+
+
+class TestSnapshotKernelEquivalence:
+    """The index-space snapshot kernel must be byte-identical to the
+    legacy dict walk — paths, route classes, *and* table iteration order
+    — on every topology, with and without pinned routes."""
+
+    @staticmethod
+    def assert_tables_identical(kernel, reference):
+        kernel_items = list(kernel.items())
+        reference_items = list(reference.items())
+        assert [asn for asn, _ in kernel_items] == [
+            asn for asn, _ in reference_items
+        ]
+        for (asn, k_route), (_, r_route) in zip(kernel_items, reference_items):
+            assert k_route.path == r_route.path, asn
+            assert k_route.route_class is r_route.route_class, asn
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_generated_topologies(self, seed):
+        from repro.bgp.routing import compute_routes_reference
+
+        graph = generate_topology(SMALL, seed=seed)
+        for destination in graph.ases[:: max(1, len(graph) // 6)]:
+            self.assert_tables_identical(
+                compute_routes(graph, destination),
+                compute_routes_reference(graph, destination),
+            )
+
+    def test_paper_graph_all_destinations(self, paper_graph):
+        from repro.bgp.routing import compute_routes_reference
+
+        for destination in paper_graph.ases:
+            self.assert_tables_identical(
+                compute_routes(paper_graph, destination),
+                compute_routes_reference(paper_graph, destination),
+            )
+
+    def test_pinned_routes_identical(self, paper_graph):
+        from repro.bgp.routing import compute_routes_reference
+
+        base = compute_routes(paper_graph, F)
+        alternate = [
+            r for r in base.candidates(B) if r.path == (B, C, F)
+        ][0]
+        self.assert_tables_identical(
+            compute_routes(paper_graph, F, pinned={B: alternate}),
+            compute_routes_reference(paper_graph, F, pinned={B: alternate}),
+        )
+
+    def test_candidate_order_identical(self, paper_graph):
+        from repro.bgp.routing import compute_routes_reference
+
+        kernel = compute_routes(paper_graph, F)
+        reference = compute_routes_reference(paper_graph, F)
+        for asn in paper_graph.ases:
+            assert [r.path for r in kernel.candidates(asn)] == [
+                r.path for r in reference.candidates(asn)
+            ]
+
+    def test_kernel_reuses_memoized_snapshot(self, paper_graph):
+        before = paper_graph.snapshot()
+        compute_routes(paper_graph, F)
+        compute_routes(paper_graph, C)
+        assert paper_graph.snapshot() is before

@@ -347,10 +347,13 @@ class TestParallelFanout:
 def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
     """An in-process stand-in for ProcessPoolExecutor for fault injection.
 
-    Jobs for destinations in ``fail_for`` raise ``error`` from
-    ``future.result()``; every other job computes the real table and ships
-    a synthetic drained-metrics payload (one ``repro_test_pool_jobs_total``
-    increment), exactly like a real worker's ``obs.drain_worker()``.
+    Mirrors the real worker contract: the initializer payload is the
+    frozen topology snapshot, and each job settles on it with the
+    snapshot kernel.  Jobs for destinations in ``fail_for`` raise
+    ``error`` from ``future.result()``; every other job computes the real
+    table and ships a synthetic drained-metrics payload (one
+    ``repro_test_pool_jobs_total`` increment), exactly like a real
+    worker's ``obs.drain_worker()``.
     """
     payload_template = {
         "metrics": {
@@ -376,17 +379,19 @@ def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
 
     class FakeExecutor:
         def __init__(self, max_workers=None, initializer=None, initargs=()):
-            self._graph = initargs[0]
+            self._snapshot = initargs[0]
 
         def submit(self, fn, job):
+            from repro.bgp.routing import compute_routes_snapshot
+
             destination, pinned_items = job
             if destination in fail_for:
                 return FakeFuture(exc=error(f"injected fault for {destination}"))
             pinned = dict(pinned_items) if pinned_items else None
-            table = compute_routes(self._graph, destination, pinned=pinned)
-            return FakeFuture(
-                value=(destination, dict(table.items()), payload_template)
+            best = compute_routes_snapshot(
+                self._snapshot, destination, pinned=pinned
             )
+            return FakeFuture(value=(destination, best, payload_template))
 
         def shutdown(self, wait=True, cancel_futures=False):
             pass

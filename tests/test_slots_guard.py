@@ -1,0 +1,56 @@
+"""The slots guard itself, as a tier-1 test.
+
+Mirrors ``tools/check_slots.py`` (the standalone CI entry point): every
+dataclass defined in the hot-path packages ``repro.topology`` and
+``repro.bgp`` must carry its own ``__slots__``, and the workhorse types
+must genuinely have no per-instance ``__dict__``.
+"""
+
+import importlib.util
+import pathlib
+
+from repro.bgp.route import Route, RouteClass
+from repro.topology import TopologyDelta, generate_named
+
+_TOOL = pathlib.Path(__file__).resolve().parent.parent / "tools" / "check_slots.py"
+
+
+def _load_guard():
+    spec = importlib.util.spec_from_file_location("check_slots", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_hot_path_dataclasses_are_slotted():
+    guard = _load_guard()
+    assert guard.find_unslotted() == []
+
+
+def test_guard_covers_the_workhorse_types():
+    guard = _load_guard()
+    modules = {m.__name__ for m in guard.iter_guarded_modules()}
+    assert "repro.bgp.route" in modules
+    assert "repro.topology.delta" in modules
+    assert "repro.topology.snapshot" in modules
+    assert "repro.topology.generator" in modules
+
+
+def test_route_has_no_instance_dict():
+    route = Route((1, 2), RouteClass.CUSTOMER)
+    assert not hasattr(route, "__dict__")
+    assert hasattr(Route, "__slots__")
+
+
+def test_applied_delta_has_no_instance_dict():
+    graph = generate_named("tiny", seed=0)
+    a, b, _ = next(graph.iter_links())
+    applied = TopologyDelta.link_down(a, b).apply(graph)
+    assert not hasattr(applied, "__dict__")
+    applied.revert()
+
+
+def test_snapshot_is_slotted():
+    graph = generate_named("tiny", seed=0)
+    snapshot = graph.snapshot()
+    assert not hasattr(snapshot, "__dict__")

@@ -1,0 +1,303 @@
+"""TopologySnapshot: CSR fidelity, memoization, invalidation, shipping.
+
+The snapshot is the hot-path representation every consumer (settling
+kernel, pool fan-out, incremental frontier mapping, oracle) reads, so
+these tests pin three contracts:
+
+* **fidelity** — the flat arrays reproduce the mutable graph's adjacency
+  exactly, including the insertion order ``ASGraph.neighbors`` exposes
+  and the per-class grouping of ``customers``/``providers``/…;
+* **memoization** — ``ASGraph.snapshot()`` derives once per graph
+  version: identity-stable across calls, invalidated by every mutation
+  path (``add_link``, ``remove_link``, delta revert/reapply), and shared
+  structurally by ``copy()``;
+* **shipping** — pickling carries only the core arrays and rebuilds the
+  derived index/caches on the receiving side.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import UnknownASError
+from repro.topology import (
+    ASGraph,
+    TopologyDelta,
+    TopologySnapshot,
+    changed_link_indices,
+    generate_named,
+)
+from repro.topology.relationships import Relationship
+
+
+def small_graph() -> ASGraph:
+    return generate_named("small", seed=3)
+
+
+# ---------------------------------------------------------------------------
+# CSR fidelity
+# ---------------------------------------------------------------------------
+
+def test_asns_sorted_and_index_dense():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    assert list(snapshot.asns) == sorted(graph.ases)
+    assert snapshot.n == len(graph) == len(snapshot)
+    for i, asn in enumerate(snapshot.asns):
+        assert snapshot.index[asn] == i
+        assert snapshot.index_of(asn) == i
+        assert snapshot.asn_of(i) == asn
+        assert asn in snapshot
+
+
+def test_neighbor_arrays_match_graph_order():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    assert snapshot.num_directed_edges == 2 * graph.num_links
+    for asn in graph.iter_ases():
+        assert list(snapshot.neighbors_asn(asn)) == graph.neighbors(asn)
+
+
+def test_class_segments_match_graph_accessors():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    for asn in graph.iter_ases():
+        assert list(snapshot.customers_asn(asn)) == graph.customers(asn)
+        assert list(snapshot.providers_asn(asn)) == graph.providers(asn)
+        assert list(snapshot.peers_asn(asn)) == graph.peers(asn)
+        assert list(snapshot.siblings_asn(asn)) == graph.siblings(asn)
+        assert snapshot.expand_up_asn(asn) == (
+            snapshot.providers_asn(asn) + snapshot.siblings_asn(asn)
+        )
+        assert snapshot.expand_down_asn(asn) == (
+            snapshot.customers_asn(asn) + snapshot.siblings_asn(asn)
+        )
+
+
+def test_class_lists_are_consistent_and_cached():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    off, adj = snapshot.class_lists()
+    assert off is snapshot.class_lists()[0]  # converted once
+    assert adj == list(snapshot.cls_adj)
+    assert off == list(snapshot.cls_off)
+    asns = snapshot.asns
+    for i, asn in enumerate(asns):
+        base = 4 * i
+        customers = [asns[j] for j in adj[off[base]:off[base + 1]]]
+        providers = [asns[j] for j in adj[off[base + 1]:off[base + 2]]]
+        peers = [asns[j] for j in adj[off[base + 2]:off[base + 3]]]
+        siblings = [asns[j] for j in adj[off[base + 3]:off[base + 4]]]
+        assert customers == graph.customers(asn)
+        assert providers == graph.providers(asn)
+        assert peers == graph.peers(asn)
+        assert siblings == graph.siblings(asn)
+
+
+def test_path_translation_roundtrip():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    path = tuple(graph.ases[:4])
+    idx_path = snapshot.path_to_indices(path)
+    assert snapshot.path_to_asns(idx_path) == path
+    with pytest.raises(UnknownASError):
+        snapshot.path_to_indices((path[0], 999999))
+    with pytest.raises(UnknownASError):
+        snapshot.index_of(999999)
+
+
+# ---------------------------------------------------------------------------
+# memoization and invalidation
+# ---------------------------------------------------------------------------
+
+def counting_build(monkeypatch):
+    """Patch TopologySnapshot.build to count derivations."""
+    calls = []
+    original = TopologySnapshot.build.__func__
+
+    def patched(cls, graph):
+        calls.append(graph.version)
+        return original(cls, graph)
+
+    monkeypatch.setattr(
+        TopologySnapshot, "build", classmethod(patched)
+    )
+    return calls
+
+
+def test_snapshot_memoized_per_version(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    first = graph.snapshot()
+    assert graph.snapshot() is first
+    assert graph.snapshot() is first
+    assert len(calls) == 1
+    assert first.version == graph.version
+
+
+def test_add_and_remove_link_invalidate(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    before = graph.snapshot()
+    a, b, _ = next(graph.iter_links())
+    graph.remove_link(a, b)
+    after_remove = graph.snapshot()
+    assert after_remove is not before
+    assert after_remove.version == graph.version
+    assert b not in after_remove.neighbors_asn(a)
+    graph.add_link(a, b, Relationship.PEER)
+    after_add = graph.snapshot()
+    assert after_add is not after_remove
+    assert b in after_add.peers_asn(a)
+    assert len(calls) == 3  # exactly once per version touched
+
+
+def test_delta_revert_and_reapply_invalidate(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    baseline = graph.snapshot()
+    a, b, _ = next(graph.iter_links())
+    applied = TopologyDelta.link_down(a, b).apply(graph)
+    during = graph.snapshot()
+    assert during is not baseline
+    assert b not in during.neighbors_asn(a)
+
+    applied.revert()
+    reverted = graph.snapshot()
+    # the version was restored, but the memo was dropped by the mutation:
+    # re-derivation must happen and reproduce the baseline adjacency.
+    # Re-added links land at the end of the neighbour dicts, so insertion
+    # *order* may differ from the baseline — routing output is
+    # order-independent (the settling tie-break is on (length, path)),
+    # so the contract is set-equality per node and per class.
+    assert reverted.version == baseline.version
+    assert reverted.asns == baseline.asns
+    for asn in graph.iter_ases():
+        assert set(reverted.neighbors_asn(asn)) == set(
+            baseline.neighbors_asn(asn)
+        )
+        assert set(reverted.peers_asn(asn)) == set(baseline.peers_asn(asn))
+        assert set(reverted.customers_asn(asn)) == set(
+            baseline.customers_asn(asn)
+        )
+
+    applied.reapply()
+    reapplied = graph.snapshot()
+    assert reapplied.version == during.version
+    for asn in graph.iter_ases():
+        assert set(reapplied.neighbors_asn(asn)) == set(
+            during.neighbors_asn(asn)
+        )
+    # one build per distinct adjacency state entered
+    assert len(calls) == 4
+
+
+def test_zero_mutation_serves_same_snapshot(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    graph.add_as(next(iter(graph.iter_ases())))  # no-op: AS already present
+    assert graph.snapshot() is snapshot
+    assert len(calls) == 1
+
+
+def test_copy_shares_snapshot_until_either_side_mutates(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    clone = graph.copy()
+    assert clone.snapshot() is snapshot  # immutable → safely shared
+    a, b, _ = next(clone.iter_links())
+    clone.remove_link(a, b)
+    assert clone.snapshot() is not snapshot
+    assert graph.snapshot() is snapshot  # original untouched
+    assert len(calls) == 2
+
+
+def test_without_as_derives_fresh_snapshot(monkeypatch):
+    calls = counting_build(monkeypatch)
+    graph = small_graph()
+    graph.snapshot()
+    victim = graph.ases[len(graph) // 2]
+    reduced = graph.without_as(victim)
+    snapshot = reduced.snapshot()
+    assert victim not in snapshot
+    assert snapshot.n == len(graph) - 1
+    assert len(calls) == 2
+
+
+# ---------------------------------------------------------------------------
+# link_indices / changed_indices — the delta-engine bridge
+# ---------------------------------------------------------------------------
+
+def test_link_indices_normalizes_and_drops_absent():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    a, b, _ = next(graph.iter_links())
+    ia, ib = snapshot.index_of(a), snapshot.index_of(b)
+    expected = (ia, ib) if ia <= ib else (ib, ia)
+    assert snapshot.link_indices([(a, b), (b, a)]) == frozenset({expected})
+    assert snapshot.link_indices([(a, 999999)]) == frozenset()
+
+
+def test_applied_delta_changed_indices():
+    graph = small_graph()
+    a, b, _ = next(graph.iter_links())
+    pre = graph.snapshot()
+    applied = TopologyDelta.link_down(a, b).apply(graph)
+    want = pre.link_indices([(a, b)])
+    assert applied.changed_indices(pre) == want
+    assert changed_link_indices(pre, applied.changed_links) == want
+    # against the post-event snapshot the AS population is unchanged
+    # (AS-down keeps the node), so the mapping is identical
+    assert applied.changed_indices(graph.snapshot()) == want
+
+
+# ---------------------------------------------------------------------------
+# shipping
+# ---------------------------------------------------------------------------
+
+def test_pickle_roundtrip_rebuilds_derived_state():
+    graph = small_graph()
+    snapshot = graph.snapshot()
+    snapshot.neighbors_asn(graph.ases[0])  # warm a lazy cache
+    clone = pickle.loads(pickle.dumps(snapshot))
+    assert clone.version == snapshot.version
+    assert clone.asns == snapshot.asns
+    assert clone.index == snapshot.index
+    assert list(clone.nbr) == list(snapshot.nbr)
+    assert list(clone.cls_off) == list(snapshot.cls_off)
+    for asn in graph.iter_ases():
+        assert clone.neighbors_asn(asn) == snapshot.neighbors_asn(asn)
+
+
+def test_snapshot_pickle_smaller_than_graph():
+    graph = small_graph()
+    assert len(pickle.dumps(graph.snapshot())) < len(pickle.dumps(graph))
+
+
+def test_graph_pickle_does_not_carry_memo():
+    graph = small_graph()
+    graph.snapshot()
+    clone = pickle.loads(pickle.dumps(graph))
+    assert clone._snapshot is None
+    assert clone.snapshot().asns == graph.snapshot().asns
+
+
+# ---------------------------------------------------------------------------
+# legacy accessors: still fresh copies (regression for external callers)
+# ---------------------------------------------------------------------------
+
+def test_graph_accessors_still_return_fresh_lists():
+    graph = small_graph()
+    asn = graph.ases[0]
+    for accessor in (
+        graph.neighbors, graph.customers, graph.providers,
+        graph.peers, graph.siblings,
+    ):
+        first = accessor(asn)
+        assert isinstance(first, list)
+        assert first is not accessor(asn)
+        expected = list(first)
+        first.append(-1)  # mutating the copy must not corrupt the graph
+        assert accessor(asn) == expected

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""CI guard: hot-path dataclasses must declare ``__slots__``.
+
+The routing hot path allocates one :class:`~repro.bgp.route.Route` per
+(AS, destination) pair — hundreds of thousands per campaign — so every
+dataclass in :mod:`repro.topology` and :mod:`repro.bgp` must be declared
+with ``@dataclass(slots=True)``.  A ``__dict__`` creeping back in (a new
+dataclass added without ``slots=True``) silently costs ~50% more memory
+per instance and would not fail any functional test; this guard makes it
+a CI failure instead.
+
+Run from the repo root: ``PYTHONPATH=src python tools/check_slots.py``.
+Exits 0 when every dataclass in the guarded packages is slotted, 1
+otherwise (listing the offenders).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import pkgutil
+import sys
+
+GUARDED_PACKAGES = ("repro.topology", "repro.bgp")
+
+
+def iter_guarded_modules():
+    for package_name in GUARDED_PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def find_unslotted():
+    """Return ``[(module, class)]`` for guarded dataclasses lacking slots."""
+    offenders = []
+    seen = set()
+    for module in iter_guarded_modules():
+        for name in dir(module):
+            cls = getattr(module, name)
+            if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+                continue
+            if not cls.__module__.startswith(GUARDED_PACKAGES):
+                continue
+            if cls in seen:
+                continue
+            seen.add(cls)
+            # slots=True puts __slots__ in the class's own __dict__;
+            # inheriting a slotted base is not enough (the subclass would
+            # still grow a __dict__ of its own).
+            if "__slots__" not in cls.__dict__:
+                offenders.append((cls.__module__, cls.__qualname__))
+    return sorted(offenders)
+
+
+def main() -> int:
+    offenders = find_unslotted()
+    if offenders:
+        print("unslotted dataclasses in hot-path packages:")
+        for module, qualname in offenders:
+            print(f"  {module}.{qualname}: add @dataclass(slots=True)")
+        return 1
+    print(f"slots guard: all dataclasses in {', '.join(GUARDED_PACKAGES)} "
+          f"declare __slots__")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
