@@ -1,0 +1,84 @@
+"""Event-engine throughput and round-vs-event equivalence cost.
+
+Two bars for the discrete-event substrate: the bare scheduler must
+sustain a healthy events/second rate (the churn experiments lean on
+it for thousands of timer and delta dispatches), and running the
+convergence simulator through the event engine in its synchronous
+compatibility mode must cost no more than a generous multiple of the
+plain round loop it replicates.  Both figures are emitted as a JSON
+blob for trend tracking in CI.
+"""
+
+import json
+import time
+
+from repro.convergence import GuidelineMode, fig_7_1_system, fig_7_2_system
+from repro.events import SYNCHRONOUS, EventScheduler
+
+N_EVENTS = 50_000
+MIN_EVENTS_PER_SECOND = 50_000  # conservative floor; ~10x headroom locally
+EQUIVALENCE_RATIO_BOUND = 25.0  # event overhead allowance vs. round loop
+N_EQUIVALENCE_RUNS = 50
+
+
+def test_scheduler_throughput(benchmark):
+    def pump():
+        scheduler = EventScheduler()
+        scheduler.register("tick", lambda event: None)
+        for index in range(N_EVENTS):
+            scheduler.schedule(float(index), "tick")
+        start = time.perf_counter()
+        dispatched = scheduler.run()
+        elapsed = time.perf_counter() - start
+        assert dispatched == N_EVENTS
+        return elapsed
+
+    elapsed = benchmark.pedantic(pump, rounds=1, iterations=1)
+    events_per_second = N_EVENTS / elapsed if elapsed else float("inf")
+
+    print()
+    print("EVENT-ENGINE-BENCH " + json.dumps({
+        "n_events": N_EVENTS,
+        "dispatch_seconds": round(elapsed, 6),
+        "events_per_second": round(events_per_second, 2),
+    }))
+
+    assert events_per_second >= MIN_EVENTS_PER_SECOND
+
+
+def test_round_event_equivalence_cost(benchmark):
+    systems = [
+        (factory, mode)
+        for factory in (fig_7_1_system, fig_7_2_system)
+        for mode in GuidelineMode
+    ]
+
+    def sweep():
+        round_seconds = event_seconds = 0.0
+        for _ in range(N_EQUIVALENCE_RUNS):
+            for factory, mode in systems:
+                start = time.perf_counter()
+                round_result = factory(mode).run()
+                round_seconds += time.perf_counter() - start
+                start = time.perf_counter()
+                event_result = factory(mode).run_events(delays=SYNCHRONOUS)
+                event_seconds += time.perf_counter() - start
+                assert event_result.final_state == round_result.final_state
+        return round_seconds, event_seconds
+
+    round_seconds, event_seconds = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    ratio = event_seconds / round_seconds if round_seconds else None
+
+    print()
+    print("ROUND-EVENT-EQUIVALENCE-BENCH " + json.dumps({
+        "runs": N_EQUIVALENCE_RUNS * len(systems),
+        "round_seconds": round(round_seconds, 6),
+        "event_seconds": round(event_seconds, 6),
+        "event_over_round_ratio": round(ratio, 3) if ratio else None,
+    }))
+
+    # the event engine replays the same sweeps through a heap; allow a
+    # generous constant factor but catch pathological regressions
+    assert event_seconds <= round_seconds * EQUIVALENCE_RATIO_BOUND

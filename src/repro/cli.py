@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands::
+Nine subcommands::
 
     repro topology       generate a topology, print its Table 5.1
                          attributes, optionally dump it in CAIDA format
@@ -10,6 +10,11 @@ Seven subcommands::
     repro failure-sweep  measure BGP vs MIRO recovery from sampled failures
     repro verify         fault-injection campaigns cross-checking every
                          route-computation path and routing invariant
+    repro converge       run Ch. 7 convergence on fair rounds or the
+                         discrete-event engine (delays, MRAI, jitter),
+                         cross-checking round/event equivalence
+    repro churn          seeded churn scenarios (flap storms, rolling
+                         deployment, negotiation races) on the event engine
     repro stats          run a small instrumented workload and export the
                          metrics snapshot (json / prom / text)
 
@@ -319,6 +324,142 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _mode_from(label: str):
+    from .convergence import GuidelineMode
+
+    for mode in GuidelineMode:
+        if mode.value == label:
+            return mode
+    raise ReproError(f"unknown guideline mode {label!r}")
+
+
+def _delays_from(args: argparse.Namespace):
+    from .events import DelayModel
+
+    return DelayModel(
+        link_delay=args.link_delay,
+        link_jitter=args.link_jitter,
+        negotiation_delay=args.negotiation_delay,
+        mrai=args.mrai,
+        activation_jitter=args.activation_jitter,
+    )
+
+
+def _add_delay_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--link-delay", type=float, default=0.0,
+                        help="per-link propagation delay in simulated "
+                             "seconds (default 0)")
+    parser.add_argument("--link-jitter", type=float, default=0.0,
+                        help="uniform extra per-delivery delay (default 0)")
+    parser.add_argument("--negotiation-delay", type=float, default=0.0,
+                        help="responder-to-requester update delay (default 0)")
+    parser.add_argument("--mrai", type=float, default=1.0,
+                        help="per-AS MRAI / activation interval (default 1)")
+    parser.add_argument("--activation-jitter", type=float, default=0.0,
+                        help="uniform initial-activation offset (default 0)")
+
+
+def _cmd_converge(args: argparse.Namespace) -> int:
+    """Ch. 7 convergence on rounds or the event engine (``repro converge``)."""
+    from .convergence import (
+        GuidelineMode,
+        crosscheck_round_equivalence,
+        fig_7_1_system,
+        fig_7_2_system,
+    )
+
+    factory = {"7.1": fig_7_1_system, "7.2": fig_7_2_system}[args.figure]
+    modes = (
+        list(GuidelineMode) if args.mode == "all" else [_mode_from(args.mode)]
+    )
+    delays = _delays_from(args)
+    failures = 0
+    for mode in modes:
+        if args.crosscheck:
+            if not delays.is_synchronous:
+                raise ReproError(
+                    "--crosscheck needs the synchronous (all-zero) delay "
+                    "model: round mode has no notion of delays"
+                )
+            try:
+                result = crosscheck_round_equivalence(
+                    lambda m=mode: factory(m), max_rounds=args.max_rounds,
+                    seed=args.run_seed,
+                )
+                verdict = "round/event states identical"
+            except ReproError as exc:
+                failures += 1
+                print(f"fig {args.figure} {mode.value:>12}: DIVERGED — {exc}")
+                continue
+        elif args.engine == "events":
+            result = factory(mode).run_events(
+                delays=delays, max_rounds=args.max_rounds, seed=args.run_seed,
+            )
+            verdict = f"sim_time={result.sim_time:g} " \
+                      f"activations={result.activations}"
+        else:
+            result = factory(mode).run(
+                max_rounds=args.max_rounds, seed=args.run_seed,
+            )
+            verdict = ""
+        state = (
+            "converged" if result.converged
+            else "OSCILLATES" if result.oscillating
+            else "exhausted"
+        )
+        print(f"fig {args.figure} {mode.value:>12}: {state} "
+              f"({result.rounds} rounds) {verdict}".rstrip())
+    return 1 if failures else 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    """Seeded churn scenarios on the event engine (``repro churn``)."""
+    from .experiments import render_table, run_churn_sweep, to_jsonable
+
+    scenario_map = {
+        "flap-storm": "flap_storm",
+        "rolling": "rolling",
+        "negotiation-race": "negotiation_race",
+    }
+    scenarios = (
+        tuple(scenario_map.values()) if args.scenario == "all"
+        else (scenario_map[args.scenario],)
+    )
+    delays = _delays_from(args)
+    sweep = run_churn_sweep(
+        n_topologies=args.topologies,
+        demands_per_topology=args.demands,
+        seed=args.seed,
+        mode=_mode_from(args.mode),
+        delays=delays,
+        max_rounds=args.max_rounds,
+        scenarios=scenarios,
+    )
+    rows = [
+        (
+            run.scenario, str(run.topology_seed),
+            "yes" if run.converged else "NO",
+            str(run.injections), str(run.activations),
+            f"{run.sim_time:.2f}", f"{run.max_recovery:.2f}",
+        )
+        for run in sweep.runs
+    ]
+    print(render_table(
+        ["Scenario", "Seed", "Converged", "Deltas", "Activations",
+         "Sim time", "Recovery"],
+        rows,
+        title=f"churn sweep: {len(sweep.runs)} runs, "
+              f"{sweep.converged_runs} converged",
+    ))
+    print(f"mean recovery time: {sweep.mean_recovery():.2f} sim-seconds")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(to_jsonable(sweep), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote churn results to {args.out}")
+    return 0 if sweep.converged_runs == len(sweep.runs) else 2
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a small instrumented workload and export the metrics snapshot.
 
@@ -451,6 +592,56 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--out", metavar="FILE",
                         help="write the full JSON report here")
     verify.set_defaults(func=_cmd_verify)
+
+    converge = sub.add_parser(
+        "converge",
+        help="Ch. 7 convergence on fair rounds or the discrete-event "
+             "engine, with round/event equivalence cross-checking",
+    )
+    _add_obs_args(converge)
+    _add_delay_args(converge)
+    converge.add_argument("--figure", choices=["7.1", "7.2"], default="7.1",
+                          help="counterexample system to run (default 7.1)")
+    converge.add_argument("--mode",
+                          choices=["unrestricted", "B", "C", "D", "E", "all"],
+                          default="all",
+                          help="guideline mode (default: all five)")
+    converge.add_argument("--engine", choices=["rounds", "events"],
+                          default="events",
+                          help="execution engine (default: events)")
+    converge.add_argument("--crosscheck", action="store_true",
+                          help="run both engines and verify byte-identical "
+                               "final states (synchronous delays only)")
+    converge.add_argument("--max-rounds", type=int, default=200)
+    converge.add_argument("--run-seed", type=int, default=None,
+                          help="seed for activation shuffles and jitter")
+    converge.set_defaults(func=_cmd_converge)
+
+    churn = sub.add_parser(
+        "churn",
+        help="seeded churn scenarios (flap storms, rolling deployment, "
+             "negotiation races) on the event-driven simulator",
+    )
+    _add_obs_args(churn)
+    _add_delay_args(churn)
+    churn.add_argument("--scenario",
+                       choices=["flap-storm", "rolling", "negotiation-race",
+                                "all"],
+                       default="all",
+                       help="churn scenario to drive (default: all)")
+    churn.add_argument("--mode",
+                       choices=["unrestricted", "B", "C", "D", "E"],
+                       default="B", help="guideline mode (default B)")
+    churn.add_argument("--seed", type=int, default=0,
+                       help="sweep seed (topologies, demands, schedules)")
+    churn.add_argument("--topologies", type=int, default=3,
+                       help="random topologies per scenario (default 3)")
+    churn.add_argument("--demands", type=int, default=5,
+                       help="tunnel demands per topology (default 5)")
+    churn.add_argument("--max-rounds", type=int, default=200)
+    churn.add_argument("--out", metavar="FILE",
+                       help="write the JSON results here")
+    churn.set_defaults(func=_cmd_churn)
 
     stats = sub.add_parser(
         "stats",

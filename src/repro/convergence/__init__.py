@@ -1,6 +1,16 @@
 """Convergence model and simulator for MIRO (Ch. 7): guideline modes,
-activation sequences, oscillation detection, and the counterexamples."""
+activation sequences, oscillation detection, and the counterexamples —
+runnable as classic fair rounds (:meth:`MiroConvergenceSystem.run`) or
+on the discrete-event engine (:meth:`MiroConvergenceSystem.run_events`,
+:mod:`repro.convergence.eventsim`) with delays, MRAI timers, and
+topology churn."""
 
+from .eventsim import (
+    ChurnResult,
+    crosscheck_round_equivalence,
+    run_churn,
+    run_on_events,
+)
 from .examples import (
     bad_gadget_bgp_system,
     fig_7_1_graph,
@@ -49,4 +59,8 @@ __all__ = [
     "fig_7_2_graph",
     "fig_7_2_system",
     "bad_gadget_bgp_system",
+    "ChurnResult",
+    "run_on_events",
+    "run_churn",
+    "crosscheck_round_equivalence",
 ]

@@ -1,0 +1,429 @@
+"""Event-driven execution of the MIRO convergence model.
+
+This module puts :class:`~repro.convergence.simulator.MiroConvergenceSystem`
+on the :mod:`repro.events` scheduler.  Activations stop being entries in
+a fair-round for-loop and become *events*: an AS re-runs route selection
+because a neighbour's advertisement arrived (after the link's
+propagation delay), because a MIRO responder's offer changed (after a
+negotiation handshake delay), or because its own MRAI timer finally
+allows a pending re-advertisement.
+
+Two regimes share one entry point (:func:`run_on_events`):
+
+**Synchronous degenerate regime.**  When the
+:class:`~repro.events.timers.DelayModel` is synchronous (zero delays and
+jitter, one uniform MRAI) nothing can separate any two ASes' event
+timestamps: every advertisement lands at the instant it is sent and all
+pending activations collapse onto one tick.  The event schedule is then
+*exactly* the classic fair round — wave ``k`` activates every AS at
+``t = k * mrai`` — so the driver schedules full sweep events through the
+heap and reproduces the round-based :meth:`run` activation order
+verbatim, including its fingerprint-based cycle detection.  This is the
+compatibility mode: on delay-free schedules ``run_events`` must reach a
+``final_state`` byte-identical to ``run``'s, and
+:func:`crosscheck_round_equivalence` is the standing oracle (in the
+spirit of :mod:`repro.verify`) asserting it.
+
+**Asynchronous regime.**  With any non-zero delay, jitter, per-link or
+per-AS override — or with injected topology churn — activations are
+arrival-driven.  A changed AS notifies its graph neighbours after the
+per-link delay, the requesters of MIRO demands it responds to after the
+negotiation delay, and itself (its own selection feeds its own tunnel
+via-paths) after its MRAI.  Activation requests coalesce to at most one
+pending event per AS (advertisement events carry no routes — an
+activation reads the live global state, so one activation at the
+earliest pending instant covers every later arrival of the same wave);
+the per-AS :class:`~repro.events.timers.MraiTimer` rate-limits firing.
+The run is quiescent when the heap drains; an activation budget
+(``max_rounds`` worth of fair rounds) and an optional raw ``max_events``
+cap guard divergent gadgets, which never quiesce.
+
+:func:`run_churn` extends the asynchronous regime with timestamped
+:class:`~repro.topology.delta.TopologyDelta` injections through the
+existing :meth:`~MiroConvergenceSystem.apply_event` transactional path —
+the substrate for the flap-storm / rolling-deployment / negotiation-race
+scenarios of :mod:`repro.experiments.churn`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConvergenceError
+from ..events.engine import Event, EventScheduler
+from ..events.timers import SYNCHRONOUS, DelayModel, MraiTimer
+from ..obs import get_logger, get_registry
+from ..topology.delta import AppliedDelta, TimedDelta
+from .model import Selection
+from .simulator import (
+    _ACTIVATIONS_TOTAL,
+    _ROUNDS_TOTAL,
+    ConvergenceResult,
+    MiroConvergenceSystem,
+)
+
+_LOG = get_logger("convergence.events")
+_INJECTIONS_TOTAL = get_registry().counter(
+    "repro_convergence_churn_injections_total",
+    "Topology deltas injected into event-driven convergence runs",
+)
+
+#: Event kinds of the convergence driver's vocabulary.
+KIND_SWEEP = "sweep"          # synchronous regime: one full fair round
+KIND_ACTIVATE = "activate"    # asynchronous regime: one AS activation
+KIND_DELTA = "delta"          # churn: apply one topology delta
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnResult:
+    """Outcome of one churn run (:func:`run_churn`).
+
+    ``recovery_times`` maps injection index → simulated seconds from
+    that injection until the system next went quiescent (the heap
+    drained); injections whose turbulence overlapped the next injection
+    share the later quiescence instant, as in real overlapping outages.
+    """
+
+    converged: bool
+    sim_time: float
+    activations: int
+    dispatched: int
+    injections: int
+    final_state: Dict[Tuple[int, int], Optional[Selection]]
+    applied: Tuple[AppliedDelta, ...]
+    recovery_times: Tuple[Tuple[int, float], ...]
+
+    @property
+    def max_recovery(self) -> float:
+        return max((t for _, t in self.recovery_times), default=0.0)
+
+
+class _EventRun:
+    """One event-driven convergence execution (driver state)."""
+
+    def __init__(
+        self,
+        system: MiroConvergenceSystem,
+        delays: DelayModel,
+        max_rounds: int,
+        rng: Optional[Random],
+        max_events: Optional[int],
+    ) -> None:
+        self.system = system
+        self.delays = delays
+        self.max_rounds = max_rounds
+        self.rng = rng
+        self.scheduler = EventScheduler()
+        self.activations = 0
+        #: fair-round-equivalent activation budget
+        self.budget = max_rounds * max(1, len(system.graph.ases))
+        self.max_events = max_events
+        # asynchronous-regime state
+        self.timers: Dict[int, MraiTimer] = {
+            asn: MraiTimer(delays.mrai_for(asn))
+            for asn in system.graph.ases
+        }
+        self.pending: Dict[int, float] = {}
+        # synchronous-regime state
+        self.sweep_result: Optional[ConvergenceResult] = None
+        self._sweep_index = 0
+        self._seen: Dict[Tuple, int] = {}
+        # watchers[responder] = requesters whose tunnel offers it feeds
+        self.watchers: Dict[int, List[int]] = {}
+        for demand in system.demands:
+            requesters = self.watchers.setdefault(demand.responder, [])
+            if demand.requester not in requesters:
+                requesters.append(demand.requester)
+        for requesters in self.watchers.values():
+            requesters.sort()
+        self.scheduler.register(KIND_SWEEP, self._on_sweep)
+        self.scheduler.register(KIND_ACTIVATE, self._on_activate)
+
+    # ------------------------------------------------------------------
+    # synchronous degenerate regime: fair-round sweeps through the heap
+    # ------------------------------------------------------------------
+    def start_synchronous(self) -> None:
+        self.scheduler.schedule(0.0, KIND_SWEEP)
+
+    def _on_sweep(self, event: Event) -> None:
+        """One fair round, replicating ``_run_rounds`` move for move."""
+        system = self.system
+        ases = system.graph.ases
+        if self.rng is not None:
+            order = ases[:]
+            self.rng.shuffle(order)
+        else:
+            order = ases
+        changed = False
+        for asn in order:
+            if system.activate(asn):
+                changed = True
+        _ROUNDS_TOTAL.inc()
+        _ACTIVATIONS_TOTAL.inc(len(order))
+        self.activations += len(order)
+        round_index = self._sweep_index
+        self._sweep_index += 1
+        if not changed:
+            self.sweep_result = ConvergenceResult(
+                True, round_index + 1, False, dict(system.effective),
+                sim_time=event.time, activations=self.activations,
+            )
+            return
+        if self.rng is None:
+            mark = system.fingerprint()
+            if mark in self._seen:
+                self.sweep_result = ConvergenceResult(
+                    False, round_index + 1, True, dict(system.effective),
+                    sim_time=event.time, activations=self.activations,
+                )
+                return
+            self._seen[mark] = round_index
+        if self._sweep_index < self.max_rounds:
+            self.scheduler.schedule(
+                event.time + self.delays.mrai, KIND_SWEEP
+            )
+
+    def run_synchronous(self) -> ConvergenceResult:
+        self.start_synchronous()
+        self.scheduler.run(max_events=self.max_events)
+        if self.sweep_result is not None:
+            return self.sweep_result
+        return ConvergenceResult(
+            False, self.max_rounds, False, dict(self.system.effective),
+            sim_time=self.scheduler.now, activations=self.activations,
+        )
+
+    # ------------------------------------------------------------------
+    # asynchronous regime: arrival-driven activations
+    # ------------------------------------------------------------------
+    def request_activation(self, asn: int, arrival: float) -> None:
+        """Ask for ``asn`` to re-run selection once news lands at ``arrival``.
+
+        Coalesces onto an existing pending activation when that one is
+        no later (it will see this arrival's state anyway — activations
+        read live global state; events only carry timing).  A pending
+        activation *later* than the new arrival is superseded: the old
+        heap entry goes stale and is skipped at dispatch.
+        """
+        at = self.timers[asn].earliest(arrival)
+        pending = self.pending.get(asn)
+        if pending is not None and pending <= at:
+            return
+        self.pending[asn] = at
+        self.scheduler.schedule(at, KIND_ACTIVATE, asn)
+
+    def _on_activate(self, event: Event) -> None:
+        asn = event.payload
+        if self.pending.get(asn) != event.time:
+            return  # superseded by an earlier activation request
+        del self.pending[asn]
+        timer = self.timers[asn]
+        earliest = timer.earliest(event.time)
+        if earliest > event.time:  # MRAI moved while this event waited
+            self.request_activation(asn, earliest)
+            return
+        timer.fire(event.time)
+        self.activations += 1
+        _ACTIVATIONS_TOTAL.inc()
+        if self.system.activate(asn):
+            self._notify_change(asn, event.time)
+
+    def _notify_change(self, asn: int, now: float) -> None:
+        """Propagate one AS's state change to everything that reads it."""
+        graph = self.system.graph
+        for neighbor in sorted(graph.neighbors(asn)):
+            delay = self.delays.link_delay_for(asn, neighbor, self.rng)
+            self.request_activation(neighbor, now + delay)
+        # MIRO requesters see the responder's new offers only after a
+        # re-negotiation (§3.3 handshake)
+        for requester in self.watchers.get(asn, ()):
+            self.request_activation(
+                requester, now + self.delays.negotiation_delay
+            )
+        # the AS's own tunnels ride on its own routes: revisit after MRAI
+        self.request_activation(asn, now)
+
+    def seed_initial_activations(self) -> None:
+        for asn in self.system.graph.ases:
+            self.request_activation(asn, self.delays.initial_offset(self.rng))
+
+    def drain(self) -> bool:
+        """Dispatch until quiescent or a budget trips; True if drained."""
+        while self.scheduler.pending:
+            if self.activations >= self.budget:
+                return False
+            if (
+                self.max_events is not None
+                and self.scheduler.dispatched >= self.max_events
+            ):
+                return False
+            self.scheduler.step()
+        return True
+
+    def run_asynchronous(self) -> ConvergenceResult:
+        self.seed_initial_activations()
+        quiescent = self.drain()
+        ases = max(1, len(self.system.graph.ases))
+        rounds = max(1, math.ceil(self.activations / ases))
+        return ConvergenceResult(
+            quiescent, rounds, False, dict(self.system.effective),
+            sim_time=self.scheduler.now, activations=self.activations,
+        )
+
+
+def run_on_events(
+    system: MiroConvergenceSystem,
+    delays: Optional[DelayModel] = None,
+    max_rounds: int = 200,
+    rng: Optional[Random] = None,
+    max_events: Optional[int] = None,
+) -> ConvergenceResult:
+    """Execute one convergence run on the event engine.
+
+    Called through :meth:`MiroConvergenceSystem.run_events` (which owns
+    the tracing span and outcome metrics).  Chooses the synchronous
+    degenerate regime exactly when the delay model cannot separate any
+    two event timestamps (see module docstring).
+    """
+    delays = delays if delays is not None else SYNCHRONOUS
+    run = _EventRun(system, delays, max_rounds, rng, max_events)
+    with run.scheduler.sim_span("convergence"):
+        if delays.is_synchronous:
+            return run.run_synchronous()
+        return run.run_asynchronous()
+
+
+def run_churn(
+    system: MiroConvergenceSystem,
+    injections: Sequence[TimedDelta],
+    delays: Optional[DelayModel] = None,
+    max_rounds: int = 200,
+    rng: Optional[Random] = None,
+    max_events: Optional[int] = None,
+    settle_first: bool = True,
+) -> ChurnResult:
+    """Drive a timestamped churn scenario through the event engine.
+
+    The system first converges undisturbed (``settle_first``); then each
+    :class:`~repro.topology.delta.TimedDelta` fires at its timestamp via
+    :meth:`~MiroConvergenceSystem.apply_event` — selections crossing a
+    failed link are withdrawn transactionally — and the ASes the delta
+    touched are activated, kicking off re-convergence while later
+    injections are still pending.  Always runs the asynchronous regime
+    (churn separates event timestamps even under zero delays).
+    """
+    delays = delays if delays is not None else SYNCHRONOUS
+    ordered = sorted(injections, key=lambda timed: timed.time)
+    run = _EventRun(system, delays, max_rounds, rng, max_events)
+    applied: List[AppliedDelta] = []
+    quiesced_after: Dict[int, float] = {}
+    in_flight: List[int] = []
+
+    def on_delta(event: Event) -> None:
+        index, delta = event.payload
+        before = {
+            layer_key
+            for layer in (system.bgp, system.effective)
+            for layer_key, selection in layer.items()
+            if selection is not None
+        }
+        record = system.apply_event(delta)
+        applied.append(record)
+        _INJECTIONS_TOTAL.inc()
+        in_flight.append(index)
+        dirty = set()
+        for layer in (system.bgp, system.effective):
+            for layer_key, selection in layer.items():
+                if selection is None and layer_key in before:
+                    dirty.add(layer_key[0])
+        for a, b in record.changed_links:
+            for endpoint in (a, b):
+                if endpoint in run.timers:
+                    dirty.add(endpoint)
+        _LOG.debug("churn_injection", index=index, time=event.time,
+                   dirty=len(dirty))
+        for asn in sorted(dirty):
+            run.request_activation(asn, event.time)
+
+    run.scheduler.register(KIND_DELTA, on_delta)
+    with run.scheduler.sim_span("churn"):
+        if settle_first:
+            run.seed_initial_activations()
+        for index, timed in enumerate(ordered):
+            run.scheduler.schedule(timed.time, KIND_DELTA, (index, timed.delta))
+        quiescent = True
+        while run.scheduler.pending:
+            if run.activations >= run.budget or (
+                run.max_events is not None
+                and run.scheduler.dispatched >= run.max_events
+            ):
+                quiescent = False
+                break
+            event = run.scheduler.step()
+            if in_flight and not run.pending:
+                # no activation is pending anywhere (the heap may still
+                # hold future injections or superseded stale events):
+                # every in-flight injection has been absorbed
+                for index in in_flight:
+                    quiesced_after[index] = event.time - ordered[index].time
+                in_flight.clear()
+    recovery = tuple(sorted(quiesced_after.items()))
+    return ChurnResult(
+        converged=quiescent,
+        sim_time=run.scheduler.now,
+        activations=run.activations,
+        dispatched=run.scheduler.dispatched,
+        injections=len(ordered),
+        final_state=dict(system.effective),
+        applied=tuple(applied),
+        recovery_times=recovery,
+    )
+
+
+def crosscheck_round_equivalence(
+    make_system: Callable[[], MiroConvergenceSystem],
+    max_rounds: int = 200,
+    seed: Optional[int] = None,
+) -> ConvergenceResult:
+    """The round/event equivalence oracle (in the spirit of ``repro.verify``).
+
+    Builds two fresh systems from ``make_system``, runs one on fair
+    rounds and one on the event engine under the synchronous delay
+    model, and raises :class:`~repro.errors.ConvergenceError` unless the
+    two reach identical ``final_state`` (and agree on rounds, outcome,
+    and oscillation).  Returns the event-mode result on success.
+    """
+    round_result = make_system().run(max_rounds=max_rounds, seed=seed)
+    event_result = make_system().run_events(
+        delays=SYNCHRONOUS, max_rounds=max_rounds, seed=seed
+    )
+    if event_result.final_state != round_result.final_state:
+        keys = set(round_result.final_state) | set(event_result.final_state)
+        sentinel = object()
+        diff = sorted(
+            key for key in keys
+            if round_result.final_state.get(key, sentinel)
+            != event_result.final_state.get(key, sentinel)
+        )
+        raise ConvergenceError(
+            f"event-mode final_state diverges from round mode at "
+            f"{len(diff)} (asn, dest) entries; first: {diff[:3]}"
+        )
+    if (
+        round_result.converged,
+        round_result.rounds,
+        round_result.oscillating,
+    ) != (
+        event_result.converged,
+        event_result.rounds,
+        event_result.oscillating,
+    ):
+        raise ConvergenceError(
+            "event-mode outcome diverges from round mode: "
+            f"round={round_result.converged, round_result.rounds, round_result.oscillating} "
+            f"event={event_result.converged, event_result.rounds, event_result.oscillating}"
+        )
+    return event_result

@@ -24,8 +24,8 @@ a per-AS partial order (Guideline D) or the no-tunnel-on-tunnel rule
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..errors import ConvergenceError
 from ..topology.graph import ASGraph
@@ -44,7 +44,7 @@ class GuidelineMode(enum.Enum):
     GUIDELINE_E = "E"                # strict policy + no tunnel-on-tunnel (§7.3.3)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Selection:
     """One selected route: the path, and how it came to be."""
 
@@ -62,7 +62,7 @@ class Selection:
         return self.path[-1]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TunnelDemand:
     """A standing wish: ``requester`` negotiates with ``responder`` for
     routes toward ``destination`` (§7.1.2's tunnel edge set E')."""
@@ -170,7 +170,7 @@ def path_class_rank(graph: ASGraph, path: Path) -> int:
     return 3  # all-sibling paths count as customer routes
 
 
-@dataclass
+@dataclass(slots=True)
 class PartialOrder:
     """The per-AS strict partial order ≺ of Guideline D.
 
@@ -181,6 +181,9 @@ class PartialOrder:
     """
 
     pairs: Tuple[Tuple[int, int], ...]
+    _closure: FrozenSet[Tuple[int, int]] = field(
+        init=False, repr=False, compare=False, default=frozenset()
+    )
 
     def __post_init__(self) -> None:
         # transitive closure + irreflexivity check
@@ -198,7 +201,7 @@ class PartialOrder:
                 "the Guideline-D relation contains a cycle and is not a "
                 "strict partial order"
             )
-        self._closure = closure
+        self._closure = frozenset(closure)
 
     def allows(self, first_downstream: int, destination: int) -> bool:
         return (first_downstream, destination) in self._closure

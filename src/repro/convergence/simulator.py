@@ -27,15 +27,27 @@ Layer semantics per :class:`~repro.convergence.model.GuidelineMode`:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from random import Random
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ConvergenceError
 from ..obs import get_logger, get_registry, get_tracer
 from ..topology.delta import AppliedDelta, TopologyDelta
 from ..topology.graph import ASGraph, link_key
 from ..topology.relationships import Relationship
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from ..events.timers import DelayModel
 
 # ----------------------------------------------------------------------
 # instrumentation (repro.obs): activation and round totals make the §7
@@ -68,15 +80,27 @@ from .model import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConvergenceResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    Round-mode runs leave the event-mode fields at their defaults;
+    event-mode runs (:meth:`MiroConvergenceSystem.run_events`) report
+    the simulated clock at quiescence and the number of AS activations
+    executed (their "rounds" is the activation count divided by the AS
+    count, rounded up — a comparable work measure, not a literal round).
+    """
 
     converged: bool
     rounds: int
     oscillating: bool
     #: effective selection per (asn, destination) at the end of the run
     final_state: Dict[Tuple[int, int], Optional[Selection]]
+    #: simulated clock when the run went quiescent (event mode only)
+    sim_time: float = 0.0
+    #: AS activations executed (event mode only; round mode reports 0
+    #: here and counts through the activation metrics instead)
+    activations: int = 0
 
     def selection(self, asn: int, destination: int) -> Optional[Selection]:
         return self.final_state.get((asn, destination))
@@ -381,9 +405,13 @@ class MiroConvergenceSystem:
         ``oscillating=True``.
         """
         mode = self.mode.value if self.mode is not None else "mixed"
+        # one explicit random stream per run: every shuffle (and, in event
+        # mode, every jitter draw) comes from this Random, so a seed fully
+        # determines the activation sequence
+        rng = Random(seed) if seed is not None else None
         with _TRACER.span("convergence_run", mode=mode,
                           ases=len(self.graph)) as span:
-            result = self._run_rounds(max_rounds, seed, schedule)
+            result = self._run_rounds(max_rounds, rng, schedule)
             outcome = (
                 "converged" if result.converged
                 else "oscillating" if result.oscillating
@@ -396,13 +424,56 @@ class MiroConvergenceSystem:
                       rounds=result.rounds)
         return result
 
+    def run_events(
+        self,
+        delays: Optional["DelayModel"] = None,
+        max_rounds: int = 200,
+        seed: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> ConvergenceResult:
+        """Run on the discrete-event engine (:mod:`repro.events`).
+
+        ``delays`` is the run's :class:`~repro.events.timers.DelayModel`
+        (default: the zero-delay synchronous model, under which this
+        method reaches the exact ``final_state`` of :meth:`run` — the
+        equivalence the ``repro.verify``-style oracle asserts).  With
+        real delays, AS activations become events triggered by neighbour
+        advertisements after per-link propagation delays, rate-limited
+        by per-AS MRAI timers, with seeded jitter drawn from the same
+        ``Random`` stream a ``seed`` gives :meth:`run`.  ``max_rounds``
+        bounds the equivalent activation budget; ``max_events`` caps raw
+        scheduler dispatches (livelock guard, e.g. ``mrai=0`` on a
+        divergent gadget).
+        """
+        from .eventsim import run_on_events  # local: avoids import cycle
+
+        mode = self.mode.value if self.mode is not None else "mixed"
+        rng = Random(seed) if seed is not None else None
+        with _TRACER.span("convergence_run_events", mode=mode,
+                          ases=len(self.graph)) as span:
+            result = run_on_events(
+                self, delays=delays, max_rounds=max_rounds, rng=rng,
+                max_events=max_events,
+            )
+            outcome = (
+                "converged" if result.converged
+                else "oscillating" if result.oscillating
+                else "exhausted"
+            )
+            span.set(outcome=outcome, rounds=result.rounds,
+                     sim_time=result.sim_time)
+        _RUNS_TOTAL.labels(outcome=outcome).inc()
+        if not result.converged:
+            _LOG.info("convergence_run_unstable", mode=mode, outcome=outcome,
+                      rounds=result.rounds, engine="events")
+        return result
+
     def _run_rounds(
         self,
         max_rounds: int,
-        seed: Optional[int],
+        rng: Optional[Random],
         schedule: Optional[Sequence[Sequence[int]]],
     ) -> ConvergenceResult:
-        rng = random.Random(seed) if seed is not None else None
         ases = self.graph.ases
         seen: Dict[Tuple, int] = {}
         deterministic = rng is None

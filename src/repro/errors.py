@@ -60,6 +60,10 @@ class ConvergenceError(ReproError):
     """Convergence-simulation misuse (e.g. querying an unfinished run)."""
 
 
+class EventError(ReproError):
+    """Discrete-event scheduler misuse (past timestamps, unknown kinds)."""
+
+
 class ExperimentError(ReproError):
     """An experiment was configured with unusable parameters."""
 

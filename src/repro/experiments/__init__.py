@@ -9,6 +9,14 @@ from .avoidance import (
     run_success_rates,
     valley_free_source_routing_rate,
 )
+from .churn import (
+    ChurnRun,
+    ChurnSweep,
+    flap_storm_schedule,
+    negotiation_race_schedule,
+    rolling_deployment_schedule,
+    run_churn_sweep,
+)
 from .convergence import (
     CounterexampleOutcome,
     SweepOutcome,
@@ -90,6 +98,12 @@ __all__ = [
     "SweepOutcome",
     "run_counterexamples",
     "run_guideline_sweep",
+    "ChurnRun",
+    "ChurnSweep",
+    "flap_storm_schedule",
+    "rolling_deployment_schedule",
+    "negotiation_race_schedule",
+    "run_churn_sweep",
     "PairSample",
     "TripleSample",
     "sample_pairs",

@@ -1,0 +1,267 @@
+"""Churn scenarios on the event-driven convergence simulator.
+
+Three scenario builders turn a topology into a timestamped
+:class:`~repro.topology.delta.TimedDelta` sequence, and
+:func:`run_churn_sweep` drives seeded fleets of them through
+:func:`repro.convergence.eventsim.run_churn`:
+
+* :func:`flap_storm_schedule` — a burst of link flaps: each sampled link
+  fails and is repaired several times on a fixed period, storms
+  overlapping each other the way a flapping interface's withdrawals and
+  re-advertisements interleave;
+* :func:`rolling_deployment_schedule` — rolling partial-deployment
+  churn: sampled ASes go down and come back one after another,
+  non-overlapping, modelling staged maintenance across a deployment;
+* :func:`negotiation_race_schedule` — a link failure injected while a
+  MIRO negotiation is in flight: the failed link sits on the requester's
+  BGP path to its responder, so the tunnel's via-path is yanked exactly
+  between the request and the would-be grant (the timing races
+  §3.3's four-message handshake).
+
+All builders capture repair relationships **up front** (via
+:meth:`~repro.topology.delta.TopologyDelta.link_restore` /
+recorded adjacency), before any failure has executed, so a schedule is a
+pure value derivable from the intact topology — reusable across systems
+and seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.routing import compute_routes
+from ..convergence.eventsim import ChurnResult, run_churn
+from ..convergence.model import GaoRexfordRanker, GuidelineMode, PartialOrder
+from ..convergence.simulator import MiroConvergenceSystem
+from ..events.timers import DelayModel
+from ..miro.negotiation import handshake_delay
+from ..topology.delta import TimedDelta, TopologyDelta
+from ..topology.generator import TINY, TopologyProfile, generate_topology
+from ..topology.graph import ASGraph
+from .convergence import _orders_for, _random_demands
+
+
+# ----------------------------------------------------------------------
+# scenario builders
+# ----------------------------------------------------------------------
+def flap_storm_schedule(
+    graph: ASGraph,
+    n_links: int,
+    flaps: int,
+    period: float,
+    start: float,
+    rng: random.Random,
+) -> List[TimedDelta]:
+    """A storm of link flaps: ``n_links`` random links each flap
+    ``flaps`` times (down at ``t``, repaired at ``t + period / 2``),
+    every storm starting at ``start`` and running concurrently."""
+    links = sorted(
+        (a, b) for a, b, _rel in graph.iter_links()
+    )
+    chosen = rng.sample(links, min(n_links, len(links)))
+    schedule: List[TimedDelta] = []
+    for a, b in chosen:
+        repair = TopologyDelta.link_restore(graph, a, b)
+        for flap in range(flaps):
+            down_at = start + flap * period
+            schedule.append(TimedDelta(down_at, TopologyDelta.link_down(a, b)))
+            schedule.append(TimedDelta(down_at + period / 2, repair))
+    return schedule
+
+
+def rolling_deployment_schedule(
+    graph: ASGraph,
+    n_ases: int,
+    outage: float,
+    gap: float,
+    start: float,
+    rng: random.Random,
+) -> List[TimedDelta]:
+    """Rolling churn: ``n_ases`` random non-stub ASes go down one after
+    another, each for ``outage`` simulated seconds with ``gap`` between
+    consecutive outages (strictly non-overlapping, like a staged
+    maintenance rollout across a partial deployment)."""
+    candidates = [asn for asn in graph.ases if not graph.is_stub(asn)]
+    if not candidates:
+        candidates = list(graph.ases)
+    chosen = rng.sample(candidates, min(n_ases, len(candidates)))
+    schedule: List[TimedDelta] = []
+    at = start
+    for asn in chosen:
+        links = tuple(
+            (nbr, graph.relationship(asn, nbr))
+            for nbr in sorted(graph.neighbors(asn))
+        )
+        schedule.append(TimedDelta(at, TopologyDelta.as_down(asn)))
+        schedule.append(TimedDelta(at + outage, TopologyDelta.as_up(asn, links)))
+        at += outage + gap
+    return schedule
+
+
+def negotiation_race_schedule(
+    graph: ASGraph,
+    requester: int,
+    responder: int,
+    start: float,
+    per_message: float,
+    repair_after: float = 0.0,
+) -> List[TimedDelta]:
+    """A link failure racing an in-flight MIRO negotiation.
+
+    The requester's stable BGP path to the responder (by
+    :func:`~repro.bgp.routing.compute_routes`) carries both its traffic
+    toward the responder and — in the convergence model — any tunnel the
+    demand establishes.  The first link of that path fails midway
+    through the §3.3 handshake (half of
+    :func:`~repro.miro.negotiation.handshake_delay` after ``start``), so
+    the offer is already out but the grant has not landed when the
+    via-path disappears.  With ``repair_after`` > 0 the link comes back
+    that long after failing.
+    """
+    table = compute_routes(graph, responder)
+    path = table.default_path(requester)
+    if path is None or len(path) < 2:
+        if not graph.has_link(requester, responder):
+            return []
+        path = (requester, responder)
+    a, b = path[0], path[1]
+    fail_at = start + handshake_delay(per_message) / 2
+    schedule = [TimedDelta(fail_at, TopologyDelta.link_down(a, b))]
+    if repair_after > 0:
+        schedule.append(
+            TimedDelta(
+                fail_at + repair_after, TopologyDelta.link_restore(graph, a, b)
+            )
+        )
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ChurnRun:
+    """One scenario execution inside a sweep."""
+
+    scenario: str
+    topology_seed: int
+    converged: bool
+    injections: int
+    activations: int
+    sim_time: float
+    max_recovery: float
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnSweep:
+    """Aggregated churn results: the convergence-time distribution."""
+
+    runs: Tuple[ChurnRun, ...]
+
+    @property
+    def converged_runs(self) -> int:
+        return sum(1 for run in self.runs if run.converged)
+
+    def recoveries(self, scenario: Optional[str] = None) -> List[float]:
+        """Sorted max-recovery times (one per converged run)."""
+        return sorted(
+            run.max_recovery
+            for run in self.runs
+            if run.converged and (scenario is None or run.scenario == scenario)
+        )
+
+    def mean_recovery(self, scenario: Optional[str] = None) -> float:
+        times = self.recoveries(scenario)
+        return sum(times) / len(times) if times else 0.0
+
+
+def _system_for(
+    graph: ASGraph,
+    mode: GuidelineMode,
+    demands_per_topology: int,
+    rng: random.Random,
+) -> MiroConvergenceSystem:
+    destinations, demands = _random_demands(graph, demands_per_topology, rng)
+    orders: Optional[Dict[int, PartialOrder]] = None
+    if mode is GuidelineMode.GUIDELINE_D:
+        orders = _orders_for(demands)
+    return MiroConvergenceSystem(
+        graph,
+        destinations=destinations,
+        demands=demands,
+        mode=mode,
+        ranker=GaoRexfordRanker(graph),
+        partial_orders=orders,
+    )
+
+
+def run_churn_sweep(
+    n_topologies: int = 3,
+    demands_per_topology: int = 5,
+    profile: TopologyProfile = TINY,
+    seed: int = 0,
+    mode: GuidelineMode = GuidelineMode.GUIDELINE_B,
+    delays: Optional[DelayModel] = None,
+    max_rounds: int = 200,
+    scenarios: Sequence[str] = ("flap_storm", "rolling", "negotiation_race"),
+) -> ChurnSweep:
+    """Seeded churn scenarios over random topologies.
+
+    For each topology seed, each requested scenario runs on a fresh
+    system (scenario schedules never share mutated graph state) under
+    ``delays`` (default: 0.1 s links, 1 s MRAI, per-message negotiation
+    latency of 0.05 s).  The same ``seed`` reproduces the same
+    topologies, demands, schedules, jitter — and therefore the same
+    convergence-time distribution, which is the property the CI
+    equivalence tests pin down.
+    """
+    if delays is None:
+        delays = DelayModel(
+            link_delay=0.1,
+            negotiation_delay=handshake_delay(0.05),
+            mrai=1.0,
+        )
+    runs: List[ChurnRun] = []
+    for index in range(n_topologies):
+        topology_seed = seed + index
+        for scenario in scenarios:
+            rng = random.Random(f"{seed}:{index}:{scenario}")
+            graph = generate_topology(profile, seed=topology_seed)
+            system = _system_for(graph, mode, demands_per_topology, rng)
+            if scenario == "flap_storm":
+                schedule = flap_storm_schedule(
+                    graph, n_links=2, flaps=2, period=4.0, start=5.0, rng=rng
+                )
+            elif scenario == "rolling":
+                schedule = rolling_deployment_schedule(
+                    graph, n_ases=2, outage=3.0, gap=2.0, start=5.0, rng=rng
+                )
+            elif scenario == "negotiation_race":
+                schedule = []
+                for demand in system.demands[:1]:
+                    schedule = negotiation_race_schedule(
+                        graph, demand.requester, demand.responder,
+                        start=5.0, per_message=0.05, repair_after=3.0,
+                    )
+                if not schedule:
+                    continue
+            else:
+                raise ValueError(f"unknown churn scenario {scenario!r}")
+            result: ChurnResult = run_churn(
+                system, schedule, delays=delays, max_rounds=max_rounds,
+                rng=random.Random(topology_seed),
+            )
+            runs.append(
+                ChurnRun(
+                    scenario=scenario,
+                    topology_seed=topology_seed,
+                    converged=result.converged,
+                    injections=result.injections,
+                    activations=result.activations,
+                    sim_time=result.sim_time,
+                    max_recovery=result.max_recovery,
+                )
+            )
+    return ChurnSweep(runs=tuple(runs))

@@ -20,6 +20,7 @@ from ..obs import get_registry
 from ..topology.graph import ASGraph
 from ..topology.stats import summarize
 from .avoidance import run_negotiation_state, run_success_rates
+from .churn import run_churn_sweep
 from .convergence import run_counterexamples, run_guideline_sweep
 from .degree import degree_distribution, path_length_stats
 from .deployment import run_incremental_deployment
@@ -62,6 +63,15 @@ def _failure_sweep_entry(sweep) -> Dict[str, Any]:
         for policy in ExportPolicy
     }
     entry["mean_affected_fraction"] = sweep.mean_affected_fraction
+    return entry
+
+
+def _churn_entry(sweep) -> Dict[str, Any]:
+    """Churn-sweep runs plus the derived recovery-time distribution."""
+    entry = to_jsonable(sweep)
+    entry["converged_runs"] = sweep.converged_runs
+    entry["recovery_times"] = sweep.recoveries()
+    entry["mean_recovery"] = sweep.mean_recovery()
     return entry
 
 
@@ -134,6 +144,9 @@ def export_results(
         "fig_7_counterexamples": to_jsonable(run_counterexamples()),
         "guideline_sweep": to_jsonable(run_guideline_sweep(
             n_topologies=3, demands_per_topology=5, seed=seed,
+        )),
+        "churn": _churn_entry(run_churn_sweep(
+            n_topologies=2, demands_per_topology=4, seed=seed,
         )),
         "overhead": to_jsonable(run_overhead_comparison(
             graph, n_destinations=min(6, n_destinations),

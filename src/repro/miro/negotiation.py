@@ -50,6 +50,20 @@ _MSG_DECLINE = MESSAGES_TOTAL.labels(kind="decline")
 _MSG_ACCEPT = MESSAGES_TOTAL.labels(kind="accept")
 _MSG_GRANT = MESSAGES_TOTAL.labels(kind="grant")
 
+#: Messages in a complete §3.3 exchange: request → offer → accept → grant.
+HANDSHAKE_MESSAGES = 4
+
+
+def handshake_delay(per_message: float) -> float:
+    """Simulated duration of one full negotiation handshake.
+
+    The event-driven convergence simulator uses this as the default
+    ``negotiation_delay`` of a :class:`~repro.events.timers.DelayModel`
+    built from a per-message latency: a responder's state change reaches
+    its requesters only after a full four-message re-negotiation.
+    """
+    return HANDSHAKE_MESSAGES * per_message
+
 
 @dataclass(frozen=True)
 class RouteConstraint:

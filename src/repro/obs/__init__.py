@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from .log import StructLogger, StructuredFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BYTE_BUCKETS,
+    DEFAULT_SIM_TIME_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -58,6 +59,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_SIM_TIME_BUCKETS",
     "configure_logging",
     "get_logger",
     "get_registry",

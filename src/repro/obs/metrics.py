@@ -60,6 +60,15 @@ DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
     1048576, 4194304, 16777216,
 )
 
+#: Default histogram buckets for *simulated* time (the discrete-event
+#: engine's clock, :mod:`repro.events`): propagation delays sit in the
+#: sub-second range while churn scenarios span hundreds of simulated
+#: seconds, so the buckets stretch wider than the wall-clock ones.
+DEFAULT_SIM_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
 
 class Counter:
     """A monotonically increasing total."""

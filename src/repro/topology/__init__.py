@@ -6,6 +6,7 @@ from .delta import (
     AppliedDelta,
     DeltaOp,
     DeltaOpKind,
+    TimedDelta,
     TopologyDelta,
     apply_each,
     changed_link_indices,
@@ -49,6 +50,7 @@ __all__ = [
     "TopologySnapshot",
     "changed_link_indices",
     "TopologyDelta",
+    "TimedDelta",
     "AppliedDelta",
     "DeltaOp",
     "DeltaOpKind",

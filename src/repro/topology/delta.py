@@ -104,6 +104,17 @@ class TopologyDelta:
         return cls((DeltaOp(DeltaOpKind.AS_UP, asn, links=tuple(links)),))
 
     @classmethod
+    def link_restore(cls, graph: ASGraph, a: int, b: int) -> "TopologyDelta":
+        """A ``link_up`` capturing the a—b relationship as it stands now.
+
+        The churn scenarios build flap sequences up front — fail at
+        ``t1``, repair at ``t2`` — before any failure has executed, so
+        the repair delta must record the relationship while the link
+        still exists.  Raises if a—b is not currently in ``graph``.
+        """
+        return cls.link_up(a, b, graph.relationship(a, b))
+
+    @classmethod
     def compose(cls, *deltas: "TopologyDelta") -> "TopologyDelta":
         """One delta executing the given deltas' operations in order."""
         ops: List[DeltaOp] = []
@@ -185,6 +196,24 @@ class TopologyDelta:
             else:
                 parts.append(f"{op.kind.value} {op.a}")
         return ", ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class TimedDelta:
+    """A :class:`TopologyDelta` stamped with a simulated injection time.
+
+    The unit of a churn scenario: :func:`repro.convergence.eventsim.run_churn`
+    schedules each one as a discrete event at ``time`` and applies it
+    through the simulator's transactional
+    :meth:`~repro.convergence.simulator.MiroConvergenceSystem.apply_event`
+    path while convergence is in flight.
+    """
+
+    time: float
+    delta: TopologyDelta
+
+    def __str__(self) -> str:
+        return f"t={self.time}: {self.delta}"
 
 
 @dataclass(slots=True)

@@ -138,3 +138,59 @@ class TestFailureSweepCommand:
             "failure-sweep", "--profile", "tiny", "--events", "0",
         ]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestConvergeCommand:
+    def test_crosscheck_all_modes(self, capsys):
+        assert main(["converge", "--crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("round/event states identical") == 5
+        assert "OSCILLATES" in out  # the unrestricted counterexample
+
+    def test_event_engine_with_delays(self, capsys):
+        assert main([
+            "converge", "--figure", "7.2", "--mode", "E",
+            "--link-delay", "0.1", "--mrai", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim_time=" in out
+        assert "converged" in out
+
+    def test_round_engine(self, capsys):
+        assert main([
+            "converge", "--figure", "7.1", "--mode", "B",
+            "--engine", "rounds",
+        ]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_crosscheck_rejects_delays(self, capsys):
+        assert main([
+            "converge", "--crosscheck", "--link-delay", "0.5",
+        ]) == 1
+        assert "synchronous" in capsys.readouterr().err
+
+
+class TestChurnCommand:
+    def test_sweep_prints_table_and_writes_json(self, tmp_path, capsys):
+        import json as jsonlib
+
+        target = tmp_path / "churn.json"
+        assert main([
+            "churn", "--topologies", "1", "--demands", "3",
+            "--link-delay", "0.1", "--out", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "churn sweep:" in out
+        assert "flap_storm" in out
+        assert "mean recovery time:" in out
+        document = jsonlib.loads(target.read_text())
+        assert document["runs"]
+
+    def test_single_scenario(self, capsys):
+        assert main([
+            "churn", "--scenario", "rolling", "--topologies", "1",
+            "--demands", "3", "--link-delay", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rolling" in out
+        assert "flap_storm" not in out

@@ -1,0 +1,267 @@
+"""Round/event equivalence and churn semantics for the event engine.
+
+The acceptance bar of the event-driven refactor: on zero-delay
+deterministic schedules, ``run_events`` must reach a ``final_state``
+byte-identical to the round-based ``run`` across all five guideline
+modes — including the oscillating unrestricted counterexamples, where
+the exact activation order and stopping round matter.  Plus: seeded
+asynchronous determinism, divergence under delays still hits the
+budget, and mid-run churn keeps the delta journal consistent and
+re-converges to the oracle's post-flap state.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.bgp.routing import compute_routes
+from repro.convergence import (
+    GaoRexfordRanker,
+    GuidelineMode,
+    MiroConvergenceSystem,
+    bad_gadget_bgp_system,
+    crosscheck_round_equivalence,
+    fig_7_1_system,
+    fig_7_2_system,
+    run_churn,
+)
+from repro.errors import ConvergenceError
+from repro.events import SYNCHRONOUS, DelayModel
+from repro.topology import TimedDelta, TopologyDelta
+from repro.topology.generator import TINY, generate_topology
+
+ALL_MODES = list(GuidelineMode)
+
+
+# ----------------------------------------------------------------------
+# byte-identical equivalence on synchronous schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("factory", [fig_7_1_system, fig_7_2_system],
+                         ids=["fig7.1", "fig7.2"])
+def test_event_mode_matches_round_mode_byte_identical(factory, mode):
+    round_result = factory(mode).run()
+    event_result = factory(mode).run_events(delays=SYNCHRONOUS)
+    assert pickle.dumps(event_result.final_state) == pickle.dumps(
+        round_result.final_state
+    )
+    assert event_result.converged == round_result.converged
+    assert event_result.rounds == round_result.rounds
+    assert event_result.oscillating == round_result.oscillating
+
+
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_crosscheck_oracle_passes_all_modes(mode):
+    result = crosscheck_round_equivalence(lambda: fig_7_1_system(mode))
+    if mode is GuidelineMode.UNRESTRICTED:
+        assert result.oscillating
+    else:
+        assert result.converged
+
+
+def test_crosscheck_oracle_detects_divergence():
+    # a dishonest factory: round mode sees fig 7.1, event mode fig 7.2
+    calls = []
+
+    def flaky_factory():
+        calls.append(None)
+        factory = fig_7_1_system if len(calls) == 1 else fig_7_2_system
+        return factory(GuidelineMode.GUIDELINE_B)
+
+    with pytest.raises(ConvergenceError):
+        crosscheck_round_equivalence(flaky_factory)
+
+
+def test_seeded_shuffles_share_one_stream():
+    """Same seed -> same shuffled activation orders in both engines."""
+    for seed in (1, 7, 42):
+        round_result = fig_7_2_system(GuidelineMode.GUIDELINE_D).run(seed=seed)
+        event_result = fig_7_2_system(GuidelineMode.GUIDELINE_D).run_events(
+            seed=seed
+        )
+        assert event_result.final_state == round_result.final_state
+        assert event_result.rounds == round_result.rounds
+
+
+def test_equivalence_on_random_topology_with_demands():
+    from repro.experiments.convergence import _orders_for, _random_demands
+
+    graph = generate_topology(TINY, seed=3)
+    rng = random.Random(3)
+    destinations, demands = _random_demands(graph, 6, rng)
+
+    def make(mode):
+        orders = _orders_for(demands) if mode is GuidelineMode.GUIDELINE_D \
+            else None
+        return MiroConvergenceSystem(
+            graph, destinations=destinations, demands=demands, mode=mode,
+            ranker=GaoRexfordRanker(graph), partial_orders=orders,
+        )
+
+    for mode in (GuidelineMode.GUIDELINE_B, GuidelineMode.GUIDELINE_D):
+        crosscheck_round_equivalence(lambda m=mode: make(m))
+
+
+def test_event_result_reports_sim_time_and_activations():
+    result = fig_7_1_system(GuidelineMode.GUIDELINE_B).run_events()
+    assert result.converged
+    # 3 rounds at the default 1 s MRAI: waves at t=0, 1, 2
+    assert result.sim_time == 2.0
+    assert result.activations == 3 * 4  # three sweeps, four ASes
+    # round mode leaves the event-mode fields at their defaults
+    round_result = fig_7_1_system(GuidelineMode.GUIDELINE_B).run()
+    assert round_result.sim_time == 0.0
+    assert round_result.activations == 0
+
+
+# ----------------------------------------------------------------------
+# asynchronous regime
+# ----------------------------------------------------------------------
+def test_async_converges_to_round_mode_state():
+    delays = DelayModel(link_delay=0.1, negotiation_delay=0.2, mrai=1.0)
+    expected = fig_7_1_system(GuidelineMode.GUIDELINE_B).run().final_state
+    result = fig_7_1_system(GuidelineMode.GUIDELINE_B).run_events(
+        delays=delays
+    )
+    assert result.converged
+    assert result.final_state == expected
+    assert result.sim_time > 0.0
+
+
+def test_async_is_deterministic_under_one_seed():
+    delays = DelayModel(link_delay=0.1, link_jitter=0.05,
+                        activation_jitter=0.3)
+    results = [
+        fig_7_2_system(GuidelineMode.GUIDELINE_E).run_events(
+            delays=delays, seed=99
+        )
+        for _ in range(2)
+    ]
+    assert results[0] == results[1]
+    different = fig_7_2_system(GuidelineMode.GUIDELINE_E).run_events(
+        delays=delays, seed=100
+    )
+    # a different seed may converge elsewhere in time, never in state
+    assert different.final_state == results[0].final_state
+
+
+def test_async_divergent_gadget_trips_budget():
+    delays = DelayModel(link_delay=0.1, mrai=0.5)
+    result = bad_gadget_bgp_system().run_events(delays=delays, max_rounds=25)
+    assert not result.converged
+    assert not result.oscillating  # no cycle proof in the async regime
+    assert result.activations >= 25  # the budget, not an early stall
+
+
+def test_per_as_mrai_overrides_slow_one_as():
+    delays = DelayModel(link_delay=0.1, mrai=1.0, mrai_overrides=((1, 5.0),))
+    result = fig_7_1_system(GuidelineMode.GUIDELINE_B).run_events(
+        delays=delays
+    )
+    assert result.converged
+    expected = fig_7_1_system(GuidelineMode.GUIDELINE_B).run().final_state
+    assert result.final_state == expected
+
+
+# ----------------------------------------------------------------------
+# apply_event mid-run: journal consistency + oracle re-convergence
+# ----------------------------------------------------------------------
+def test_mid_run_flap_keeps_journal_consistent_and_reconverges():
+    system = fig_7_1_system(GuidelineMode.GUIDELINE_B)
+    graph = system.graph
+    version_start = graph.version
+    repair = TopologyDelta.link_restore(graph, 1, 4)
+    churn = run_churn(
+        system,
+        [TimedDelta(2.0, TopologyDelta.link_down(1, 4)),
+         TimedDelta(6.0, repair)],
+        delays=DelayModel(link_delay=0.1, mrai=1.0),
+    )
+    assert churn.converged
+    assert churn.injections == 2
+    assert len(churn.applied) == 2
+    # the version journal advanced once per applied delta and the graph
+    # reports exactly the flapped link as changed since the start
+    down, up = churn.applied
+    assert down.changed_links == frozenset({(1, 4)})
+    assert up.changed_links == frozenset({(1, 4)})
+    assert graph.version == up.version_after
+    assert graph.has_link(1, 4)
+    # reverting the records in reverse order walks the journal back to
+    # the pre-churn version (transaction stack consistency)
+    up.revert()
+    assert graph.version == down.version_after
+    down.revert()
+    assert graph.version == version_start
+    assert graph.has_link(1, 4)
+
+
+def test_post_flap_state_matches_oracle():
+    """After a flap storm settles, the BGP layer equals compute_routes."""
+    graph = generate_topology(TINY, seed=5)
+    destinations = graph.ases[:3]
+    system = MiroConvergenceSystem(
+        graph, destinations=destinations, demands=[],
+        mode=GuidelineMode.GUIDELINE_B, ranker=GaoRexfordRanker(graph),
+    )
+    links = sorted((a, b) for a, b, _rel in graph.iter_links())
+    a, b = links[0]
+    repair = TopologyDelta.link_restore(graph, a, b)
+    churn = run_churn(
+        system,
+        [TimedDelta(3.0, TopologyDelta.link_down(a, b)),
+         TimedDelta(6.0, repair),
+         TimedDelta(8.0, TopologyDelta.link_down(a, b)),
+         TimedDelta(11.0, repair)],
+        delays=DelayModel(link_delay=0.1, mrai=1.0),
+        max_rounds=500,
+    )
+    assert churn.converged
+    for dest in destinations:
+        table = compute_routes(graph, dest)
+        for asn in graph.ases:
+            selection = system.bgp[(asn, dest)]
+            route = table.best(asn)
+            if route is None:
+                assert selection is None
+            else:
+                assert selection is not None
+                # class and length agree with the closed-form oracle
+                assert len(selection.path) == len(route.path)
+
+
+def test_unconverged_flap_leaves_withdrawals_pending():
+    """A failure with no repair withdraws the severed selections for good."""
+    system = fig_7_1_system(GuidelineMode.GUIDELINE_B)
+    churn = run_churn(
+        system,
+        [TimedDelta(2.0, TopologyDelta.link_down(1, 4))],
+        delays=DelayModel(link_delay=0.1, mrai=1.0),
+    )
+    assert churn.converged  # quiescent, just with fewer routes
+    assert not system.graph.has_link(1, 4)
+    for key, selection in system.effective.items():
+        if selection is None:
+            continue
+        path = selection.path
+        assert not any(
+            {path[i], path[i + 1]} == {1, 4} for i in range(len(path) - 1)
+        )
+
+
+def test_churn_recovery_times_are_recorded():
+    system = fig_7_1_system(GuidelineMode.GUIDELINE_B)
+    repair = TopologyDelta.link_restore(system.graph, 1, 4)
+    churn = run_churn(
+        system,
+        [TimedDelta(2.0, TopologyDelta.link_down(1, 4)),
+         TimedDelta(30.0, repair)],
+        delays=DelayModel(link_delay=0.1, mrai=1.0),
+    )
+    assert churn.converged
+    times = dict(churn.recovery_times)
+    # well-separated injections get their own quiescence instants
+    assert set(times) == {0, 1}
+    assert times[0] < 28.0  # the failure settled before the repair fired
+    assert churn.max_recovery == max(times.values())

@@ -1,15 +1,18 @@
 """The slots guard itself, as a tier-1 test.
 
 Mirrors ``tools/check_slots.py`` (the standalone CI entry point): every
-dataclass defined in the hot-path packages ``repro.topology`` and
-``repro.bgp`` must carry its own ``__slots__``, and the workhorse types
-must genuinely have no per-instance ``__dict__``.
+dataclass defined in the hot-path packages ``repro.topology``,
+``repro.bgp``, ``repro.convergence``, and ``repro.events`` must carry
+its own ``__slots__``, and the workhorse types must genuinely have no
+per-instance ``__dict__``.
 """
 
 import importlib.util
 import pathlib
 
 from repro.bgp.route import Route, RouteClass
+from repro.convergence import GuidelineMode, PartialOrder, fig_7_1_system
+from repro.events import DelayModel, EventScheduler, MraiTimer
 from repro.topology import TopologyDelta, generate_named
 
 _TOOL = pathlib.Path(__file__).resolve().parent.parent / "tools" / "check_slots.py"
@@ -34,6 +37,11 @@ def test_guard_covers_the_workhorse_types():
     assert "repro.topology.delta" in modules
     assert "repro.topology.snapshot" in modules
     assert "repro.topology.generator" in modules
+    assert "repro.convergence.model" in modules
+    assert "repro.convergence.simulator" in modules
+    assert "repro.convergence.eventsim" in modules
+    assert "repro.events.engine" in modules
+    assert "repro.events.timers" in modules
 
 
 def test_route_has_no_instance_dict():
@@ -54,3 +62,22 @@ def test_snapshot_is_slotted():
     graph = generate_named("tiny", seed=0)
     snapshot = graph.snapshot()
     assert not hasattr(snapshot, "__dict__")
+
+
+def test_convergence_types_have_no_instance_dict():
+    result = fig_7_1_system(GuidelineMode.GUIDELINE_B).run()
+    assert not hasattr(result, "__dict__")
+    selection = result.selection(1, 4)
+    assert not hasattr(selection, "__dict__")
+    order = PartialOrder(((1, 2),))
+    assert not hasattr(order, "__dict__")
+    assert order.allows(1, 2)
+
+
+def test_event_types_have_no_instance_dict():
+    scheduler = EventScheduler()
+    scheduler.register("tick", lambda event: None)
+    event = scheduler.schedule(1.0, "tick")
+    assert not hasattr(event, "__dict__")
+    assert not hasattr(MraiTimer(1.0), "__dict__")
+    assert not hasattr(DelayModel(), "__dict__")

@@ -2,9 +2,12 @@
 """CI guard: hot-path dataclasses must declare ``__slots__``.
 
 The routing hot path allocates one :class:`~repro.bgp.route.Route` per
-(AS, destination) pair — hundreds of thousands per campaign — so every
-dataclass in :mod:`repro.topology` and :mod:`repro.bgp` must be declared
-with ``@dataclass(slots=True)``.  A ``__dict__`` creeping back in (a new
+(AS, destination) pair — hundreds of thousands per campaign — and the
+convergence simulators allocate a :class:`Selection` per activation per
+destination plus an :class:`Event` per scheduler dispatch, so every
+dataclass in :mod:`repro.topology`, :mod:`repro.bgp`,
+:mod:`repro.convergence`, and :mod:`repro.events` must be declared with
+``@dataclass(slots=True)``.  A ``__dict__`` creeping back in (a new
 dataclass added without ``slots=True``) silently costs ~50% more memory
 per instance and would not fail any functional test; this guard makes it
 a CI failure instead.
@@ -21,7 +24,12 @@ import importlib
 import pkgutil
 import sys
 
-GUARDED_PACKAGES = ("repro.topology", "repro.bgp")
+GUARDED_PACKAGES = (
+    "repro.topology",
+    "repro.bgp",
+    "repro.convergence",
+    "repro.events",
+)
 
 
 def iter_guarded_modules():
