@@ -26,7 +26,13 @@ from .routing import (
     recompute_routes,
 )
 
+# Imported after .routing so the backend registry can adapt the settling
+# implementations cycle-free; the import itself registers the built-in
+# scalar and batched backends.
+from . import kernels
+
 __all__ = [
+    "kernels",
     "Route",
     "RouteClass",
     "better",

@@ -1,0 +1,462 @@
+"""Vectorized batched settling kernel over the CSR snapshot arrays.
+
+The scalar kernel (:func:`repro.bgp.routing.compute_routes_snapshot`)
+settles one heap entry at a time: pop ``(length, path, class)``, adopt,
+push the neighbours.  This backend settles whole **frontier waves** at
+once as numpy operations over the snapshot's flat per-class adjacency
+(:meth:`~repro.topology.snapshot.TopologySnapshot.class_arrays`), and —
+because destinations are mutually independent — settles **many
+destinations in one call** (:func:`settle_many`) on a composite
+``destination-slot × node`` index space, so the per-wave numpy dispatch
+cost amortizes over the whole sweep.  The output is byte-equal to the
+scalar kernel — same best routes, same output-dict insertion order —
+which the differential oracle enforces by enumerating this backend.
+
+Why waves are exact, not an approximation
+-----------------------------------------
+
+Every path the scalar kernel settles starts with its holder's index, so
+comparing two settled paths of equal length lexicographically *is*
+comparing their holder indices.  A heap candidate for node ``v`` is
+``(v,) + P(u)`` for some settled parent ``u``; two same-phase candidates
+for ``v`` at the same length therefore compare as ``u`` vs ``u'`` — the
+winner is simply the **minimum parent index**.  Since the heap orders by
+``(length, path)``, all length-``L`` entries pop before any length-
+``L+1`` entry, so the scalar pop order decomposes into level-synchronous
+BFS waves: at wave ``L``, every not-yet-settled node with a candidate
+adopts the one from its smallest-index parent, in ascending node order.
+That per-wave "group by target, take min parent" is one vectorized
+sort-and-first-occurrence per wave (inside :func:`_run_waves`), and the
+ascending-target pop order falls out of the same sort — preserving the
+adoption order the output dict's insertion order is defined by.
+
+Without pinned routes every node on a candidate's tail is already
+settled, so the scalar kernel's ``nb not in path`` loop check is always
+true for an unsettled target, and route classes collapse to per-phase
+constants (Phase 1 adopts CUSTOMER, Phase 2 PEER, Phase 3 PROVIDER).
+Pinned routes break both properties, so this backend registers with
+``pinned=False`` and delegates pinned requests to the scalar kernel.
+
+The full decision order (class, then length, then parent) packs into one
+integer — :func:`pack_candidate_key`, property-tested against
+``Route.preference_key`` — but inside a single phase's wave the class and
+length are constant, so the kernel's hot argmin only needs the cheaper
+``target * n + parent`` composite.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # numpy is the optional [accel] extra — never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    _np = None
+
+from ...errors import KernelError
+from ..route import Route, RouteClass
+from ..routing import (
+    _PHASE_NAMES,
+    _PHASE_SECONDS,
+    _TABLES_TOTAL,
+    _TRACER,
+    _phase_span,
+    compute_routes_snapshot,
+)
+from . import KernelBackend, register
+
+__all__ = [
+    "BACKEND",
+    "numpy_available",
+    "pack_candidate_key",
+    "settle_batched",
+    "settle_many",
+]
+
+_PHASE_BATCHED = tuple(
+    _PHASE_SECONDS.labels(phase=p, mode="batched") for p in _PHASE_NAMES
+)
+_TABLES_FULL = _TABLES_TOTAL.labels(mode="full")
+
+#: Composite state entries (destination slots × nodes) per settling
+#: chunk: bounds the working-set memory of a many-destination sweep
+#: (~16 MB of int64 parent state) independently of topology size.
+_CHUNK_ENTRIES = 1 << 21
+
+# ----------------------------------------------------------------------
+# packed integer sort key
+# ----------------------------------------------------------------------
+
+#: Bit layout of :func:`pack_candidate_key`: class above length above
+#: parent index.  24 bits each for length and parent bound the kernel at
+#: 16M ASes / 16M hops — three orders of magnitude past the 70k-AS target.
+PACK_PARENT_BITS = 24
+PACK_LENGTH_SHIFT = PACK_PARENT_BITS
+PACK_CLASS_SHIFT = PACK_LENGTH_SHIFT + 24
+
+
+def pack_candidate_key(
+    route_class: int, length: int, parent_index: int
+) -> int:
+    """Pack one candidate's decision rank into a single integer.
+
+    ``route_class`` is the :class:`RouteClass` *value* (ORIGIN=4 …
+    PROVIDER=1, higher preferred), ``length`` the AS-path hop count,
+    ``parent_index`` the snapshot index of the candidate's next hop.
+    **Smaller key = more preferred**: the class is inverted into the top
+    bits, the length sits above the parent index, so an ascending sort of
+    packed keys is exactly the settling kernel's decision order — and,
+    for candidates whose tails are settled paths, exactly the
+    ``Route.preference_key`` order (higher class first, then shorter,
+    then the lexicographically smallest path, which settled tails reduce
+    to the smallest next-hop index).  The property test in
+    ``tests/test_kernels.py`` holds the two orders identical over random
+    route populations.
+    """
+    return (
+        ((RouteClass.ORIGIN.value - route_class) << PACK_CLASS_SHIFT)
+        | (length << PACK_LENGTH_SHIFT)
+        | parent_index
+    )
+
+
+def numpy_available() -> bool:
+    """Whether the [accel] extra (numpy) is importable — probed at resolve."""
+    return _np is not None
+
+
+# ----------------------------------------------------------------------
+# composite-space wave machinery
+#
+# A chunk of D destinations settles on composite ids c = slot * n + v
+# (slot = destination slot, v = node index).  Candidates for different
+# destinations can never collide — the slot is baked into the id — so
+# one global wave loop advances every destination's BFS level at once.
+# ----------------------------------------------------------------------
+
+def _gather(off, adj, n: int, frontier_c, lo: int, hi: int):
+    """One class segment's edges for a whole composite frontier.
+
+    For each composite id ``c = slot*n + v`` in ``frontier_c``, node
+    ``v``'s segment is ``adj[off[4v+lo] : off[4v+hi]]``.  Returns
+    ``(parents_c, parents_v, targets_c)`` — each frontier id repeated
+    once per edge, the parent node indices, and the targets re-based
+    into the parent's slot — via the CSR gather trick: ``repeat`` builds
+    the parent columns, and a ramp (``arange`` minus each row's
+    exclusive running total, plus its segment start) builds the flat
+    adjacency indices without any per-node loop.
+    """
+    v = frontier_c % n
+    starts = off[4 * v + lo]
+    counts = off[4 * v + hi] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty, empty
+    parents_c = frontier_c.repeat(counts)
+    parents_v = v.repeat(counts)
+    ramp = (starts - (_np.cumsum(counts) - counts)).repeat(counts)
+    targets_v = adj[_np.arange(total, dtype=_np.int64) + ramp]
+    return parents_c, parents_v, parents_c - parents_v + targets_v
+
+
+def _seed_edges(off, adj, n: int, settled, depth, lo: int, hi: int):
+    """Cross-phase seed candidates from every settled holder.
+
+    Gathers segment ``lo..hi`` of all settled composites, drops targets
+    that are already settled, and schedules each candidate at its
+    parent's depth + 1 — the length its entry would carry in the scalar
+    heap.  Returns ``(targets_c, parents_v, waves)``.
+    """
+    holders = _np.flatnonzero(settled)
+    parents_c, parents_v, targets_c = _gather(off, adj, n, holders, lo, hi)
+    live = ~settled[targets_c]
+    return (
+        targets_c[live],
+        parents_v[live],
+        depth[parents_c[live]] + 1,
+    )
+
+
+def _run_waves(
+    off,
+    adj,
+    n: int,
+    settled,
+    parent,
+    depth,
+    seeds,
+    expand_segs: Tuple[Tuple[int, int], ...],
+    frontier,
+    wave: int,
+) -> List:
+    """Run one propagation phase as level-synchronous composite waves.
+
+    ``seeds`` is ``(targets_c, parents_v, waves)`` from
+    :func:`_seed_edges` (or None); ``expand_segs`` the class segments an
+    in-phase adoption propagates through; ``frontier``/``wave`` the
+    initial frontier (phase 1 starts from the origins at wave 1).
+    Mirrors the scalar heap exactly: wave ``L`` combines the seeds
+    scheduled at ``L`` with the expansions of wave ``L-1``'s adoptions,
+    and each not-yet-settled target adopts from its minimum-index parent
+    (the composite ``target*n + parent`` sort; first occurrence per
+    target wins, ascending targets preserving the scalar pop order).
+    Returns the adopted composite arrays in wave order.
+    """
+    if seeds is not None and seeds[0].size:
+        seed_t, seed_pv, seed_w = seeds
+        order = _np.argsort(seed_w, kind="stable")
+        seed_t = seed_t[order]
+        seed_pv = seed_pv[order]
+        seed_w = seed_w[order]
+        total_seeds = seed_w.size
+    else:
+        seed_t = seed_pv = seed_w = None
+        total_seeds = 0
+    adopted: List = []
+    empty = _np.empty(0, dtype=_np.int64)
+    ptr = 0
+    while ptr < total_seeds or frontier.size:
+        if frontier.size == 0:
+            wave = int(seed_w[ptr])  # every slot idle: jump to next seed
+        t_cols = []
+        pv_cols = []
+        if ptr < total_seeds:
+            take = ptr + int(
+                _np.searchsorted(seed_w[ptr:], wave, side="right")
+            )
+            if take > ptr:
+                t_cols.append(seed_t[ptr:take])
+                pv_cols.append(seed_pv[ptr:take])
+                ptr = take
+        if frontier.size:
+            for lo, hi in expand_segs:
+                _, pv, tc = _gather(off, adj, n, frontier, lo, hi)
+                t_cols.append(tc)
+                pv_cols.append(pv)
+        key = _np.concatenate(t_cols) * n + _np.concatenate(pv_cols) \
+            if t_cols else empty
+        if key.size == 0:
+            frontier = empty
+            wave += 1
+            continue
+        key.sort()
+        targets = key // n
+        first = _np.empty(targets.size, dtype=bool)
+        first[0] = True
+        _np.not_equal(targets[1:], targets[:-1], out=first[1:])
+        targets = targets[first]
+        live = ~settled[targets]
+        t_new = targets[live]
+        if t_new.size:
+            settled[t_new] = True
+            parent[t_new] = (key[first] % n)[live]
+            depth[t_new] = wave
+            adopted.append(t_new)
+        frontier = t_new
+        wave += 1
+    return adopted
+
+
+def _settle_chunk(
+    snapshot, dest_indices: Sequence[int]
+) -> List[Dict[int, Route]]:
+    """Settle one chunk of destinations on the composite index space.
+
+    Returns one best-route dict per destination (in input order), each
+    byte-equal — values and insertion order — to the scalar kernel's.
+    """
+    # One chunk allocates millions of long-lived objects (level lists,
+    # path tuples, Routes); each generational collection scans all of
+    # them for cycles they cannot form (tuples of ints, frozen two-field
+    # Routes), which more than triples settling time at 10k ASes.  Pause
+    # the collector for the burst and restore the caller's state.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _settle_chunk_nogc(snapshot, dest_indices)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _settle_chunk_nogc(
+    snapshot, dest_indices: Sequence[int]
+) -> List[Dict[int, Route]]:
+    n = snapshot.n
+    off, adj = snapshot.class_arrays()
+    slots = len(dest_indices)
+    dest_v = _np.asarray(dest_indices, dtype=_np.int64)
+    dest_c = _np.arange(slots, dtype=_np.int64) * n + dest_v
+
+    settled = _np.zeros(slots * n, dtype=bool)
+    parent = _np.zeros(slots * n, dtype=_np.int64)
+    depth = _np.zeros(slots * n, dtype=_np.int64)
+    settled[dest_c] = True
+    parent[dest_c] = dest_v
+
+    destination = int(dest_v[0]) if slots == 1 else -1
+    # ---- Phase 1: customer routes climb the hierarchy -----------------
+    # The origins are the only seeds; expansion crosses provider links
+    # (segment 1) and sibling links (segment 3).
+    with _phase_span(0, _PHASE_BATCHED, destination):
+        phase1 = _run_waves(
+            off, adj, n, settled, parent, depth,
+            seeds=None, expand_segs=((1, 2), (3, 4)),
+            frontier=dest_c, wave=1,
+        )
+    # ---- Phase 2: customer routes cross peering links -----------------
+    # Seeds: every unsettled peer of a settled customer-route holder,
+    # scheduled at its parent's depth + 1 (seed entries enter the scalar
+    # heap at multiple lengths); in-phase expansion crosses siblings only.
+    with _phase_span(1, _PHASE_BATCHED, destination):
+        phase2 = _run_waves(
+            off, adj, n, settled, parent, depth,
+            seeds=_seed_edges(off, adj, n, settled, depth, 2, 3),
+            expand_segs=((3, 4),),
+            frontier=_np.empty(0, dtype=_np.int64), wave=0,
+        )
+    # ---- Phase 3: best routes flow down to customers -------------------
+    # Seeds: every unsettled customer of any settled holder; in-phase
+    # expansion chains through customer and sibling links.
+    with _phase_span(2, _PHASE_BATCHED, destination):
+        phase3 = _run_waves(
+            off, adj, n, settled, parent, depth,
+            seeds=_seed_edges(off, adj, n, settled, depth, 0, 1),
+            expand_segs=((0, 1), (3, 4)),
+            frontier=_np.empty(0, dtype=_np.int64), wave=0,
+        )
+
+    # ---- translate to ASN space, in the scalar kernel's dict order ----
+    # Composite adoption arrays are ascending, i.e. destination-slot
+    # major: one searchsorted per wave splits it into per-slot spans, and
+    # each span's nodes are ascending — the scalar pop order.  Paths
+    # build by prepending to the parent's finished tuple (parents always
+    # settle in an earlier wave), routes through the trusted constructor.
+    asn_np = _np.asarray(snapshot.asns, dtype=_np.int64)
+    bases = _np.arange(slots + 1, dtype=_np.int64) * n
+    levels = []
+    for waves, cls in (
+        (phase1, RouteClass.CUSTOMER),
+        (phase2, RouteClass.PEER),
+        (phase3, RouteClass.PROVIDER),
+    ):
+        for t_c in waves:
+            v = t_c % n
+            levels.append((
+                cls,
+                asn_np[v].tolist(),
+                v.tolist(),
+                parent[t_c].tolist(),
+                _np.searchsorted(t_c, bases).tolist(),
+            ))
+    asns = snapshot.asns
+    new = Route.__new__
+    set_field = object.__setattr__
+    tables: List[Dict[int, Route]] = []
+    for slot in range(slots):
+        dasn = asns[dest_indices[slot]]
+        paths: List[Optional[Tuple[int, ...]]] = [None] * n
+        paths[dest_indices[slot]] = (dasn,)
+        best: Dict[int, Route] = {dasn: Route((dasn,), RouteClass.ORIGIN)}
+        for cls, a_l, v_l, pv_l, bounds in levels:
+            lo = bounds[slot]
+            hi = bounds[slot + 1]
+            if lo == hi:
+                continue
+            for a, v, pv in zip(a_l[lo:hi], v_l[lo:hi], pv_l[lo:hi]):
+                path = (a,) + paths[pv]
+                paths[v] = path
+                route = new(Route)
+                set_field(route, "path", path)
+                set_field(route, "route_class", cls)
+                best[a] = route
+        tables.append(best)
+    _TABLES_FULL.inc(slots)
+    return tables
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+
+def settle_batched(
+    snapshot,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> Dict[int, Route]:
+    """Settle the stable state for ``destination`` in frontier waves.
+
+    Byte-equal to :func:`repro.bgp.routing.compute_routes_snapshot`
+    (values *and* dict insertion order).  Pinned requests delegate to the
+    scalar kernel — the registry dispatcher already reroutes them, this
+    keeps direct calls (the oracle enumerates backends) correct too.
+    """
+    if pinned:
+        return compute_routes_snapshot(snapshot, destination, pinned)
+    if _np is None:
+        raise KernelError(
+            "the batched kernel requires numpy — install the [accel] "
+            "extra or select --kernel scalar"
+        )
+    dest = snapshot.index_of(destination)
+    with _TRACER.span("compute_routes_batched", destination=destination):
+        return _settle_chunk(snapshot, (dest,))[0]
+
+
+def settle_many(
+    snapshot,
+    destinations: Iterable[int],
+) -> Dict[int, Dict[int, Route]]:
+    """Settle many destinations in chunked composite waves.
+
+    The sweep entry point (``compute_many``'s serial fan-out, the
+    benchmarks): destinations share each wave's numpy dispatch cost, so
+    the per-table overhead of the vectorized kernel amortizes to nearly
+    nothing.  Returns ``{destination: best}`` with duplicates computed
+    once; each table is byte-equal to the scalar kernel's.
+    """
+    if _np is None:
+        raise KernelError(
+            "the batched kernel requires numpy — install the [accel] "
+            "extra or select --kernel scalar"
+        )
+    unique: List[int] = []
+    seen = set()
+    for destination in destinations:
+        if destination not in seen:
+            seen.add(destination)
+            unique.append(destination)
+    indices = [snapshot.index_of(d) for d in unique]
+    chunk = max(1, _CHUNK_ENTRIES // max(snapshot.n, 1))
+    out: Dict[int, Dict[int, Route]] = {}
+    with _TRACER.span("settle_many", destinations=len(unique)):
+        for start in range(0, len(indices), chunk):
+            part = indices[start:start + chunk]
+            for destination, best in zip(
+                unique[start:start + chunk],
+                _settle_chunk(snapshot, part),
+            ):
+                out[destination] = best
+    return out
+
+
+BACKEND = register(
+    KernelBackend(
+        name="batched",
+        settle=settle_batched,
+        settle_many=settle_many,
+        description=(
+            "Vectorized frontier-wave settling over the CSR arrays, "
+            "batching whole destination sweeps (numpy; pinned requests "
+            "delegate to scalar)"
+        ),
+        pinned=False,
+        pool=True,
+        incremental=False,
+        requires=("numpy",),
+        available=numpy_available,
+    )
+)

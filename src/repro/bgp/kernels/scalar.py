@@ -1,0 +1,44 @@
+"""The scalar kernel backend — the index-space heap settling.
+
+A thin registry adapter around
+:func:`repro.bgp.routing.compute_routes_snapshot`: the production settling
+kernel that PR 5 landed keeps living in :mod:`repro.bgp.routing` (it is
+also the seed of incremental recomputation there); this module only gives
+it a registry identity and its capability flags.  It is the default
+backend, the fallback for unavailable ones, and the backend pinned-route
+requests are rerouted to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..route import Route
+from ..routing import compute_routes_snapshot
+from . import KernelBackend, register
+
+__all__ = ["BACKEND", "settle_scalar"]
+
+
+def settle_scalar(
+    snapshot,
+    destination: int,
+    pinned: Optional[Dict[int, Route]] = None,
+) -> Dict[int, Route]:
+    """Settle via the index-space heap kernel (the historical behaviour)."""
+    return compute_routes_snapshot(snapshot, destination, pinned)
+
+
+BACKEND = register(
+    KernelBackend(
+        name="scalar",
+        settle=settle_scalar,
+        description=(
+            "Index-space heap settling over the CSR snapshot "
+            "(pure Python, no dependencies)"
+        ),
+        pinned=True,
+        pool=True,
+        incremental=True,
+    )
+)

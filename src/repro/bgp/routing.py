@@ -245,18 +245,23 @@ def compute_routes(
     selects normally.  Pinned routes must be held by the given AS and
     target ``destination``.
 
-    This is the graph-level front door of the snapshot kernel: it settles
-    on ``graph.snapshot()`` in index space
-    (:func:`compute_routes_snapshot`) and wraps the translated result —
-    byte-identical to the legacy walk, which survives as
+    This is the graph-level front door of the kernel registry: it settles
+    on ``graph.snapshot()`` through whichever backend is selected
+    (:func:`repro.bgp.kernels.settle` — ``--kernel`` / ``REPRO_KERNEL`` /
+    the scalar default) and wraps the translated result — byte-identical
+    to the legacy walk, which survives as
     :func:`compute_routes_reference` for the differential oracle.
     """
     if destination not in graph:
         raise UnknownASError(destination)
     pinned = dict(pinned or {})
     snapshot = graph.snapshot()
+    # Late import: repro.bgp.kernels initializes after this module (its
+    # backends adapt the settling implementations defined here).
+    from .kernels import settle
+
     try:
-        best = compute_routes_snapshot(snapshot, destination, pinned)
+        best = settle(snapshot, destination, pinned)
     except UnknownASError:
         # A pinned path references an AS outside the current topology —
         # representable in the legacy walk (pinned routes pass through
@@ -675,6 +680,20 @@ def recompute_routes(
             _FALLBACKS_TOTAL.labels(reason="unbounded").inc()
             return compute_routes(graph, destination)
     _AFFECTED_SIZE.observe(len(affected))
+
+    # The frontier relaxation below is scalar work proportional to the
+    # affected region.  When the active kernel backend cannot seed from
+    # old tables (no ``incremental`` capability — e.g. the batched wave
+    # kernel) a large region loses the incremental advantage, and a full
+    # settle on that backend is the faster *and* representative path.
+    # Small regions stay incremental regardless: they are cheap either
+    # way, and unaffected routes are then reused verbatim.
+    if len(affected) >= 64 and len(affected) * 4 >= len(graph):
+        from .kernels import active as _active_kernel
+
+        if not _active_kernel().incremental:
+            _FALLBACKS_TOTAL.labels(reason="kernel_not_incremental").inc()
+            return compute_routes(graph, destination)
 
     # Frontier discovery, expansion, and the boundary-stability check all
     # enumerate neighbourhoods of the *current* graph state.  When a hot

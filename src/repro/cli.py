@@ -32,6 +32,7 @@ import pickle
 import sys
 from typing import List, Optional
 
+from .bgp import kernels
 from .errors import ReproError
 from .miro import ExportPolicy, miro_attempt, single_path_attempt
 from .obs import configure_logging, get_registry, get_tracer
@@ -52,6 +53,16 @@ def _add_topology_args(
     parser.add_argument(
         "--topology", metavar="FILE",
         help="load a CAIDA-format topology instead of generating one",
+    )
+
+
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", choices=kernels.kernel_names(), default=None,
+        help="settling kernel backend for route computation "
+             f"(default: ${kernels.KERNEL_ENV_VAR} or "
+             f"{kernels.DEFAULT_KERNEL}; unavailable backends fall "
+             "back to scalar)",
     )
 
 
@@ -114,6 +125,9 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     print(f"snapshot:           {snapshot.n} indices, "
           f"{snapshot.num_directed_edges} directed edges, "
           f"{len(pickle.dumps(snapshot))} pickled bytes")
+    available = ", ".join(kernels.kernel_names(available_only=True))
+    print(f"kernel:             {kernels.active().name} "
+          f"(available: {available})")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(dump_topology(graph))
@@ -483,6 +497,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.format == "json":
         payload = json.dumps(
             {
+                "kernel": kernels.describe(),
                 "metrics": registry.snapshot(),
                 "session_stats": session.stats.to_dict(),
             },
@@ -491,7 +506,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     elif args.format == "prom":
         payload = registry.render_prometheus()
     else:
-        payload = session.stats.render() + "\n\n" + registry.render_text()
+        payload = (
+            f"active kernel: {kernels.active().name}\n\n"
+            + session.stats.render() + "\n\n" + registry.render_text()
+        )
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(payload + "\n")
@@ -511,12 +529,14 @@ def build_parser() -> argparse.ArgumentParser:
     topology = sub.add_parser("topology", help="generate/inspect a topology")
     _add_topology_args(topology)
     _add_obs_args(topology)
+    _add_kernel_args(topology)
     topology.add_argument("--out", help="dump CAIDA-format topology here")
     topology.set_defaults(func=_cmd_topology)
 
     route = sub.add_parser("route", help="compute BGP routes")
     _add_topology_args(route)
     _add_obs_args(route)
+    _add_kernel_args(route)
     _add_session_args(route)
     route.add_argument("--destination", type=int, required=True)
     route.add_argument("--source", type=int)
@@ -527,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     avoid = sub.add_parser("avoid", help="avoid-an-AS application")
     _add_topology_args(avoid)
     _add_obs_args(avoid)
+    _add_kernel_args(avoid)
     _add_session_args(avoid)
     avoid.add_argument("--source", type=int, required=True)
     avoid.add_argument("--destination", type=int, required=True)
@@ -540,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a result")
     _add_topology_args(experiment)
     _add_obs_args(experiment)
+    _add_kernel_args(experiment)
     _add_session_args(experiment)
     experiment.add_argument(
         "which",
@@ -559,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_topology_args(failures)
     _add_obs_args(failures)
+    _add_kernel_args(failures)
     _add_session_args(failures)
     failures.add_argument("--events", type=int, default=12,
                           help="failure events to sample (default 12)")
@@ -576,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_topology_args(verify, default_profile="verify-500")
     _add_obs_args(verify)
+    _add_kernel_args(verify)
     verify.add_argument("--campaigns", type=int, default=25,
                         help="fault-injection campaigns to run (default 25)")
     verify.add_argument("--events", type=int, default=8,
@@ -649,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_topology_args(stats)
     _add_obs_args(stats)
+    _add_kernel_args(stats)
     stats.add_argument("--parallel", choices=["auto", "on", "off"],
                        default="auto",
                        help="route-table fan-out (default: auto)")
@@ -672,12 +697,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer.enable()
     if getattr(args, "log_level", None):
         configure_logging(args.log_level)
+    # --kernel installs the process-wide backend override for the run;
+    # restored afterwards so embedding callers (tests) are unaffected.
+    previous_kernel = kernels.set_active(getattr(args, "kernel", None)) \
+        if getattr(args, "kernel", None) else None
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if getattr(args, "kernel", None):
+            kernels.set_active(previous_kernel)
         if trace_path:
             tracer.write(trace_path)
             tracer.disable()

@@ -31,6 +31,10 @@ class RoutingError(ReproError):
     """Route computation failed or was queried inconsistently."""
 
 
+class KernelError(RoutingError):
+    """Kernel-backend registry misuse (unknown backend, bad registration)."""
+
+
 class SessionError(ReproError):
     """Simulation-session misuse (e.g. a session bound to another graph)."""
 

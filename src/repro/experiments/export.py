@@ -154,6 +154,9 @@ def export_results(
             max_push_path_length=5, session=session,
         )),
     }
+    from ..bgp import kernels
+
+    document["kernel"] = kernels.describe()
     document["session_stats"] = session.stats.to_dict()
     document["metrics"] = get_registry().snapshot()
     if path is not None:

@@ -32,11 +32,15 @@ what route computation actually cost.
   pool cannot start.  What ships to each worker is not the mutable
   :class:`~repro.topology.graph.ASGraph` but its frozen
   :class:`~repro.topology.snapshot.TopologySnapshot` — a fraction of the
-  pickle bytes (flat int arrays instead of dict-of-dicts), and all the
-  snapshot kernel (:func:`repro.bgp.routing.compute_routes_snapshot`)
-  needs on the far side.  Ship size and serialization time land in the
-  ``repro_session_pool_ship_*`` histograms.  Results come back in
-  deterministic input order regardless of completion order.
+  pickle bytes (flat int arrays instead of dict-of-dicts), and all a
+  kernel backend (:mod:`repro.bgp.kernels`) needs on the far side; the
+  active backend's name ships along, so workers settle on the same
+  kernel as the parent.  A serial fan-out batches its uncached unpinned
+  destinations through the backend's sweep entry point
+  (:func:`repro.bgp.kernels.settle_many`) instead of looping.  Ship size
+  and serialization time land in the ``repro_session_pool_ship_*``
+  histograms.  Results come back in deterministic input order regardless
+  of completion order.
 
 * **Telemetry.**  :class:`SessionStats` counts cache hits/misses, tables
   computed, fan-outs, wall-clock time, and the peak number of cached
@@ -55,15 +59,15 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from . import obs
+from .bgp import kernels
 from .bgp.route import Route
 from .bgp.routing import (
     RoutingTable,
     affected_ases,
     compute_routes,
-    compute_routes_snapshot,
     recompute_routes,
 )
-from .errors import ReproError, SessionError, UnknownASError
+from .errors import KernelError, ReproError, SessionError, UnknownASError
 from .obs import DEFAULT_BYTE_BUCKETS, get_logger, get_registry, get_tracer
 from .topology.graph import ASGraph
 from .topology.snapshot import TopologySnapshot
@@ -338,13 +342,17 @@ class RouteTableCache:
 # with the worker's pid).
 # ----------------------------------------------------------------------
 _WORKER_SNAPSHOT: Optional[TopologySnapshot] = None
+_WORKER_KERNEL: str = kernels.DEFAULT_KERNEL
 
 
 def _pool_init(
-    snapshot: TopologySnapshot, obs_state: Tuple[bool, float]
+    snapshot: TopologySnapshot,
+    obs_state: Tuple[bool, float],
+    kernel: str = kernels.DEFAULT_KERNEL,
 ) -> None:
-    global _WORKER_SNAPSHOT
+    global _WORKER_SNAPSHOT, _WORKER_KERNEL
     _WORKER_SNAPSHOT = snapshot
+    _WORKER_KERNEL = kernel
     obs.configure_worker(obs_state)
 
 
@@ -354,14 +362,16 @@ def _pool_compute(
     destination, pinned_items = job
     pinned = dict(pinned_items) if pinned_items else None
     try:
-        best = compute_routes_snapshot(
-            _WORKER_SNAPSHOT, destination, pinned=pinned
+        best = kernels.settle(
+            _WORKER_SNAPSHOT, destination, pinned=pinned,
+            kernel=_WORKER_KERNEL,
         )
-    except UnknownASError:
-        # Not representable in index space (a pinned path referencing an
-        # AS outside the snapshot, or a destination the parent will reject
-        # anyway): hand the job back for the parent's serial path, which
-        # falls back to the legacy walk — or raises the right error.
+    except (UnknownASError, KernelError):
+        # Not settleable on this side (a pinned path referencing an AS
+        # outside the snapshot, a destination the parent will reject
+        # anyway, or the shipped kernel missing its optional dependency
+        # in the worker): hand the job back for the parent's serial path,
+        # which falls back to the legacy walk — or raises the right error.
         best = None
     # ship only the selected-route mapping back; the parent re-wraps it
     # around its own graph object (no graph on this side at all)
@@ -568,8 +578,23 @@ class SimulationSession:
                 policy = self._parallel if parallel is None else parallel
                 if self._use_pool(policy, len(misses)):
                     used_pool = self._fanout_pool(misses, pinned, tables)
-                for destination in misses:
-                    if destination not in tables:
+                remaining = [d for d in misses if d not in tables]
+                if remaining and pinned is None:
+                    # Unpinned remainder: sweep it through the active
+                    # kernel backend in one batch — backends with a
+                    # settle_many entry point (the batched wave kernel)
+                    # amortize their per-wave cost over the whole sweep.
+                    swept = kernels.settle_many(
+                        self._graph.snapshot(), remaining
+                    )
+                    for destination in remaining:
+                        table = RoutingTable(
+                            self._graph, destination, swept[destination]
+                        )
+                        self._cache.put(self._key(destination, None), table)
+                        tables[destination] = table
+                else:
+                    for destination in remaining:
                         table = compute_routes(
                             self._graph, destination, pinned=pinned
                         )
@@ -635,11 +660,15 @@ class SimulationSession:
             return False
         _POOL_SHIP_SECONDS.observe(time.perf_counter() - ship_start)
         _POOL_SHIP_BYTES.observe(ship_bytes)
+        # Workers settle on the parent's active backend — unless it opts
+        # out of pool use, in which case they run the scalar default.
+        backend = kernels.resolve()
+        kernel = backend.name if backend.pool else kernels.DEFAULT_KERNEL
         try:
             pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_pool_init,
-                initargs=(snapshot, obs.worker_state()),
+                initargs=(snapshot, obs.worker_state(), kernel),
             )
         except Exception:
             return False

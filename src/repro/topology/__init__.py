@@ -18,6 +18,7 @@ from .generator import (
     GAO_2000,
     GAO_2003,
     GAO_2005,
+    INTERNET_10K,
     PROFILES,
     SMALL,
     TINY,
@@ -69,6 +70,7 @@ __all__ = [
     "APRIL_2009",
     "SMALL",
     "TINY",
+    "INTERNET_10K",
     "infer_gao",
     "infer_agarwal",
     "inference_accuracy",

@@ -304,9 +304,10 @@ class AppliedDelta:
 
         The bridge from the journal's ASN-keyed change record to the
         int-indexed hot-path representation: what an index-space consumer
-        (the snapshot kernel's incremental seeding, a future sharded
-        recompute) treats as the re-settling frontier.  See
-        :func:`changed_link_indices` for the mapping rules.
+        (a kernel backend's incremental seeding — see
+        :mod:`repro.bgp.kernels` and the ``incremental`` capability flag —
+        or a future sharded recompute) treats as the re-settling
+        frontier.  See :func:`changed_link_indices` for the mapping rules.
         """
         return changed_link_indices(snapshot, self.changed_links)
 

@@ -104,11 +104,19 @@ VERIFY_500 = TopologyProfile(
     tier3_fraction=0.22, peer_fraction=0.08, sibling_fraction=0.014,
 )
 
+#: Scaling profile for the kernel benchmarks: an internet-sized AS count
+#: (between the 2005/2009 measured snapshots) where the per-table cost of
+#: the settling kernels separates cleanly from fixed overheads.
+INTERNET_10K = TopologyProfile(
+    "internet-10k", n_ases=10_000, n_tier1=14, tier2_fraction=0.10,
+    tier3_fraction=0.24, peer_fraction=0.095, sibling_fraction=0.016,
+)
+
 PROFILES: Dict[str, TopologyProfile] = {
     p.name: p
     for p in (
         GAO_2000, GAO_2003, GAO_2005, AGARWAL_2004, APRIL_2009, SMALL, TINY,
-        VERIFY_500,
+        VERIFY_500, INTERNET_10K,
     )
 }
 

@@ -96,6 +96,8 @@ class TopologySnapshot:
         "_down_asn",
         "_off_list",
         "_adj_list",
+        "_np_off",
+        "_np_adj",
     )
 
     def __init__(
@@ -123,6 +125,8 @@ class TopologySnapshot:
         self._down_asn: Dict[int, Tuple[int, ...]] = {}
         self._off_list: Optional[list] = None
         self._adj_list: Optional[list] = None
+        self._np_off = None
+        self._np_adj = None
 
     # ------------------------------------------------------------------
     # construction
@@ -224,6 +228,22 @@ class TopologySnapshot:
             self._off_list = self.cls_off.tolist()
             self._adj_list = self.cls_adj.tolist()
         return self._off_list, self._adj_list
+
+    def class_arrays(self):
+        """``(cls_off, cls_adj)`` as int64 numpy arrays, shared per snapshot.
+
+        The batched settling kernel's view of the same per-class CSR
+        layout :meth:`class_lists` exposes: int64 so frontier-wave index
+        arithmetic (``target * n + parent`` composites) cannot overflow.
+        Only called by numpy-requiring backends, so the import is local —
+        the snapshot itself stays dependency-free.
+        """
+        if self._np_off is None:
+            import numpy
+
+            self._np_off = numpy.asarray(self.cls_off, dtype=numpy.int64)
+            self._np_adj = numpy.asarray(self.cls_adj, dtype=numpy.int64)
+        return self._np_off, self._np_adj
 
     # ------------------------------------------------------------------
     # ASN-level accessors (allocation-free after first use per node).

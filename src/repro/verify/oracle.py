@@ -1,9 +1,9 @@
 """Differential oracle: all route-computation paths must agree.
 
-The repo produces a routing table five ways — the snapshot kernel
-:func:`~repro.bgp.routing.compute_routes` (index-space settling on a
-frozen :class:`~repro.topology.snapshot.TopologySnapshot`), the legacy
-dict walk :func:`~repro.bgp.routing.compute_routes_reference`,
+The repo produces a routing table many ways — every kernel backend
+registered in :mod:`repro.bgp.kernels` (the scalar index-space settling,
+the vectorized batched wave kernel, anything a test registers), the
+legacy dict walk :func:`~repro.bgp.routing.compute_routes_reference`,
 incremental :func:`~repro.bgp.routing.recompute_routes` from a
 pre-mutation table, :class:`~repro.session.SimulationSession` serial
 (cache + derivation), and the session's process-pool fan-out.  The
@@ -11,6 +11,11 @@ paper's numbers are only credible if they are interchangeable, so the
 oracle computes every destination via every path and reports the first
 divergence as a concrete ``(mode, destination, asn, expected, actual)``
 tuple.
+
+The kernel paths are **enumerated from the registry**, not hand-listed:
+registering a backend automatically subjects it to every fault campaign
+the oracle drives (mode ``kernel:<name>``), which is the registry's
+byte-equality contract being enforced rather than assumed.
 
 The legacy dict walk is the reference: it is the direct transcription of
 the three-phase stable-state construction, shares no hot-path code with
@@ -24,9 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..bgp import kernels
 from ..bgp.routing import (
     RoutingTable,
-    compute_routes,
     compute_routes_reference,
     recompute_routes,
 )
@@ -159,16 +164,26 @@ class DifferentialOracle:
             pool_tables = pool_session.compute_many(
                 self.destinations, parallel=True
             )
+        snapshot = self.graph.snapshot()
         for destination in self.destinations:
             reference = compute_routes_reference(self.graph, destination)
             references[destination] = reference
-            # the production path first: the index-space snapshot kernel
-            # against the legacy dict walk it must reproduce byte for byte
-            found = first_divergence(
-                reference,
-                compute_routes(self.graph, destination),
-                "snapshot-kernel",
-            )
+            # the production paths first: every available kernel backend
+            # against the legacy dict walk it must reproduce byte for
+            # byte — enumerated from the registry, so a newly registered
+            # backend is under the oracle without touching this file
+            found = None
+            for backend in kernels.backends(available_only=True):
+                candidate = RoutingTable(
+                    self.graph, destination,
+                    kernels.settle(snapshot, destination,
+                                   kernel=backend.name),
+                )
+                found = first_divergence(
+                    reference, candidate, f"kernel:{backend.name}"
+                )
+                if found is not None:
+                    break
             if found is None:
                 found = first_divergence(
                     reference, serial[destination], "session-serial"

@@ -605,6 +605,9 @@ class TestCrossExperimentSharing:
         assert stats["tables_computed"] > 0
         assert stats["hits"] > 0
         assert 0.0 < stats["hit_rate"] <= 1.0
+        kernel = document["kernel"]
+        assert kernel["active"] in {b["name"] for b in kernel["backends"]}
+        assert kernel["default"] == "scalar"
 
 
 class TestCliStats:
