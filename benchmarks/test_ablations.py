@@ -54,7 +54,9 @@ class TestClosedFormVsSimulator:
 
 
 class TestContactOrderAblation:
-    def test_near_first_contacts_fewer_or_equal(self, benchmark, gao_2005):
+    def test_near_first_contacts_fewer_or_equal(
+        self, benchmark, gao_2005, bench_report
+    ):
         def run(order):
             return run_negotiation_state(
                 gao_2005, n_destinations=6, sources_per_destination=10,
@@ -78,6 +80,15 @@ class TestContactOrderAblation:
             ["Policy", "AS#/tuple near-first", "AS#/tuple far-first"],
             rows, title="Ablation: negotiation contact order",
         ))
+
+        bench_report.record(
+            "near_first_ases_per_tuple", near[0].ases_per_tuple, "ases",
+            topology="gao-2005", topology_size=len(gao_2005),
+        )
+        bench_report.record(
+            "far_first_ases_per_tuple", far[0].ases_per_tuple, "ases",
+            topology="gao-2005", topology_size=len(gao_2005),
+        )
 
         # success is order-independent; contact cost differs
         for near_row, far_row in zip(near, far):

@@ -14,11 +14,11 @@ the internet-10k scaling profile:
   checked here and enforced in full by the differential oracle's
   registry enumeration.
 
-Emits a ``BATCHED-KERNEL-BENCH {json}`` line the CI workflow archives
-with the other benchmark artifacts.
+The headline timings land in the unified bench trajectory via
+``bench_report`` (suite ``batched_kernel``), which the CI bench gate
+compares across commits.
 """
 
-import json
 import time
 
 import pytest
@@ -64,7 +64,7 @@ def _assert_byte_equal(scalar_tables, batched_tables, destinations):
             assert got.route_class is route.route_class, (destination, asn)
 
 
-def test_batched_kernel_speedup_verify500():
+def test_batched_kernel_speedup_verify500(bench_report):
     graph = generate_named("verify-500", seed=0)
     snapshot = graph.snapshot()
     destinations = list(graph.ases)
@@ -103,25 +103,32 @@ def test_batched_kernel_speedup_verify500():
         sample[::5],
     )
 
+    big_speedup = (
+        big_scalar_seconds / big_batched_seconds if big_batched_seconds
+        else 0.0
+    )
+    size = len(graph)
+    bench_report.record("scalar_sweep_seconds", scalar_seconds, "seconds",
+                        topology="verify-500", topology_size=size)
+    bench_report.record("batched_sweep_seconds", batched_seconds, "seconds",
+                        gate=True, topology="verify-500", topology_size=size)
+    bench_report.record("scalar_settle_seconds", scalar_phase, "seconds",
+                        topology="verify-500", topology_size=size)
+    bench_report.record("batched_settle_seconds", batched_phase, "seconds",
+                        gate=True, topology="verify-500", topology_size=size)
+    bench_report.record("settle_speedup", settle_speedup, "x",
+                        better="higher")
+    bench_report.record("sweep_speedup", sweep_speedup, "x", better="higher")
+    bench_report.record("internet_10k_batched_sweep_seconds",
+                        big_batched_seconds, "seconds",
+                        topology="internet-10k", topology_size=len(big))
+    bench_report.record("internet_10k_sweep_speedup", big_speedup, "x",
+                        better="higher")
     results = {
-        "profile": "verify-500",
-        "destinations": len(destinations),
-        "scalar_sweep_seconds": round(scalar_seconds, 4),
-        "batched_sweep_seconds": round(batched_seconds, 4),
-        "sweep_speedup": round(sweep_speedup, 2),
-        "scalar_settle_seconds": round(scalar_phase, 4),
-        "batched_settle_seconds": round(batched_phase, 4),
-        "settle_speedup": round(settle_speedup, 2),
-        "internet_10k": {
-            "destinations": len(big_destinations),
-            "scalar_sweep_seconds_est": round(big_scalar_seconds, 4),
-            "batched_sweep_seconds": round(big_batched_seconds, 4),
-            "sweep_speedup": round(
-                big_scalar_seconds / big_batched_seconds, 2
-            ) if big_batched_seconds else 0.0,
-        },
+        "settle_speedup": settle_speedup,
+        "sweep_speedup": sweep_speedup,
+        "internet_10k_sweep_speedup": big_speedup,
     }
-    print("BATCHED-KERNEL-BENCH", json.dumps(results))
 
     # The settling phases — what the vectorization replaces — must carry
     # the headline factor; the end-to-end sweep shares the byte-equal
@@ -129,4 +136,4 @@ def test_batched_kernel_speedup_verify500():
     # looser by design (generous margins: CI machines are noisy).
     assert settle_speedup >= 5.0, results
     assert sweep_speedup >= 1.5, results
-    assert results["internet_10k"]["sweep_speedup"] >= 1.5, results
+    assert big_speedup >= 1.5, results

@@ -5,11 +5,10 @@ sustain a healthy events/second rate (the churn experiments lean on
 it for thousands of timer and delta dispatches), and running the
 convergence simulator through the event engine in its synchronous
 compatibility mode must cost no more than a generous multiple of the
-plain round loop it replicates.  Both figures are emitted as a JSON
-blob for trend tracking in CI.
+plain round loop it replicates.  Both figures land in the unified bench
+trajectory via ``bench_report``.
 """
 
-import json
 import time
 
 from repro.convergence import GuidelineMode, fig_7_1_system, fig_7_2_system
@@ -21,7 +20,7 @@ EQUIVALENCE_RATIO_BOUND = 25.0  # event overhead allowance vs. round loop
 N_EQUIVALENCE_RUNS = 50
 
 
-def test_scheduler_throughput(benchmark):
+def test_scheduler_throughput(benchmark, bench_report):
     def pump():
         scheduler = EventScheduler()
         scheduler.register("tick", lambda event: None)
@@ -36,17 +35,14 @@ def test_scheduler_throughput(benchmark):
     elapsed = benchmark.pedantic(pump, rounds=1, iterations=1)
     events_per_second = N_EVENTS / elapsed if elapsed else float("inf")
 
-    print()
-    print("EVENT-ENGINE-BENCH " + json.dumps({
-        "n_events": N_EVENTS,
-        "dispatch_seconds": round(elapsed, 6),
-        "events_per_second": round(events_per_second, 2),
-    }))
+    bench_report.record("dispatch_seconds", elapsed, "seconds")
+    bench_report.record("events_per_second", events_per_second, "events/s",
+                        better="higher", gate=True)
 
     assert events_per_second >= MIN_EVENTS_PER_SECOND
 
 
-def test_round_event_equivalence_cost(benchmark):
+def test_round_event_equivalence_cost(benchmark, bench_report):
     systems = [
         (factory, mode)
         for factory in (fig_7_1_system, fig_7_2_system)
@@ -69,15 +65,11 @@ def test_round_event_equivalence_cost(benchmark):
     round_seconds, event_seconds = benchmark.pedantic(
         sweep, rounds=1, iterations=1
     )
-    ratio = event_seconds / round_seconds if round_seconds else None
+    ratio = event_seconds / round_seconds if round_seconds else 0.0
 
-    print()
-    print("ROUND-EVENT-EQUIVALENCE-BENCH " + json.dumps({
-        "runs": N_EQUIVALENCE_RUNS * len(systems),
-        "round_seconds": round(round_seconds, 6),
-        "event_seconds": round(event_seconds, 6),
-        "event_over_round_ratio": round(ratio, 3) if ratio else None,
-    }))
+    bench_report.record("round_seconds", round_seconds, "seconds")
+    bench_report.record("event_seconds", event_seconds, "seconds")
+    bench_report.record("event_over_round_ratio", ratio, "x")
 
     # the event engine replays the same sweeps through a heap; allow a
     # generous constant factor but catch pathological regressions

@@ -54,7 +54,7 @@ def test_multihop_negotiation_gain(benchmark, gao_2005):
     assert flexible.gain < 0.35
 
 
-def test_valley_free_source_routing_ceiling(benchmark, gao_2005):
+def test_valley_free_source_routing_ceiling(benchmark, gao_2005, bench_report):
     def run():
         return valley_free_source_routing_rate(
             gao_2005, n_destinations=8, sources_per_destination=10, seed=31,
@@ -76,6 +76,10 @@ def test_valley_free_source_routing_ceiling(benchmark, gao_2005):
         ],
         title="Extension: the policy-compliant ceiling",
     ))
+
+    bench_report.record("valley_free_success_rate", valley_free, "ratio",
+                        better="higher",
+                        topology="gao-2005", topology_size=len(gao_2005))
 
     # the sandwich: MIRO/a <= valley-free SR <= unrestricted SR
     assert rates.multi_flexible <= valley_free + 1e-9

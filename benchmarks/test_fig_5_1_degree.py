@@ -49,7 +49,7 @@ def test_fig_5_1(benchmark, datasets):
         assert heavy_tail_summary(graph)["top1pct_link_share"] > 0.05
 
 
-def test_path_lengths_match_paper(benchmark, gao_2005):
+def test_path_lengths_match_paper(benchmark, gao_2005, bench_report):
     """§7.4: 'the observed average AS path length is only 4'."""
     stats = benchmark.pedantic(
         path_length_stats, args=(gao_2005,),
@@ -58,4 +58,6 @@ def test_path_lengths_match_paper(benchmark, gao_2005):
     print(f"\nmean AS-path length: {stats.mean:.2f} "
           f"(max {stats.max_length}, <=4 hops: "
           f"{stats.fraction_at_most(4):.0%})")
+    bench_report.record("mean_path_length", stats.mean, "hops",
+                        topology="gao-2005", topology_size=len(gao_2005))
     assert 3.0 < stats.mean < 5.0

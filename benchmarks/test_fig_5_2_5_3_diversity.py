@@ -18,7 +18,7 @@ from repro.experiments import render_table, run_diversity
 
 
 @pytest.mark.parametrize("name", ["Gao 2005", "Agarwal 2004"])
-def test_fig_5_2_5_3(benchmark, datasets, name):
+def test_fig_5_2_5_3(benchmark, datasets, name, bench_report):
     graph = datasets[name]
 
     def run():
@@ -44,6 +44,13 @@ def test_fig_5_2_5_3(benchmark, datasets, name):
         rows,
         title=f"Fig 5.2/5.3: Number of available routes ({name})",
     ))
+
+    slug = name.lower().replace(" ", "_")
+    bench_report.record(
+        f"{slug}_no_alternate_fraction",
+        series["1-hop/s"].fraction_no_alternate, "ratio",
+        topology=name, topology_size=len(graph),
+    )
 
     # only a small fraction of pairs are stuck with the default route
     assert series["1-hop/s"].fraction_no_alternate < 0.25

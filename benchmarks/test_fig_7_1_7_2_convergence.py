@@ -15,7 +15,7 @@ from repro.experiments import (
 from repro.topology import TINY
 
 
-def test_fig_7_1_7_2_counterexamples(benchmark):
+def test_fig_7_1_7_2_counterexamples(benchmark, bench_report):
     outcomes = benchmark.pedantic(
         run_counterexamples, kwargs={"max_rounds": 100}, rounds=1, iterations=1
     )
@@ -29,6 +29,11 @@ def test_fig_7_1_7_2_counterexamples(benchmark):
         ],
         title="Fig 7.1/7.2: Counterexamples under each guideline",
     ))
+
+    converged_rounds = [o.rounds for o in outcomes if o.converged]
+    bench_report.record(
+        "max_converged_rounds", max(converged_rounds), "rounds",
+    )
 
     by_key = {(o.figure, o.mode): o for o in outcomes}
     for figure in ("7.1", "7.2"):

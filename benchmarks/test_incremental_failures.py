@@ -5,10 +5,9 @@ A link failure invalidates only the routes that traversed it, so
 whole table.  This benchmark samples single-link failures on the Gao
 2005 data set and times both strategies per event; the incremental path
 must be at least 5x faster in aggregate.  Events/second and the mean
-affected-set fraction are emitted as a JSON blob for trend tracking.
+affected-set fraction land in the unified bench trajectory.
 """
 
-import json
 import random
 import time
 
@@ -21,7 +20,9 @@ N_EVENTS = 25
 SEED = 42
 
 
-def test_incremental_beats_full_on_single_link_failures(benchmark, gao_2005):
+def test_incremental_beats_full_on_single_link_failures(
+    benchmark, gao_2005, bench_report
+):
     graph = gao_2005
     destination = graph.ases[0]
     before = compute_routes(graph, destination)
@@ -56,17 +57,19 @@ def test_incremental_beats_full_on_single_link_failures(benchmark, gao_2005):
     )
 
     mean_affected_fraction = affected_total / (N_EVENTS * len(graph.ases))
-    print()
-    print("INCREMENTAL-FAILURES-BENCH " + json.dumps({
-        "n_events": N_EVENTS,
-        "full_seconds": round(full_seconds, 6),
-        "incremental_seconds": round(incremental_seconds, 6),
-        "speedup": round(full_seconds / incremental_seconds, 2)
-        if incremental_seconds else None,
-        "events_per_second": round(N_EVENTS / incremental_seconds, 2)
-        if incremental_seconds else None,
-        "mean_affected_fraction": round(mean_affected_fraction, 6),
-    }))
+    size = len(graph)
+    bench_report.record("full_seconds", full_seconds, "seconds",
+                        topology="gao-2005", topology_size=size)
+    bench_report.record("incremental_seconds", incremental_seconds,
+                        "seconds", gate=True,
+                        topology="gao-2005", topology_size=size)
+    bench_report.record(
+        "speedup",
+        full_seconds / incremental_seconds if incremental_seconds else 0.0,
+        "x", better="higher",
+    )
+    bench_report.record("mean_affected_fraction", mean_affected_fraction,
+                        "ratio")
 
     # the acceptance bar: incremental at least 5x faster in aggregate
     assert incremental_seconds * 5 <= full_seconds

@@ -10,7 +10,6 @@ benchmark replays the exact per-table instrumentation sequence against a
 cost stays under 5% of it.
 """
 
-import json
 import time
 
 from repro.bgp import routing
@@ -36,7 +35,7 @@ def _instrumentation_replay(n_tables: int) -> None:
         routing._TABLES_TOTAL.labels(mode="full").inc()
 
 
-def test_disabled_instrumentation_under_5_percent(benchmark):
+def test_disabled_instrumentation_under_5_percent(benchmark, bench_report):
     graph = generate_topology(PROFILE, seed=SEED)
     assert len(graph.ases) == 500
     destinations = graph.ases[:N_TABLES]
@@ -59,14 +58,10 @@ def test_disabled_instrumentation_under_5_percent(benchmark):
     )
 
     overhead_fraction = replay_seconds / compute_seconds
-    print()
-    print("OBS-OVERHEAD-BENCH " + json.dumps({
-        "n_ases": len(graph.ases),
-        "n_tables": N_TABLES,
-        "compute_seconds": round(compute_seconds, 6),
-        "instrumentation_seconds": round(replay_seconds, 6),
-        "overhead_fraction": round(overhead_fraction, 6),
-    }))
+    bench_report.record("compute_seconds", compute_seconds, "seconds",
+                        topology="obs-bench", topology_size=len(graph.ases))
+    bench_report.record("instrumentation_seconds", replay_seconds, "seconds")
+    bench_report.record("overhead_fraction", overhead_fraction, "ratio")
     assert overhead_fraction < 0.05, (
         f"disabled instrumentation costs {overhead_fraction:.1%} of "
         f"compute_routes; the no-op path must stay under 5%"

@@ -14,7 +14,7 @@ from repro.bgp import EventDrivenBGP
 
 
 @pytest.mark.parametrize("name", ["Gao 2000", "Gao 2005"])
-def test_control_plane_overhead(benchmark, datasets, name):
+def test_control_plane_overhead(benchmark, datasets, name, bench_report):
     graph = datasets[name]
 
     def run():
@@ -33,6 +33,13 @@ def test_control_plane_overhead(benchmark, datasets, name):
               f"{comparison.n_destinations} prefixes, "
               f"{comparison.n_requests} MIRO requests)",
     ))
+
+    slug = name.lower().replace(" ", "_")
+    bench_report.record(f"{slug}_miro_overhead_fraction",
+                        comparison.miro_overhead_fraction, "ratio",
+                        topology=name, topology_size=len(graph))
+    bench_report.record(f"{slug}_push_all_blowup",
+                        comparison.push_all_blowup, "x")
 
     # push-all moves a large multiple of BGP's messages...
     assert comparison.push_all_blowup > 2.0

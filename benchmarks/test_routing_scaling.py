@@ -21,7 +21,7 @@ def _mean_time_per_destination(graph, n: int = 10) -> float:
     return (time.perf_counter() - start) / len(destinations)
 
 
-def test_routing_scales_across_datasets(benchmark, datasets):
+def test_routing_scales_across_datasets(benchmark, datasets, bench_report):
     def run():
         return {
             name: _mean_time_per_destination(graph)
@@ -41,6 +41,12 @@ def test_routing_scales_across_datasets(benchmark, datasets):
         ["Dataset", "ASes", "links", "per-destination"],
         rows, title="Routing computation scaling",
     ))
+    for name, graph in datasets.items():
+        slug = name.lower().replace(" ", "_")
+        bench_report.record(
+            f"{slug}_seconds_per_destination", times[name], "seconds",
+            topology=name, topology_size=len(graph),
+        )
 
     # milliseconds, not seconds, on every profile
     assert all(t < 0.25 for t in times.values())

@@ -5,10 +5,9 @@ for route computation once.  This benchmark quantifies that: a cold
 ``compute_many`` over 200 destinations on the Gao 2005 data set computes
 every table; the warm repeat serves all 200 from cache and must be at
 least 1.5x faster (in practice it is orders of magnitude faster).  The
-timings are also emitted as a JSON blob for trend tracking.
+timings land in the unified bench trajectory via ``bench_report``.
 """
 
-import json
 import time
 
 from repro.session import SimulationSession
@@ -16,7 +15,7 @@ from repro.session import SimulationSession
 N_DESTINATIONS = 200
 
 
-def test_warm_fanout_beats_cold(benchmark, gao_2005):
+def test_warm_fanout_beats_cold(benchmark, gao_2005, bench_report):
     destinations = gao_2005.ases[:N_DESTINATIONS]
     session = SimulationSession(gao_2005, max_cached_tables=N_DESTINATIONS)
 
@@ -33,17 +32,15 @@ def test_warm_fanout_beats_cold(benchmark, gao_2005):
     cold, warm = benchmark.pedantic(cold_then_warm, rounds=1, iterations=1)
 
     stats = session.stats
-    print()
-    print("SESSION-CACHE-BENCH " + json.dumps({
-        "n_destinations": len(destinations),
-        "cold_seconds": round(cold, 6),
-        "warm_seconds": round(warm, 6),
-        "speedup": round(cold / warm, 2) if warm else None,
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "hit_rate": round(stats.hit_rate, 4),
-        "peak_cached_tables": stats.peak_cached_tables,
-    }))
+    size = len(gao_2005)
+    bench_report.record("cold_seconds", cold, "seconds",
+                        topology="gao-2005", topology_size=size)
+    bench_report.record("warm_seconds", warm, "seconds", gate=True,
+                        topology="gao-2005", topology_size=size)
+    bench_report.record("speedup", cold / warm if warm else 0.0, "x",
+                        better="higher")
+    bench_report.record("hit_rate", stats.hit_rate, "ratio",
+                        better="higher")
 
     # every destination computed exactly once, then served from cache
     assert stats.tables_computed == len(destinations)

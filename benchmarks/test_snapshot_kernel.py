@@ -9,7 +9,6 @@ verify-500 profile the differential campaigns use:
   than the mutable graph it replaced.
 """
 
-import json
 import pickle
 import time
 
@@ -31,7 +30,9 @@ def _per_destination(fn, target, destinations):
     return (time.perf_counter() - start) / len(destinations)
 
 
-def test_snapshot_kernel_speedup_and_ship_size(benchmark, verify_graph):
+def test_snapshot_kernel_speedup_and_ship_size(
+    benchmark, verify_graph, bench_report
+):
     graph = verify_graph
     destinations = graph.ases[:: max(1, len(graph) // 12)]
     snapshot = graph.snapshot()
@@ -51,18 +52,17 @@ def test_snapshot_kernel_speedup_and_ship_size(benchmark, verify_graph):
     snapshot_bytes = len(pickle.dumps(snapshot))
     speedup = reference_s / kernel_s if kernel_s else float("inf")
 
-    print()
-    print("SNAPSHOT-KERNEL-BENCH " + json.dumps({
-        "topology": "verify-500",
-        "n_ases": len(graph),
-        "n_destinations": len(destinations),
-        "kernel_seconds_per_destination": round(kernel_s, 6),
-        "reference_seconds_per_destination": round(reference_s, 6),
-        "speedup": round(speedup, 2),
-        "graph_pickle_bytes": graph_bytes,
-        "snapshot_pickle_bytes": snapshot_bytes,
-        "ship_ratio": round(snapshot_bytes / graph_bytes, 3),
-    }))
+    bench_report.record("kernel_seconds_per_destination", kernel_s,
+                        "seconds", gate=True,
+                        topology="verify-500", topology_size=len(graph))
+    bench_report.record("reference_seconds_per_destination", reference_s,
+                        "seconds",
+                        topology="verify-500", topology_size=len(graph))
+    bench_report.record("speedup", speedup, "x", better="higher")
+    bench_report.record("snapshot_pickle_bytes", snapshot_bytes, "bytes",
+                        gate=True,
+                        topology="verify-500", topology_size=len(graph))
+    bench_report.record("ship_ratio", snapshot_bytes / graph_bytes, "ratio")
 
     # the acceptance bar: the kernel replaces the dict walk only if it is
     # decisively faster and the pool payload got smaller, not larger

@@ -7,7 +7,6 @@ capacity win, not a style choice.  Measured with :mod:`tracemalloc`
 against an unslotted control class of identical shape.
 """
 
-import json
 import tracemalloc
 from dataclasses import dataclass
 from typing import Tuple
@@ -34,7 +33,7 @@ def _allocated(factory, count):
     return after - before
 
 
-def test_slotted_route_is_smaller(benchmark):
+def test_slotted_route_is_smaller(benchmark, bench_report):
     count = 20_000
     path = (1, 2, 3, 4)
 
@@ -54,15 +53,12 @@ def test_slotted_route_is_smaller(benchmark):
     per_slotted = slotted / count
     per_unslotted = unslotted / count
 
-    print()
-    print("SNAPSHOT-MEMORY-BENCH " + json.dumps({
-        "routes_measured": count,
-        "slotted_bytes_per_route": round(per_slotted, 1),
-        "unslotted_bytes_per_route": round(per_unslotted, 1),
-        "savings_fraction": round(1 - per_slotted / per_unslotted, 3),
-        "snapshot_n": snapshot.n,
-        "snapshot_directed_edges": snapshot.num_directed_edges,
-    }))
+    bench_report.record("slotted_bytes_per_route", per_slotted, "bytes",
+                        topology="verify-500", topology_size=snapshot.n)
+    bench_report.record("unslotted_bytes_per_route", per_unslotted, "bytes")
+    bench_report.record("savings_fraction",
+                        1 - per_slotted / per_unslotted, "ratio",
+                        better="higher")
 
     # the slotted layout must actually drop the per-instance __dict__
     assert not hasattr(Route._trusted(path, RouteClass.CUSTOMER), "__dict__")

@@ -9,7 +9,7 @@ routing (~86–91%).
 from repro.experiments import DATASETS, render_table, run_success_rates
 
 
-def test_table_5_2(benchmark, datasets):
+def test_table_5_2(benchmark, datasets, bench_report):
     def run():
         return [
             run_success_rates(
@@ -27,6 +27,14 @@ def test_table_5_2(benchmark, datasets):
         [r.as_row() for r in rows],
         title="Table 5.2: Comparing the routing policies",
     ))
+
+    gao = next(r for r in rows if r.name == "Gao 2005")
+    bench_report.record("gao_2005_multi_flexible_rate",
+                        gao.multi_flexible, "ratio", better="higher",
+                        topology="gao-2005")
+    bench_report.record("gao_2005_single_path_rate",
+                        gao.single_path, "ratio", better="higher",
+                        topology="gao-2005")
 
     for rates in rows:
         assert rates.n_triples >= 50

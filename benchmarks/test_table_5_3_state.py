@@ -11,7 +11,7 @@ from repro.experiments import DATASETS, render_table, run_negotiation_state
 from repro.miro import ExportPolicy
 
 
-def test_table_5_3(benchmark, datasets):
+def test_table_5_3(benchmark, datasets, bench_report):
     def run():
         return {
             ds.name: run_negotiation_state(
@@ -30,6 +30,11 @@ def test_table_5_3(benchmark, datasets):
             [r.as_row() for r in rows],
             title=f"Table 5.3 ({name})",
         ))
+
+    gao_strict = results["Gao 2005"][0]
+    bench_report.record("gao_2005_strict_ases_per_tuple",
+                        gao_strict.ases_per_tuple, "ases",
+                        topology="gao-2005")
 
     for name, rows in results.items():
         strict, export, flexible = rows

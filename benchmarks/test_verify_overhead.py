@@ -13,7 +13,6 @@ path, so it is necessarily slower than a cache hit; the assertions bound
 it to the same order of magnitude as the cold computation it duplicates.
 """
 
-import json
 import time
 
 from repro.session import SimulationSession
@@ -24,7 +23,7 @@ N_AUDIT_TABLES = 8
 N_ORACLE_DESTINATIONS = 6
 
 
-def test_session_audit_overhead(benchmark, gao_2005):
+def test_session_audit_overhead(benchmark, gao_2005, bench_report):
     destinations = gao_2005.ases[:N_AUDIT_TABLES]
     session = SimulationSession(gao_2005)
 
@@ -42,14 +41,12 @@ def test_session_audit_overhead(benchmark, gao_2005):
         fill_then_audit, rounds=1, iterations=1
     )
 
-    print()
-    print("VERIFY-OVERHEAD-BENCH " + json.dumps({
-        "kind": "session_audit",
-        "n_tables": result.tables_checked,
-        "fill_seconds": round(fill, 6),
-        "audit_seconds": round(audit, 6),
-        "overhead_ratio": round(audit / fill, 2) if fill else None,
-    }))
+    bench_report.record("audit_fill_seconds", fill, "seconds",
+                        topology="gao-2005", topology_size=len(gao_2005))
+    bench_report.record("audit_seconds", audit, "seconds",
+                        topology="gao-2005", topology_size=len(gao_2005))
+    bench_report.record("audit_overhead_ratio",
+                        audit / fill if fill else 0.0, "x")
 
     assert result.ok
     assert result.tables_checked == len(destinations)
@@ -58,7 +55,7 @@ def test_session_audit_overhead(benchmark, gao_2005):
     assert audit <= fill * 6 + 0.5
 
 
-def test_oracle_round_overhead(benchmark, gao_2005):
+def test_oracle_round_overhead(benchmark, gao_2005, bench_report):
     destinations = gao_2005.ases[:N_ORACLE_DESTINATIONS]
 
     def plain_then_verified():
@@ -83,14 +80,12 @@ def test_oracle_round_overhead(benchmark, gao_2005):
         plain_then_verified, rounds=1, iterations=1
     )
 
-    print()
-    print("VERIFY-OVERHEAD-BENCH " + json.dumps({
-        "kind": "oracle_round",
-        "n_destinations": len(destinations),
-        "plain_seconds": round(plain, 6),
-        "verified_seconds": round(verified, 6),
-        "overhead_ratio": round(verified / plain, 2) if plain else None,
-    }))
+    bench_report.record("oracle_plain_seconds", plain, "seconds",
+                        topology="gao-2005", topology_size=len(gao_2005))
+    bench_report.record("oracle_verified_seconds", verified, "seconds",
+                        topology="gao-2005", topology_size=len(gao_2005))
+    bench_report.record("oracle_overhead_ratio",
+                        verified / plain if plain else 0.0, "x")
 
     assert baseline.ok and after.ok
     # two oracle rounds = 2x serial + 2x full reference + incremental

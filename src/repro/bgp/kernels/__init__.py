@@ -265,14 +265,22 @@ def settle_many(
     way, duplicates computed once.
     """
     backend = resolve(kernel)
+    requested = list(destinations)
+    from ...obs import get_tracer
+
     start = time.perf_counter()
-    if backend.settle_many is not None:
-        out = backend.settle_many(snapshot, destinations)
-    else:
-        out = {}
-        for destination in destinations:
-            if destination not in out:
-                out[destination] = backend.settle(snapshot, destination, None)
+    with get_tracer().span(
+        "settle_many", backend=backend.name, destinations=len(requested)
+    ):
+        if backend.settle_many is not None:
+            out = backend.settle_many(snapshot, requested)
+        else:
+            out = {}
+            for destination in requested:
+                if destination not in out:
+                    out[destination] = backend.settle(
+                        snapshot, destination, None
+                    )
     _SETTLE_SECONDS.labels(backend=backend.name).observe(
         time.perf_counter() - start
     )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands::
+Ten subcommands::
 
     repro topology       generate a topology, print its Table 5.1
                          attributes, optionally dump it in CAIDA format
@@ -17,6 +17,9 @@ Nine subcommands::
                          deployment, negotiation races) on the event engine
     repro stats          run a small instrumented workload and export the
                          metrics snapshot (json / prom / text)
+    repro bench          run the canonical benchmark suites into one
+                         BENCH_<sha>.json trajectory, or compare two
+                         trajectories and fail on hot-path regressions
 
 Every command takes ``--profile``/``--seed`` (or ``--topology FILE`` to
 load a CAIDA-format dump) so runs are reproducible, plus the
@@ -72,8 +75,19 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         help="record spans and write a chrome://tracing JSON dump here",
     )
     parser.add_argument(
+        "--flamegraph", metavar="FILE",
+        help="record spans and write a collapsed-stack flamegraph file "
+             "here (feed to flamegraph.pl / speedscope); a per-phase "
+             "self-vs-cumulative rollup is printed on stderr",
+    )
+    parser.add_argument(
         "--log-level", choices=["debug", "info", "warning", "error"],
         help="emit structured logs at this level on stderr",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="render structured logs as JSON lines instead of key=value "
+             "(implies --log-level warning when no level is given)",
     )
 
 
@@ -519,6 +533,52 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run the built-in benchmark suites into one ``BENCH_<sha>.json``."""
+    import time as _time
+
+    from .obs.bench import (
+        BENCH_SUITES,
+        BenchReporter,
+        detect_git_sha,
+        run_suites,
+    )
+
+    chosen = args.suite or ["all"]
+    suites = tuple(BENCH_SUITES) if "all" in chosen else tuple(chosen)
+    reporter = BenchReporter(
+        sha=args.sha or detect_git_sha(),
+        timestamp=_time.time(),
+        kernel=kernels.active().name,
+        echo=print,
+    )
+    run_suites(
+        reporter, suites=suites, profile=args.profile, seed=args.seed,
+        destinations=args.destinations,
+    )
+    path = reporter.write(args.out)
+    print(f"wrote {len(reporter.records)} records to {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate the current trajectory against a baseline (``bench compare``)."""
+    from .obs.bench import compare, load_trajectory
+
+    report = compare(
+        load_trajectory(args.baseline),
+        load_trajectory(args.current),
+        threshold_pct=args.threshold,
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote compare report to {args.out}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -685,6 +745,48 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--out", metavar="FILE",
                        help="write the snapshot here instead of stdout")
     stats.set_defaults(func=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the canonical benchmark suites / gate a trajectory "
+             "against a baseline",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="run suites and write one BENCH_<sha>.json trajectory file",
+    )
+    _add_topology_args(bench_run, default_profile="verify-500")
+    _add_obs_args(bench_run)
+    _add_kernel_args(bench_run)
+    bench_run.add_argument(
+        "--suite", action="append",
+        choices=["kernel", "session", "events", "all"],
+        help="suite to run (repeatable; default: all)",
+    )
+    bench_run.add_argument("--destinations", type=int, default=64,
+                           help="destinations per workload (default 64)")
+    bench_run.add_argument("--out", default=".",
+                           help="directory for BENCH_<sha>.json (default .)")
+    bench_run.add_argument("--sha", default=None,
+                           help="override the git sha recorded in the file "
+                                "(default: $REPRO_BENCH_SHA or git HEAD)")
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two trajectory files; exit 1 when a gated hot-path "
+             "metric regressed past the threshold",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="current BENCH_*.json")
+    bench_compare.add_argument("--threshold", type=float, default=10.0,
+                               help="regression threshold in percent "
+                                    "(default 10)")
+    bench_compare.add_argument("--out", metavar="FILE",
+                               help="write the JSON compare report here")
+    bench_compare.set_defaults(func=_cmd_bench_compare)
     return parser
 
 
@@ -693,10 +795,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     tracer = get_tracer()
     trace_path = getattr(args, "trace", None)
-    if trace_path:
+    flame_path = getattr(args, "flamegraph", None)
+    if trace_path or flame_path:
         tracer.enable()
-    if getattr(args, "log_level", None):
-        configure_logging(args.log_level)
+    if getattr(args, "log_level", None) or getattr(args, "log_json", False):
+        configure_logging(
+            getattr(args, "log_level", None) or "warning",
+            json_lines=getattr(args, "log_json", False),
+        )
     # --kernel installs the process-wide backend override for the run;
     # restored afterwards so embedding callers (tests) are unaffected.
     previous_kernel = kernels.set_active(getattr(args, "kernel", None)) \
@@ -709,9 +815,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if getattr(args, "kernel", None):
             kernels.set_active(previous_kernel)
+        if flame_path:
+            from .obs import profile as obs_profile
+
+            stacks = obs_profile.write_collapsed(
+                flame_path, tracer.events()
+            )
+            print(obs_profile.render_rollup(tracer.events()),
+                  file=sys.stderr)
+            print(f"wrote {stacks} collapsed stacks to {flame_path}",
+                  file=sys.stderr)
         if trace_path:
             tracer.write(trace_path)
+        if trace_path or flame_path:
             tracer.disable()
+        if trace_path:
             print(f"wrote chrome://tracing dump to {trace_path}",
                   file=sys.stderr)
 

@@ -12,7 +12,18 @@ Three zero-dependency pillars, threaded through every layer of the stack:
   disabled by default (a no-op singleton span), exporting a
   chrome://tracing JSON document when enabled (``repro ... --trace FILE``).
 * **logging** (:mod:`repro.obs.log`) — structured ``event key=value``
-  logging under the ``repro`` namespace (``repro ... --log-level info``).
+  logging under the ``repro`` namespace (``repro ... --log-level info``,
+  JSON lines with ``--log-json``).
+
+Two derived planes ride those pillars:
+
+* **bench** (:mod:`repro.obs.bench`) — the unified benchmark trajectory:
+  one canonical record schema, one ``BENCH_<sha>.json`` per commit, and
+  the ``repro bench compare`` regression gate over designated hot-path
+  metrics;
+* **profile** (:mod:`repro.obs.profile`) — deterministic per-phase
+  attribution over the tracer's span buffer: self-vs-cumulative rollups
+  and the collapsed-stack flamegraph export behind ``--flamegraph``.
 
 The module-level :func:`get_registry` / :func:`get_tracer` singletons are
 the process-wide default plane that instrumented modules bind to at import
@@ -30,6 +41,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from .bench import (
+    BenchRecord,
+    BenchReporter,
+    CompareReport,
+    detect_git_sha,
+    load_trajectory,
+)
 from .log import StructLogger, StructuredFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BYTE_BUCKETS,
@@ -42,9 +60,26 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from .profile import (
+    PhaseStat,
+    collapsed_stacks,
+    render_rollup,
+    rollup,
+    write_collapsed,
+)
 from .tracing import NULL_SPAN, NullSpan, Span, Tracer
 
 __all__ = [
+    "BenchRecord",
+    "BenchReporter",
+    "CompareReport",
+    "PhaseStat",
+    "collapsed_stacks",
+    "detect_git_sha",
+    "load_trajectory",
+    "render_rollup",
+    "rollup",
+    "write_collapsed",
     "Counter",
     "Gauge",
     "Histogram",

@@ -156,6 +156,44 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside buckets.
+
+        Mirrors Prometheus' ``histogram_quantile``: observations are
+        assumed uniformly distributed within each bucket, so the estimate
+        is exact at bucket edges and linear between them.  The first
+        bucket interpolates from 0 (or its bound, when that is negative);
+        any rank landing in the +Inf overflow bucket clamps to the
+        largest finite bound — a histogram cannot say more than "beyond
+        my last edge".  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}"
+            )
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts[:-1]):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                upper = self.bounds[i]
+                lower = self.bounds[i - 1] if i else min(0.0, upper)
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * max(0.0, fraction)
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def quantiles(self) -> Dict[str, float]:
+        """The p50/p90/p99 summary every exporter surfaces."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
     def _reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
@@ -167,6 +205,7 @@ class Histogram:
             "count": self.count,
             "bounds": list(self.bounds),
             "counts": list(self.counts),
+            "quantiles": self.quantiles(),
         }
 
     def _absorb(self, sample: Dict[str, Any]) -> None:
@@ -340,7 +379,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, family in sorted(self._families.items()):
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for labels, child in family.samples():
                 if isinstance(child, Histogram):
@@ -382,9 +421,12 @@ class MetricsRegistry:
                 if isinstance(child, Histogram):
                     if not child.count:
                         continue
+                    q = child.quantiles()
                     lines.append(
                         f"  {name}{tag}: count={child.count} "
-                        f"mean={child.mean:.6g} sum={child.sum:.6g}"
+                        f"mean={child.mean:.6g} sum={child.sum:.6g} "
+                        f"p50={q['p50']:.6g} p90={q['p90']:.6g} "
+                        f"p99={q['p99']:.6g}"
                     )
                 else:
                     if not child.value:
@@ -399,9 +441,23 @@ def _fmt(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(value)
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the Prometheus text format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: Dict[str, str], **extra: str) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + body + "}"

@@ -1,0 +1,197 @@
+"""Deterministic per-phase attribution on top of the span tracer.
+
+The :class:`~repro.obs.tracing.Tracer` buffers flat ``chrome://tracing``
+events; this module turns that buffer into the two views a performance
+investigation actually starts from:
+
+* a **span-tree rollup** (:func:`rollup`) — for every span name, how
+  many times it ran, its *cumulative* wall-clock (time with the span
+  open) and its *self* time (cumulative minus the time spent inside
+  child spans).  Self time is what pinpoints a hot phase: a
+  ``compute_routes`` span whose children (the three settling phases)
+  account for all of its duration has no hidden cost of its own;
+* a **collapsed-stack export** (:func:`write_collapsed`) — one
+  ``root;child;leaf <microseconds>`` line per unique span stack, the
+  input format of every flamegraph renderer (Brendan Gregg's
+  ``flamegraph.pl``, speedscope, inferno).  The CLI's ``--flamegraph
+  FILE`` flag enables the tracer for the run and writes this file on
+  exit.
+
+Reconstruction is deterministic: events are grouped by the recording
+``(pid, tid)`` lane (pool workers show up as their own roots), sorted by
+start time with longer spans first at equal starts, and nested by
+interval containment — exactly the parent/child relation the ``with``
+blocks that produced them had.  No sampling is involved, so two runs of
+the same seeded workload produce the same tree shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = [
+    "ProfileNode",
+    "PhaseStat",
+    "build_tree",
+    "rollup",
+    "collapsed_stacks",
+    "write_collapsed",
+    "render_rollup",
+]
+
+
+@dataclass(slots=True)
+class ProfileNode:
+    """One span in the reconstructed tree (times in microseconds)."""
+
+    name: str
+    start_us: float
+    duration_us: float
+    pid: int
+    tid: int
+    children: List["ProfileNode"] = field(default_factory=list)
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    @property
+    def self_us(self) -> float:
+        """Duration not covered by child spans (never below zero)."""
+        return max(
+            0.0,
+            self.duration_us - sum(c.duration_us for c in self.children),
+        )
+
+
+@dataclass(slots=True)
+class PhaseStat:
+    """Aggregate timing of one span name across the whole trace."""
+
+    name: str
+    count: int = 0
+    cumulative_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+
+def _lanes(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[Tuple[int, int], List[Dict[str, Any]]]:
+    """Group complete-span events by their recording (pid, tid) lane."""
+    lanes: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = (int(event.get("pid", 0)), int(event.get("tid", 0)))
+        lanes.setdefault(key, []).append(event)
+    return lanes
+
+
+def build_tree(events: Iterable[Dict[str, Any]]) -> List[ProfileNode]:
+    """Reconstruct the span forest from a tracer's event buffer.
+
+    Returns the root spans (those not contained in any other span of
+    their lane) in start-time order, children attached recursively.
+    """
+    roots: List[ProfileNode] = []
+    for (pid, tid), lane in sorted(_lanes(events).items()):
+        # Parents start no later and end no earlier than their children;
+        # sorting by (start, -duration) therefore visits every parent
+        # before anything it contains, and one open-span stack nests the
+        # whole lane in a single pass.
+        lane.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[ProfileNode] = []
+        for event in lane:
+            node = ProfileNode(
+                name=str(event["name"]),
+                start_us=float(event["ts"]),
+                duration_us=float(event["dur"]),
+                pid=pid,
+                tid=tid,
+            )
+            while stack and stack[-1].end_us < node.end_us:
+                stack.pop()
+            if stack and stack[-1].start_us <= node.start_us:
+                stack[-1].children.append(node)
+            else:
+                roots.append(node)
+            stack.append(node)
+    return roots
+
+
+def _walk(
+    nodes: Iterable[ProfileNode],
+) -> Iterable[Tuple[Tuple[str, ...], ProfileNode]]:
+    """Yield every node with its name stack, depth-first."""
+    todo = [((node.name,), node) for node in nodes]
+    while todo:
+        stack, node = todo.pop()
+        yield stack, node
+        todo.extend((stack + (child.name,), child) for child in node.children)
+
+
+def rollup(events: Iterable[Dict[str, Any]]) -> List[PhaseStat]:
+    """Per-span-name self/cumulative attribution, hottest self time first.
+
+    Cumulative seconds count every occurrence of the name, including
+    nested re-entries, so a recursive span can exceed wall-clock; self
+    seconds partition the trace and always sum to the roots' total.
+    """
+    stats: Dict[str, PhaseStat] = {}
+    for _, node in _walk(build_tree(events)):
+        stat = stats.setdefault(node.name, PhaseStat(node.name))
+        stat.count += 1
+        stat.cumulative_seconds += node.duration_us / 1e6
+        stat.self_seconds += node.self_us / 1e6
+    return sorted(
+        stats.values(), key=lambda s: (-s.self_seconds, s.name)
+    )
+
+
+def collapsed_stacks(events: Iterable[Dict[str, Any]]) -> Dict[str, float]:
+    """Self-time per unique span stack, keyed ``root;child;leaf``.
+
+    Values are microseconds (flamegraph renderers expect integral sample
+    counts; microseconds keep sub-millisecond phases visible).  Stacks
+    from different process lanes merge by name, the same way flamegraphs
+    merge stacks from different threads.
+    """
+    folded: Dict[str, float] = {}
+    for stack, node in _walk(build_tree(events)):
+        key = ";".join(stack)
+        folded[key] = folded.get(key, 0.0) + node.self_us
+    return folded
+
+
+def write_collapsed(path: str, events: Iterable[Dict[str, Any]]) -> int:
+    """Write the collapsed-stack file; returns the number of stack lines.
+
+    Lines are sorted so the output is byte-stable for identical traces.
+    Zero-weight stacks (fully covered by children) are kept — they carry
+    the tree shape even when all time is attributed below them.
+    """
+    folded = collapsed_stacks(events)
+    with open(path, "w") as handle:
+        for stack in sorted(folded):
+            handle.write(f"{stack} {int(round(folded[stack]))}\n")
+    return len(folded)
+
+
+def render_rollup(events: Iterable[Dict[str, Any]], limit: int = 20) -> str:
+    """Human-readable self/cumulative table for CLI output."""
+    stats = rollup(events)
+    lines = ["phase attribution (self-time order):"]
+    if not stats:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    width = max(len(s.name) for s in stats[:limit])
+    lines.append(
+        f"  {'span':<{width}}  {'count':>7}  {'self s':>10}  {'cum s':>10}"
+    )
+    for stat in stats[:limit]:
+        lines.append(
+            f"  {stat.name:<{width}}  {stat.count:>7}  "
+            f"{stat.self_seconds:>10.6f}  {stat.cumulative_seconds:>10.6f}"
+        )
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ from repro.miro.negotiation import negotiate
 from repro.miro.runtime import MiroRuntime
 from repro.obs import (
     NULL_SPAN,
+    Histogram,
     MetricsRegistry,
     Tracer,
     configure_logging,
@@ -95,6 +96,156 @@ class TestInstruments:
             registry.gauge("m_total", labels=("kind",))
         with pytest.raises(ObservabilityError):
             registry.counter("m_total")
+
+
+# ----------------------------------------------------------------------
+# metrics: histogram quantiles
+# ----------------------------------------------------------------------
+class TestHistogramQuantiles:
+    def test_empty_histogram_returns_zero(self):
+        h = Histogram((1.0, 10.0))
+        assert h.quantile(0.5) == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram((1.0, 10.0))
+        with pytest.raises(ObservabilityError):
+            h.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.1)
+
+    def test_exact_at_bucket_edges(self):
+        # 10 observations fill the (0..1] bucket: every rank inside that
+        # bucket interpolates linearly from 0 toward the upper edge.
+        h = Histogram((1.0, 10.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+        assert h.quantile(0.5) == pytest.approx(0.5)
+
+    def test_linear_interpolation_within_a_bucket(self):
+        # 2 in (0..1], 2 in (1..10]: p75 sits halfway into the second
+        # bucket's population -> 1 + 0.5 * (10 - 1) = 5.5.
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 0.7, 2.0, 9.0):
+            h.observe(v)
+        assert h.quantile(0.75) == pytest.approx(5.5)
+
+    def test_overflow_bucket_clamps_to_largest_finite_bound(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 100.0, 200.0, 300.0):
+            h.observe(v)
+        assert h.quantile(0.99) == pytest.approx(10.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("bounds", [
+        obs.DEFAULT_TIME_BUCKETS,
+        obs.DEFAULT_SIZE_BUCKETS,
+        obs.DEFAULT_BYTE_BUCKETS,
+        obs.DEFAULT_SIM_TIME_BUCKETS,
+    ])
+    def test_default_bucket_families_are_monotone(self, bounds):
+        """p50 <= p90 <= p99, all within the observed bucket range, on
+        every default bucket family the codebase registers."""
+        h = Histogram(bounds)
+        lo, hi = bounds[0], bounds[-1]
+        span = [lo + (hi - lo) * i / 40 for i in range(41)]
+        for v in span:
+            h.observe(v)
+        q = h.quantiles()
+        assert 0.0 <= q["p50"] <= q["p90"] <= q["p99"] <= hi
+        assert q["p99"] > lo
+
+    def test_quantiles_surface_in_snapshot_and_text(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", "timings", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 3.0, 20.0):
+            h.observe(v)
+        [sample] = registry.snapshot()["h_seconds"]["samples"]
+        assert sample["quantiles"]["p99"] == pytest.approx(10.0)
+        text = registry.render_text()
+        assert "p50=" in text and "p90=" in text and "p99=" in text
+
+    def test_merge_preserves_quantile_inputs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, values in ((a, (0.5, 0.6)), (b, (5.0, 6.0))):
+            h = registry.histogram("h_seconds", buckets=(1.0, 10.0))
+            for v in values:
+                h.observe(v)
+        a.merge(b.snapshot())
+        merged = a.histogram("h_seconds", buckets=(1.0, 10.0))
+        assert merged.count == 4
+        assert merged.quantile(0.5) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# metrics: Prometheus text-format conformance
+# ----------------------------------------------------------------------
+class TestPrometheusConformance:
+    """The exposition text must parse under Prometheus' grammar: HELP
+    before TYPE, one TYPE per family, escaped label values and help
+    text, and a cumulative _bucket/_sum/_count triplet per histogram."""
+
+    def test_help_and_type_lines_precede_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts things").inc()
+        lines = registry.render_prometheus().splitlines()
+        assert lines[0] == "# HELP c_total counts things"
+        assert lines[1] == "# TYPE c_total counter"
+        assert lines[2].startswith("c_total ")
+
+    def test_one_type_line_per_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "x", labels=("kind",))
+        family.labels(kind="a").inc()
+        family.labels(kind="b").inc()
+        text = registry.render_prometheus()
+        assert text.count("# TYPE c_total counter") == 1
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("path",)).labels(
+            path='a\\b"c\nd'
+        ).inc()
+        text = registry.render_prometheus()
+        assert 'c_total{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_help_text_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two\\end").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total line one\\nline two\\\\end" in text
+        assert "\nline two" not in text  # no raw newline inside HELP
+
+    def test_histogram_triplet_is_cumulative_and_complete(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_seconds", "timings", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        lines = registry.render_prometheus().splitlines()
+        buckets = [l for l in lines if l.startswith("h_seconds_bucket")]
+        assert buckets == [
+            'h_seconds_bucket{le="1"} 1',
+            'h_seconds_bucket{le="10"} 2',
+            'h_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "h_seconds_sum 22.5" in lines
+        assert "h_seconds_count 3" in lines
+
+    def test_labeled_histogram_keeps_le_last_with_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "h_seconds", buckets=(1.0,), labels=("backend",)
+        ).labels(backend="scalar").observe(0.5)
+        text = registry.render_prometheus()
+        assert 'h_seconds_bucket{backend="scalar",le="1"} 1' in text
+        assert 'h_seconds_sum{backend="scalar"} 0.5' in text
+        assert 'h_seconds_count{backend="scalar"} 1' in text
+
+    def test_exposition_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        assert registry.render_prometheus().endswith("\n")
 
 
 # ----------------------------------------------------------------------

@@ -363,6 +363,19 @@ def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
                 "label_names": [],
                 "samples": [{"labels": {}, "value": 1.0}],
             },
+            "repro_test_pool_job_seconds": {
+                "type": "histogram",
+                "help": "synthetic per-job worker timing",
+                "label_names": [],
+                "samples": [{
+                    "labels": {},
+                    "sum": 0.25,
+                    "count": 1,
+                    "bounds": [0.1, 1.0],
+                    "counts": [0, 1, 0],
+                    "quantiles": {"p50": 0.55, "p90": 0.91, "p99": 0.991},
+                }],
+            },
         },
         "spans": [],
     }
@@ -442,6 +455,41 @@ class TestPoolFaultInjection:
         # failed jobs ship no payload; the serial fallback must not
         # re-absorb (or invent) telemetry for them
         assert self._jobs_absorbed() == len(destinations) - len(failing)
+
+    def _job_seconds(self):
+        from repro.obs import get_registry
+        return get_registry().histogram(
+            "repro_test_pool_job_seconds", "synthetic per-job worker timing",
+            buckets=(0.1, 1.0),
+        )
+
+    def test_worker_histograms_survive_partial_failure(
+        self, small_graph, monkeypatch
+    ):
+        """Histogram samples merge exactly once per successful job when a
+        sibling job raises and falls back to serial: counts and sums
+        track the survivors, and nothing is invented for the failures."""
+        destinations = small_graph.ases[:6]
+        failing = set(destinations[:2])
+        session = self._session(small_graph, monkeypatch, fail_for=failing)
+        session.compute_many(destinations)
+        survivors = len(destinations) - len(failing)
+        histogram = self._job_seconds()
+        assert histogram.count == survivors
+        assert histogram.sum == pytest.approx(0.25 * survivors)
+        # every observation landed in the (0.1..1.0] bucket, once each
+        assert histogram.counts == [0, survivors, 0]
+
+    def test_worker_histograms_not_double_counted_on_success(
+        self, small_graph, monkeypatch
+    ):
+        destinations = small_graph.ases[:6]
+        session = self._session(small_graph, monkeypatch)
+        session.compute_many(destinations)
+        assert self._job_seconds().count == len(destinations)
+        # a warm replay is all cache hits: no new worker payloads
+        session.compute_many(destinations)
+        assert self._job_seconds().count == len(destinations)
 
     def test_all_jobs_failing_degrades_to_serial(self, small_graph, monkeypatch):
         destinations = small_graph.ases[:5]
