@@ -48,6 +48,7 @@ import time
 from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -56,6 +57,7 @@ from typing import (
     Optional,
     Set,
     Tuple,
+    Union,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -145,14 +147,36 @@ class RoutingTable:
     ``candidates(asn)`` is the full set of routes the AS *learned* — one per
     neighbour that exports its best route to it.  The candidate set is what
     a MIRO responding AS can offer in a negotiation (§3.4).
+
+    ``best`` may be the selected-route mapping itself or a zero-argument
+    callable producing it.  The callable form defers materialization to
+    first access: the session's pooled fan-out ships settled tables back
+    from workers as packed integer buffers, and decoding a buffer into
+    ``Route`` objects is paid only for tables something actually reads.
     """
 
     def __init__(
-        self, graph: ASGraph, destination: int, best: Dict[int, Route]
+        self,
+        graph: ASGraph,
+        destination: int,
+        best: Union[Dict[int, Route], Callable[[], Dict[int, Route]]],
     ) -> None:
         self._graph = graph
         self._destination = destination
-        self._best = best
+        if callable(best):
+            self._routes: Optional[Dict[int, Route]] = None
+            self._thunk: Optional[Callable[[], Dict[int, Route]]] = best
+        else:
+            self._routes = best
+            self._thunk = None
+
+    @property
+    def _best(self) -> Dict[int, Route]:
+        if self._routes is None:
+            assert self._thunk is not None
+            self._routes = self._thunk()
+            self._thunk = None
+        return self._routes
 
     @property
     def graph(self) -> ASGraph:

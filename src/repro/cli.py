@@ -97,9 +97,24 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
         help="print routing-cost telemetry (cache hits, tables computed, "
              "wall-clock) after the command",
     )
+    _add_pool_args(parser)
+
+
+def _add_pool_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--parallel", choices=["auto", "on", "off"], default="auto",
-        help="route-table fan-out across a process pool (default: auto)",
+        help="route-table fan-out across the persistent worker pool "
+             "(default: auto)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool worker processes (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="destination-range shards per pooled fan-out "
+             "(default: 4 per worker; shards feed a shared work queue, "
+             "so idle workers steal the next range)",
     )
 
 
@@ -113,7 +128,11 @@ def _build_session(args: argparse.Namespace, graph) -> SimulationSession:
     parallel = {"auto": "auto", "on": True, "off": False}[
         getattr(args, "parallel", "auto")
     ]
-    return SimulationSession(graph, parallel=parallel)
+    return SimulationSession(
+        graph, parallel=parallel,
+        max_workers=getattr(args, "workers", None),
+        shards=getattr(args, "shards", None),
+    )
 
 
 def _maybe_print_stats(args: argparse.Namespace, session: SimulationSession) -> None:
@@ -315,7 +334,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     """Run the route-equivalence verification harness (``repro verify``).
 
     Seeded fault-injection campaigns cross-check every route-computation
-    path (full / incremental / session-serial / session-pool) and the
+    path (full / incremental / session-serial / session-pool-sharded) and the
     stable-state invariants after every injected event; exit code 1 when
     anything diverges or violates.
     """
@@ -488,6 +507,27 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0 if sweep.converged_runs == len(sweep.runs) else 2
 
 
+def _render_pool_info(pool: dict) -> str:
+    """Human-readable fan-out pool section for ``repro stats``."""
+    mode = pool["mode"] or "unused"
+    transport = {
+        "shm": "shared-memory descriptor (zero-copy attach)",
+        "pickle": "pickled snapshot per worker (no shared memory)",
+        "unused": "no pooled fan-out ran",
+    }[mode]
+    shards = pool["shards"] or f"auto ({pool['shard_factor']} per worker)"
+    return "\n".join([
+        "fan-out pool:",
+        f"  policy / workers:      {pool['parallel']} / {pool['max_workers']}",
+        f"  shards per fan-out:    {shards}",
+        f"  transport:             {transport}",
+        f"  published version:     {pool['published_version']}",
+        f"  shared segment bytes:  {pool['shared_bytes']}",
+        f"  ship bytes per attach: {pool['ship_bytes']}",
+        f"  parallel fan-outs:     {pool['parallel_fanouts']}",
+    ])
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Run a small instrumented workload and export the metrics snapshot.
 
@@ -508,12 +548,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         sources_per_destination=4, seed=args.seed, session=session,
     )
     registry = get_registry()
+    pool = session.pool_info()
+    session.close()
     if args.format == "json":
         payload = json.dumps(
             {
                 "kernel": kernels.describe(),
                 "metrics": registry.snapshot(),
                 "session_stats": session.stats.to_dict(),
+                "pool": pool,
             },
             indent=2, sort_keys=True,
         )
@@ -522,7 +565,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         payload = (
             f"active kernel: {kernels.active().name}\n\n"
-            + session.stats.render() + "\n\n" + registry.render_text()
+            + session.stats.render() + "\n\n"
+            + _render_pool_info(pool) + "\n\n" + registry.render_text()
         )
     if args.out:
         with open(args.out, "w") as handle:
@@ -734,9 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_args(stats)
     _add_obs_args(stats)
     _add_kernel_args(stats)
-    stats.add_argument("--parallel", choices=["auto", "on", "off"],
-                       default="auto",
-                       help="route-table fan-out (default: auto)")
+    _add_pool_args(stats)
     stats.add_argument("--destinations", type=int, default=4,
                        help="destinations in the workload (default 4)")
     stats.add_argument("--format", choices=["json", "prom", "text"],

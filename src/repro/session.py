@@ -27,20 +27,32 @@ what route computation actually cost.
 * **Fan-out.**  :meth:`SimulationSession.compute_many` computes many
   destinations at once.  Per-destination stable-state computation is
   embarrassingly parallel (each destination's three-phase propagation is
-  independent), so uncached destinations can be dispatched across a
-  ``concurrent.futures`` process pool, with a serial fallback when the
-  pool cannot start.  What ships to each worker is not the mutable
-  :class:`~repro.topology.graph.ASGraph` but its frozen
-  :class:`~repro.topology.snapshot.TopologySnapshot` — a fraction of the
-  pickle bytes (flat int arrays instead of dict-of-dicts), and all a
-  kernel backend (:mod:`repro.bgp.kernels`) needs on the far side; the
-  active backend's name ships along, so workers settle on the same
-  kernel as the parent.  A serial fan-out batches its uncached unpinned
-  destinations through the backend's sweep entry point
-  (:func:`repro.bgp.kernels.settle_many`) instead of looping.  Ship size
-  and serialization time land in the ``repro_session_pool_ship_*``
-  histograms.  Results come back in deterministic input order regardless
-  of completion order.
+  independent), so uncached destinations are dispatched across a
+  *persistent, version-keyed* process pool (:class:`_FanoutPool`), with
+  a serial fallback when the pool cannot start.  What reaches each
+  worker is not the mutable :class:`~repro.topology.graph.ASGraph` but
+  its frozen :class:`~repro.topology.snapshot.TopologySnapshot`,
+  published once per graph version into a
+  :class:`~repro.topology.snapshot.SharedSnapshot` shared-memory
+  segment; jobs then carry only an O(1) descriptor and workers attach
+  zero-copy, once per version.  Where shared memory is unavailable (or
+  the publish fails) the pool degrades to shipping the pickled snapshot
+  once per worker per version — still never per fan-out.  An unpinned
+  miss list is sharded into contiguous destination ranges (several per
+  worker) fed through the executor's shared call queue, so idle workers
+  steal the next shard and stragglers do not serialize the sweep; each
+  shard settles via the backend sweep entry point
+  (:func:`repro.bgp.kernels.settle_many`) on the worker's attached
+  snapshot.  The active backend's name ships along, so workers settle on
+  the same kernel as the parent.  A serial fan-out batches its uncached
+  unpinned destinations through the same sweep entry point instead of
+  looping.  Per-worker attach cost lands in the
+  ``repro_session_pool_ship_bytes`` / ``repro_session_pool_attach_*``
+  instruments (one observation per worker that actually attached, not
+  per fan-out), publish cost in ``repro_session_pool_ship_seconds`` and
+  ``repro_session_shared_snapshot_bytes``, and shard granularity in
+  ``repro_session_pool_shard_destinations``.  Results come back in
+  deterministic input order regardless of completion order.
 
 * **Telemetry.**  :class:`SessionStats` counts cache hits/misses, tables
   computed, fan-outs, wall-clock time, and the peak number of cached
@@ -53,14 +65,17 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from array import array
 
 from . import obs
 from .bgp import kernels
-from .bgp.route import Route
+from .bgp.route import Route, RouteClass
 from .bgp.routing import (
     RoutingTable,
     affected_ases,
@@ -68,9 +83,20 @@ from .bgp.routing import (
     recompute_routes,
 )
 from .errors import KernelError, ReproError, SessionError, UnknownASError
-from .obs import DEFAULT_BYTE_BUCKETS, get_logger, get_registry, get_tracer
+from .obs import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
 from .topology.graph import ASGraph
-from .topology.snapshot import TopologySnapshot
+from .topology.snapshot import (
+    SharedSnapshot,
+    SharedSnapshotDescriptor,
+    TopologySnapshot,
+    shared_memory_available,
+)
 
 # ----------------------------------------------------------------------
 # instrumentation (repro.obs): cache events land in the process-wide
@@ -100,16 +126,42 @@ _FANOUTS_TOTAL = get_registry().counter(
 )
 _POOL_SHIP_BYTES = get_registry().histogram(
     "repro_session_pool_ship_bytes",
-    "Pickled topology-snapshot payload shipped to each pool fan-out",
+    "Snapshot payload bytes actually shipped per pool-worker attach "
+    "(shared-memory descriptor, or pickled snapshot in fallback mode)",
     buckets=DEFAULT_BYTE_BUCKETS,
 )
 _POOL_SHIP_SECONDS = get_registry().histogram(
     "repro_session_pool_ship_seconds",
-    "Wall-clock seconds serializing the snapshot payload per pool fan-out",
+    "Wall-clock seconds publishing the snapshot payload per graph version",
+)
+_POOL_ATTACH_SECONDS = get_registry().histogram(
+    "repro_session_pool_attach_seconds",
+    "Worker-side seconds attaching and reconstructing the shipped snapshot",
+)
+_POOL_ATTACHES = get_registry().counter(
+    "repro_session_pool_attaches_total",
+    "Pool-worker snapshot attaches, by transport mode",
+    labels=("mode",),
+)
+_POOL_SHARD_SIZE = get_registry().histogram(
+    "repro_session_pool_shard_destinations",
+    "Destinations per sharded pool job",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_SHARED_SNAPSHOT_BYTES = get_registry().histogram(
+    "repro_session_shared_snapshot_bytes",
+    "Shared-memory segment bytes published per graph version",
+    buckets=DEFAULT_BYTE_BUCKETS,
 )
 
 #: ``parallel="auto"`` only spins up a pool for at least this many misses.
 AUTO_PARALLEL_THRESHOLD = 16
+
+#: Default shard jobs submitted per worker per fan-out.  Several shards
+#: per worker is what makes the executor's shared call queue behave as a
+#: work-stealing scheduler: a worker that drains a cheap shard pulls the
+#: next one instead of idling behind a straggler.
+POOL_SHARD_FACTOR = 4
 
 #: Cache-key component for the pinned-route set (None when nothing pinned).
 PinnedKey = Optional[FrozenSet[Tuple[int, Route]]]
@@ -332,50 +384,370 @@ class RouteTableCache:
 
 
 # ----------------------------------------------------------------------
-# process-pool plumbing: the frozen topology snapshot and the parent's
-# observability state ship once per worker (initializer); jobs then carry
-# only the destination and the pinned-route items.  Workers never see the
-# mutable graph — the snapshot kernel settles directly on the shipped
-# arrays.  Each job result also carries the worker's drained
-# metrics/spans, which the parent absorbs — so phase timings and spans
-# recorded inside workers land in the parent registry and trace (tagged
-# with the worker's pid).
+# process-pool plumbing.  Jobs carry a *spec* — ``(mode, version,
+# payload, ship_bytes)`` — instead of snapshot bytes: in "shm" mode the
+# payload is an O(1) :class:`SharedSnapshotDescriptor` and the worker
+# attaches the published segment zero-copy; in "init" (pickle-fallback)
+# mode the snapshot shipped once per worker through the executor
+# initializer and the payload is empty.  Either way a worker attaches
+# once per graph version — the attach cost (bytes, seconds, transport
+# mode) is observed *in the worker* and rides back to the parent in the
+# drained metrics/spans payload every job result carries, so the
+# ship-cost histograms count one observation per worker that actually
+# paid, not one per fan-out.  Workers never see the mutable graph.
 # ----------------------------------------------------------------------
-_WORKER_SNAPSHOT: Optional[TopologySnapshot] = None
-_WORKER_KERNEL: str = kernels.DEFAULT_KERNEL
+
+#: Job spec: (transport mode, graph version, descriptor-or-None, ship bytes).
+PoolSpec = Tuple[str, int, Optional[SharedSnapshotDescriptor], int]
+
+# Per-worker-process state.  Under the default fork start method these
+# globals are inherited from the parent, so the initializer resets them.
+_WORKER_SNAPSHOTS: Dict[int, TopologySnapshot] = {}
+_WORKER_SHARED: Dict[int, SharedSnapshot] = {}
+_WORKER_OBS: Optional[Tuple[bool, float]] = None
+_WORKER_INIT_SNAPSHOT: Optional[TopologySnapshot] = None
+_WORKER_INIT_SHIP_BYTES: int = 0
 
 
 def _pool_init(
-    snapshot: TopologySnapshot,
     obs_state: Tuple[bool, float],
-    kernel: str = kernels.DEFAULT_KERNEL,
+    snapshot: Optional[TopologySnapshot] = None,
+    ship_bytes: int = 0,
 ) -> None:
-    global _WORKER_SNAPSHOT, _WORKER_KERNEL
-    _WORKER_SNAPSHOT = snapshot
-    _WORKER_KERNEL = kernel
+    """Worker bootstrap: reset inherited state, adopt the parent's obs.
+
+    ``snapshot`` is only passed in pickle-fallback mode, where the
+    executor serializes it once per worker; shared-memory mode ships
+    nothing here and workers attach lazily from the per-job descriptor.
+    """
+    global _WORKER_OBS, _WORKER_INIT_SNAPSHOT, _WORKER_INIT_SHIP_BYTES
+    _WORKER_SNAPSHOTS.clear()
+    _WORKER_SHARED.clear()
+    _WORKER_INIT_SNAPSHOT = snapshot
+    _WORKER_INIT_SHIP_BYTES = ship_bytes
+    _WORKER_OBS = obs_state
     obs.configure_worker(obs_state)
 
 
-def _pool_compute(
-    job: Tuple[int, Optional[Tuple[Tuple[int, Route], ...]]],
+def _worker_configure_obs(obs_state: Tuple[bool, float]) -> None:
+    """Adopt a changed parent observability state (tracer toggled/reset)."""
+    global _WORKER_OBS
+    if obs_state != _WORKER_OBS:
+        obs.configure_worker(obs_state)
+        _WORKER_OBS = obs_state
+
+
+def _worker_snapshot(spec: PoolSpec) -> TopologySnapshot:
+    """The worker's snapshot for ``spec``'s graph version, attached once.
+
+    The version-keyed cache is what makes ship cost O(1) per graph
+    version: the first job naming a version pays the attach (and records
+    it — bytes, seconds, transport mode — in the worker's metrics, which
+    drain back to the parent); every later job on the same version finds
+    the snapshot, and its lazy accessor caches, already warm.  Older
+    versions are evicted on advance, releasing their shared mappings.
+    """
+    mode, version, descriptor, ship_bytes = spec
+    snapshot = _WORKER_SNAPSHOTS.get(version)
+    if snapshot is not None:
+        return snapshot
+    start = time.perf_counter()
+    with obs.get_tracer().span("pool_attach", version=version, mode=mode):
+        if mode == "shm":
+            shared = SharedSnapshot.attach(descriptor)
+            snapshot = shared.snapshot
+            _WORKER_SHARED[version] = shared
+        else:
+            snapshot = _WORKER_INIT_SNAPSHOT
+            if snapshot is None or snapshot.version != version:
+                raise SessionError(
+                    f"pool worker has no snapshot for version {version}"
+                )
+    for old in [v for v in _WORKER_SNAPSHOTS if v != version]:
+        del _WORKER_SNAPSHOTS[old]
+        shared = _WORKER_SHARED.pop(old, None)
+        if shared is not None:
+            shared.close()
+    _WORKER_SNAPSHOTS[version] = snapshot
+    _POOL_ATTACH_SECONDS.observe(time.perf_counter() - start)
+    _POOL_ATTACHES.labels(mode="shm" if mode == "shm" else "pickle").inc()
+    _POOL_SHIP_BYTES.observe(ship_bytes)
+    return snapshot
+
+
+# A shard's settled tables travel back to the parent as one packed
+# int64 buffer: per table, ``asn, class, path_len, path...`` per route,
+# in selection (insertion) order, plus a per-table offset index.  One
+# bytes object pickles as a memcpy, so result-return cost stops scaling
+# with per-route Python object overhead — at verify-500 scale, shipping
+# the same tables as Route dicts costs ~100x more wall-clock in
+# (un)pickling than the buffer does.  Decode back into Route objects is
+# deferred (see RoutingTable's callable ``best``), so the parent pays it
+# per table consumed, not per table computed.
+PackedTables = Tuple[Tuple[int, ...], bytes]
+
+_ROUTE_CLASSES = {route_class.value: route_class for route_class in RouteClass}
+
+
+def _encode_shard(
+    destinations: Tuple[int, ...], swept: Dict[int, Dict[int, Route]]
+) -> PackedTables:
+    """Pack settled tables for the wire; inverse of :func:`_decode_table`."""
+    buf = array("q")
+    offsets = [0]
+    for destination in destinations:
+        for asn, route in swept[destination].items():
+            buf.append(asn)
+            buf.append(route.route_class.value)
+            buf.append(len(route.path))
+            buf.extend(route.path)
+        offsets.append(len(buf))
+    return tuple(offsets), buf.tobytes()
+
+
+def _decode_table(words: memoryview, lo: int, hi: int) -> Dict[int, Route]:
+    """One table's ``{asn: Route}`` from its slice of a packed buffer.
+
+    Reconstruction preserves the worker's selection order, so a decoded
+    table is byte-equal (values *and* dict iteration order) to the one
+    the serial path would have built.
+    """
+    best: Dict[int, Route] = {}
+    i = lo
+    while i < hi:
+        asn = words[i]
+        route_class = _ROUTE_CLASSES[words[i + 1]]
+        length = words[i + 2]
+        i += 3
+        best[asn] = Route._trusted(tuple(words[i:i + length]), route_class)
+        i += length
+    return best
+
+
+def _pool_settle_shard(
+    job: Tuple[PoolSpec, Tuple[bool, float], str, Tuple[int, ...]],
+) -> Tuple[Tuple[int, ...], Optional[PackedTables], Dict[str, object]]:
+    """Settle one shard — a contiguous destination range — in a worker.
+
+    The whole shard goes through the backend sweep entry point, so the
+    batched kernel amortizes its wave setup across the range exactly as
+    it would in the parent's serial path (same call, same tables, byte
+    for byte).
+    """
+    spec, obs_state, kernel, destinations = job
+    _worker_configure_obs(obs_state)
+    try:
+        snapshot = _worker_snapshot(spec)
+        swept = kernels.settle_many(snapshot, destinations, kernel=kernel)
+        packed: Optional[PackedTables] = _encode_shard(destinations, swept)
+    except (UnknownASError, KernelError):
+        # Not settleable on this side (a destination the parent will
+        # reject anyway, or the shipped kernel missing its optional
+        # dependency in the worker): hand the shard back for the parent's
+        # serial path, which raises the right error when there is one.
+        packed = None
+    # ship only the packed selected-route buffer back; the parent re-wraps
+    # it around its own graph object (no graph on this side at all)
+    return destinations, packed, obs.drain_worker()
+
+
+def _pool_settle_one(
+    job: Tuple[
+        PoolSpec, Tuple[bool, float], str, int,
+        Optional[Tuple[Tuple[int, Route], ...]],
+    ],
 ) -> Tuple[int, Optional[Dict[int, Route]], Dict[str, object]]:
-    destination, pinned_items = job
+    """Settle one pinned destination in a worker (pinned sets don't shard)."""
+    spec, obs_state, kernel, destination, pinned_items = job
+    _worker_configure_obs(obs_state)
     pinned = dict(pinned_items) if pinned_items else None
     try:
+        snapshot = _worker_snapshot(spec)
         best = kernels.settle(
-            _WORKER_SNAPSHOT, destination, pinned=pinned,
-            kernel=_WORKER_KERNEL,
+            snapshot, destination, pinned=pinned, kernel=kernel
         )
     except (UnknownASError, KernelError):
-        # Not settleable on this side (a pinned path referencing an AS
-        # outside the snapshot, a destination the parent will reject
-        # anyway, or the shipped kernel missing its optional dependency
-        # in the worker): hand the job back for the parent's serial path,
-        # which falls back to the legacy walk — or raises the right error.
         best = None
-    # ship only the selected-route mapping back; the parent re-wraps it
-    # around its own graph object (no graph on this side at all)
     return destination, best, obs.drain_worker()
+
+
+class _FanoutPool:
+    """The session's persistent, version-keyed worker pool.
+
+    Owns one :class:`~concurrent.futures.ProcessPoolExecutor` that
+    survives across :meth:`SimulationSession.compute_many` calls — the
+    per-call spawn/teardown churn of the old design is gone — plus the
+    currently published :class:`SharedSnapshot` segment.  :meth:`ensure`
+    republishes only when the graph version moves:
+
+    * shared-memory mode — the snapshot is copied into a fresh segment,
+      the previous segment is released (attached workers keep their
+      mappings until they advance), and jobs carry the O(1) descriptor;
+      the executor itself is reused untouched;
+    * pickle-fallback mode — the executor is rebuilt so its initializer
+      ships the new snapshot once per worker (the only per-version cost
+      shared memory avoids).
+
+    A broken executor (killed worker) is detected and rebuilt on the
+    next ensure, so one fault does not wedge the session.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, shards: Optional[int] = None
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise SessionError(f"max_workers must be >= 1, got {max_workers}")
+        if shards is not None and shards < 1:
+            raise SessionError(f"shards must be >= 1, got {shards}")
+        self.max_workers = max_workers
+        self.shards = shards
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._mode: Optional[str] = None
+        self._shared: Optional[SharedSnapshot] = None
+        self._spec: Optional[PoolSpec] = None
+        self._version: Optional[int] = None
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
+    @property
+    def mode(self) -> Optional[str]:
+        """Transport of the current publication: shm, pickle, or None."""
+        if self._mode is None:
+            return None
+        return "shm" if self._mode == "shm" else "pickle"
+
+    @property
+    def version(self) -> Optional[int]:
+        return self._version
+
+    @property
+    def alive(self) -> bool:
+        return self._executor is not None and not getattr(
+            self._executor, "_broken", False
+        )
+
+    @property
+    def shared_bytes(self) -> Optional[int]:
+        return self._shared.nbytes if self._shared is not None else None
+
+    @property
+    def ship_bytes(self) -> Optional[int]:
+        return self._spec[3] if self._spec is not None else None
+
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        return self._executor
+
+    def ensure(
+        self,
+        snapshot: TopologySnapshot,
+        pickle_probe: Callable[[], Optional[int]],
+    ) -> Tuple[ProcessPoolExecutor, PoolSpec]:
+        """Publish ``snapshot`` (if its version is new) and return the
+        live executor plus the job spec workers attach from.
+
+        ``pickle_probe`` is consulted only on the fallback path; it
+        returns the snapshot's pickled size, or None when the snapshot
+        does not pickle at all — which raises, since no transport can
+        reach the workers.
+        """
+        if self._executor is not None and getattr(
+            self._executor, "_broken", False
+        ):
+            _LOG.warning("pool_broken_rebuild")
+            self._shutdown_executor()
+        if (
+            self._spec is not None
+            and self._version == snapshot.version
+            and self._executor is not None
+        ):
+            return self._executor, self._spec
+        start = time.perf_counter()
+        shared: Optional[SharedSnapshot] = None
+        if shared_memory_available():
+            try:
+                shared = SharedSnapshot.publish(snapshot)
+            except Exception:
+                shared = None
+        if shared is not None:
+            self._release_shared()
+            self._shared = shared
+            descriptor = shared.descriptor()
+            ship_bytes = len(pickle.dumps(descriptor))
+            spec: PoolSpec = (
+                "shm", snapshot.version, descriptor, ship_bytes
+            )
+            _SHARED_SNAPSHOT_BYTES.observe(shared.nbytes)
+            if self._executor is None or self._mode != "shm":
+                self._shutdown_executor()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_init,
+                    initargs=(obs.worker_state(),),
+                )
+            self._mode = "shm"
+        else:
+            ship_bytes_opt = pickle_probe()
+            if ship_bytes_opt is None:
+                raise SessionError(
+                    "topology snapshot is not picklable and shared memory "
+                    "is unavailable; no transport can reach pool workers"
+                )
+            self._release_shared()
+            self._shutdown_executor()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(obs.worker_state(), snapshot, ship_bytes_opt),
+            )
+            spec = ("init", snapshot.version, None, ship_bytes_opt)
+            self._mode = "init"
+        self._spec = spec
+        self._version = snapshot.version
+        _POOL_SHIP_SECONDS.observe(time.perf_counter() - start)
+        return self._executor, spec
+
+    def shard(self, misses: List[int]) -> List[Tuple[int, ...]]:
+        """Split ``misses`` into contiguous destination ranges.
+
+        Range count is the explicit ``shards`` override, else
+        :data:`POOL_SHARD_FACTOR` per worker, never more than the miss
+        count — each range becomes one work-queue job.
+        """
+        count = self.shards or self.workers * POOL_SHARD_FACTOR
+        count = max(1, min(count, len(misses)))
+        size, extra = divmod(len(misses), count)
+        out: List[Tuple[int, ...]] = []
+        lo = 0
+        for i in range(count):
+            hi = lo + size + (1 if i < extra else 0)
+            out.append(tuple(misses[lo:hi]))
+            lo = hi
+        return out
+
+    def _shutdown_executor(self, wait: bool = False) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None
+        self._mode = None
+
+    def _release_shared(self) -> None:
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def close(self, wait: bool = False) -> None:
+        """Shut the executor down and release the published segment.
+
+        The pool is reusable afterwards — the next :meth:`ensure`
+        republishes and respawns — so closing between workloads only
+        costs the warm state.
+        """
+        self._shutdown_executor(wait=wait)
+        self._release_shared()
+        self._spec = None
+        self._version = None
 
 
 class SimulationSession:
@@ -387,12 +759,21 @@ class SimulationSession:
 
     ``parallel`` picks the :meth:`compute_many` dispatch policy:
 
-    * ``"auto"`` (default) — use a process pool when the graph's snapshot
-      pickles and at least :data:`AUTO_PARALLEL_THRESHOLD` destinations
-      miss the cache;
+    * ``"auto"`` (default) — use the worker pool when a transport to the
+      workers exists (shared memory, or a picklable snapshot) and at
+      least :data:`AUTO_PARALLEL_THRESHOLD` destinations miss the cache;
     * ``True`` — always try the pool for misses (still falls back to serial
       when the pool cannot start);
     * ``False`` — always compute serially.
+
+    The pool itself (:class:`_FanoutPool`) is *persistent*: workers spawn
+    on the first pooled fan-out and are reused by every later one, with
+    the snapshot republished only when the graph version moves.
+    ``shards`` overrides how many destination ranges an unpinned miss
+    list is split into (default: :data:`POOL_SHARD_FACTOR` per worker).
+    Sessions are context managers; :meth:`close` (or ``with``) shuts the
+    workers down deterministically, and garbage collection of an unclosed
+    session does the same.
     """
 
     def __init__(
@@ -401,6 +782,7 @@ class SimulationSession:
         max_cached_tables: int = 1024,
         parallel: Union[bool, str] = "auto",
         max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if parallel not in (True, False, "auto"):
             raise SessionError(
@@ -411,8 +793,13 @@ class SimulationSession:
         self._stats = SessionStats()
         self._parallel = parallel
         self._max_workers = max_workers
-        self._snapshot_pickles: Optional[bool] = None
+        self._pool = _FanoutPool(max_workers=max_workers, shards=shards)
+        # (version, picklable, pickled bytes) — the probe is version-keyed
+        # so a graph that becomes (un)picklable after mutation re-probes
+        # instead of keeping a stale verdict forever.
+        self._snapshot_pickles: Optional[Tuple[int, bool, int]] = None
         self._seen_version = graph.version
+        self._finalizer = weakref.finalize(self, self._pool.close)
 
     @property
     def graph(self) -> ASGraph:
@@ -426,6 +813,43 @@ class SimulationSession:
     @property
     def tables_cached(self) -> int:
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Shut down the persistent worker pool and release shared memory.
+
+        Idempotent, and the session stays usable — a later pooled
+        fan-out simply respawns workers.  ``wait`` blocks until worker
+        processes have exited, which is what "no children survive" tests
+        and clean interpreter shutdown want.
+        """
+        self._pool.close(wait=wait)
+
+    def __enter__(self) -> "SimulationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def pool_info(self) -> Dict[str, object]:
+        """JSON-ready view of the fan-out pool, for ``repro stats``."""
+        pool = self._pool
+        return {
+            "parallel": self._parallel
+            if isinstance(self._parallel, str) else bool(self._parallel),
+            "max_workers": pool.workers,
+            "shards": pool.shards,
+            "shard_factor": POOL_SHARD_FACTOR,
+            "shared_memory": shared_memory_available(),
+            "mode": pool.mode,
+            "published_version": pool.version,
+            "shared_bytes": pool.shared_bytes,
+            "ship_bytes": pool.ship_bytes,
+            "alive": pool.alive,
+            "parallel_fanouts": self._stats.parallel_fanouts,
+        }
 
     def _sync_stats(self) -> None:
         self._stats.peak_cached_tables = self._cache.peak_size
@@ -612,6 +1036,24 @@ class SimulationSession:
         self._stats.total_compute_seconds += elapsed
         return {destination: tables[destination] for destination in ordered}
 
+    def _snapshot_pickle_bytes(self) -> Optional[int]:
+        """Pickled snapshot size for the current version, or None.
+
+        The verdict is memoized *per graph version*: a mutation discards
+        it, so a graph that becomes (un)picklable after the transition is
+        re-probed instead of keeping the stale answer forever.
+        """
+        version = self._graph.version
+        memo = self._snapshot_pickles
+        if memo is None or memo[0] != version:
+            try:
+                nbytes = len(pickle.dumps(self._graph.snapshot()))
+                memo = (version, True, nbytes)
+            except Exception:
+                memo = (version, False, 0)
+            self._snapshot_pickles = memo
+        return memo[2] if memo[1] else None
+
     def _use_pool(self, policy: Union[bool, str], n_misses: int) -> bool:
         if policy is False:
             return False
@@ -619,13 +1061,11 @@ class SimulationSession:
             (os.cpu_count() or 1) < 2 or n_misses < AUTO_PARALLEL_THRESHOLD
         ):
             return False
-        if self._snapshot_pickles is None:
-            try:
-                pickle.dumps(self._graph.snapshot())
-                self._snapshot_pickles = True
-            except Exception:
-                self._snapshot_pickles = False
-        return self._snapshot_pickles
+        # Shared memory needs no picklable snapshot — only the pickle
+        # fallback does, and only that path pays the probe.
+        if shared_memory_available():
+            return True
+        return self._snapshot_pickle_bytes() is not None
 
     def _fanout_pool(
         self,
@@ -633,74 +1073,102 @@ class SimulationSession:
         pinned: Optional[Dict[int, Route]],
         tables: Dict[int, RoutingTable],
     ) -> bool:
-        """Dispatch ``misses`` across a process pool; True if any job ran.
+        """Dispatch ``misses`` across the persistent pool; True if any ran.
 
-        Each job is consumed as its own future: a job that fails on pool
+        Unpinned misses are sharded into contiguous destination ranges —
+        several per worker, pulled from the executor's shared call queue,
+        so an idle worker steals the next range instead of waiting out a
+        straggler.  Pinned misses stay per-destination jobs (a pinned set
+        pins *one* destination's computation).  A job that fails on pool
         infrastructure (spawn refused, broken worker, pickling quirk) is
-        simply left out of ``tables`` and the caller recomputes that one
-        destination serially, while every *successful* job's drained
+        simply left out of ``tables`` and the caller recomputes its
+        destinations serially, while every *successful* job's drained
         metrics/spans payload is absorbed exactly once — a failed job
         ships no payload, so nothing is lost with it and nothing is
-        double-counted when its table is recomputed in the parent.
+        double-counted when its tables are recomputed in the parent.
         Library errors — e.g. an invalid pinned route — propagate
         unchanged.  Returns False only when no job completed (the fan-out
         was effectively serial).
         """
-        pinned_items = tuple(pinned.items()) if pinned else None
-        workers = self._max_workers or min(len(misses), os.cpu_count() or 1)
-        # What each worker receives is the frozen snapshot of the current
-        # state.  Measure the payload once — the executor serializes the
-        # same object per worker — so the ship-cost histograms reflect
-        # what the pool actually pays per fan-out.
         snapshot = self._graph.snapshot()
-        ship_start = time.perf_counter()
         try:
-            ship_bytes = len(pickle.dumps(snapshot))
+            executor, spec = self._pool.ensure(
+                snapshot, self._snapshot_pickle_bytes
+            )
         except Exception:
             return False
-        _POOL_SHIP_SECONDS.observe(time.perf_counter() - ship_start)
-        _POOL_SHIP_BYTES.observe(ship_bytes)
         # Workers settle on the parent's active backend — unless it opts
         # out of pool use, in which case they run the scalar default.
         backend = kernels.resolve()
         kernel = backend.name if backend.pool else kernels.DEFAULT_KERNEL
+        obs_state = obs.worker_state()
+        futures: List[Tuple[Tuple[int, ...], object]] = []
         try:
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_pool_init,
-                initargs=(snapshot, obs.worker_state(), kernel),
-            )
+            if pinned is not None:
+                pinned_items = tuple(pinned.items())
+                for destination in misses:
+                    futures.append((
+                        (destination,),
+                        executor.submit(
+                            _pool_settle_one,
+                            (spec, obs_state, kernel, destination,
+                             pinned_items),
+                        ),
+                    ))
+            else:
+                for shard in self._pool.shard(misses):
+                    _POOL_SHARD_SIZE.observe(len(shard))
+                    futures.append((
+                        shard,
+                        executor.submit(
+                            _pool_settle_shard,
+                            (spec, obs_state, kernel, shard),
+                        ),
+                    ))
         except Exception:
-            return False
-        succeeded = 0
-        try:
-            try:
-                futures = [
-                    (destination,
-                     pool.submit(_pool_compute, (destination, pinned_items)))
-                    for destination in misses
-                ]
-            except Exception:
+            if not futures:
                 return False
-            for destination, future in futures:
-                try:
-                    dest, best, payload = future.result()
-                except ReproError:
-                    raise
-                except Exception:
-                    _LOG.warning("pool_job_failed", destination=destination)
-                    continue
+        succeeded = 0
+        for shard, future in futures:
+            try:
+                result = future.result()
+            except ReproError:
+                raise
+            except Exception:
+                _LOG.warning(
+                    "pool_job_failed", destinations=len(shard),
+                    first=shard[0],
+                )
+                continue
+            if pinned is not None:
+                dest, best, payload = result
                 obs.absorb_worker(payload)
                 if best is None:
-                    # the worker could not settle this job in index space;
-                    # the caller's serial loop picks it up
+                    # the worker could not settle this job in index
+                    # space; the caller's serial loop picks it up
                     continue
+                bests: List[object] = [best]
+                dests: Tuple[int, ...] = (dest,)
+            else:
+                dests, packed, payload = result
+                obs.absorb_worker(payload)
+                if packed is None:
+                    continue
+                # decode lazily: each table gets a thunk over its slice
+                # of the shard's packed buffer, so Route materialization
+                # is paid on first read, not inside the fan-out
+                offsets, blob = packed
+                words = memoryview(blob).cast("q")
+                bests = [
+                    (lambda words=words, lo=offsets[k], hi=offsets[k + 1]:
+                     _decode_table(words, lo, hi))
+                    for k in range(len(dests))
+                ]
+            for dest, best in zip(dests, bests):
                 table = RoutingTable(self._graph, dest, best)
                 self._cache.put(self._key(dest, pinned), table)
                 tables[dest] = table
-                succeeded += 1
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            succeeded += 1
         return succeeded > 0
 
     # ------------------------------------------------------------------

@@ -13,7 +13,9 @@ CSR-style view with dense ``asn ↔ index`` maps and flat neighbour arrays,
 built once per graph version by :meth:`ASGraph.snapshot` (memoized on the
 version counter, so mutation invalidates it automatically).  The snapshot
 is the unit of work the routing kernel settles on, the payload the
-session ships to pool workers (a fraction of the mutable graph's pickle),
+session ships to pool workers (via :class:`SharedSnapshot`, a
+shared-memory segment workers attach zero-copy — or, where shared memory
+is unavailable, a pickle that is still a fraction of the mutable graph's),
 and — being immutable and self-contained — the natural shard a future
 multi-host backend can distribute.
 
@@ -40,10 +42,12 @@ index arithmetic — no per-pop list building, no dict probes.
 
 from __future__ import annotations
 
+import weakref
 from array import array
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Tuple
 
-from ..errors import UnknownASError
+from ..errors import TopologyError, UnknownASError
 from ..obs import get_registry
 from .relationships import Relationship
 
@@ -353,3 +357,274 @@ class TopologySnapshot:
             f"TopologySnapshot(n={len(self.asns)}, "
             f"directed_edges={len(self.nbr)}, version={self.version})"
         )
+
+
+# ----------------------------------------------------------------------
+# shared-memory publication: the zero-copy transport behind the session's
+# sharded pool fan-out.  The parent *publishes* the five core arrays into
+# one POSIX shared-memory segment; workers *attach* by a descriptor of a
+# few dozen bytes and rebuild a fully functional snapshot whose arrays
+# are views into the mapped segment — per-fan-out ship cost becomes O(1)
+# in the topology size instead of O(snapshot × workers).
+# ----------------------------------------------------------------------
+
+#: Every field is stored as 8-byte signed ints ("q"): wide enough for any
+#: AS number or index, and exactly the int64 layout numpy views expect.
+_SHM_ITEMCODE = "q"
+_SHM_ITEMSIZE = 8
+
+_SHARED_SEGMENTS = get_registry().counter(
+    "repro_topology_shared_segments_total",
+    "Shared-memory snapshot segment lifecycle events",
+    labels=("event",),
+)
+
+_SHM_AVAILABLE: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory is usable in this process (memoized).
+
+    Probes by creating and immediately destroying a minimal segment —
+    sandboxed environments can lack a usable ``/dev/shm`` even when
+    :mod:`multiprocessing.shared_memory` imports fine.  The session's
+    pool publisher consults this before attempting shared-memory
+    transport; a False verdict routes fan-outs to the pickle fallback.
+    """
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=_SHM_ITEMSIZE)
+            probe.close()
+            probe.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE
+
+
+@dataclass(frozen=True, slots=True)
+class SharedSnapshotDescriptor:
+    """The picklable handle a pool job ships instead of snapshot bytes.
+
+    A few dozen bytes regardless of topology size: the segment name, the
+    graph version the segment holds, and the five array lengths needed to
+    rebuild the views — which is the whole point of the shared-memory
+    fan-out.
+    """
+
+    name: str
+    version: int
+    lengths: Tuple[int, int, int, int, int]
+
+
+class SharedSnapshot:
+    """A :class:`TopologySnapshot` placed in shared memory.
+
+    The publisher side (:meth:`publish`) copies the snapshot's five core
+    arrays — ``asns``, ``nbr_off``, ``nbr``, ``cls_off``, ``cls_adj`` —
+    as int64 into one :mod:`multiprocessing.shared_memory` segment.  The
+    consumer side (:meth:`attach`) opens the segment named by a
+    :class:`SharedSnapshotDescriptor` and reconstructs a snapshot whose
+    arrays are zero-copy views into the mapping: numpy ``int64`` views
+    when numpy is importable, ``memoryview.cast`` views otherwise — both
+    satisfy every array consumer, including the batched kernel's
+    :meth:`TopologySnapshot.class_arrays`.
+
+    Lifecycle is refcounted: a handle starts with one reference,
+    :meth:`addref` takes another, :meth:`close` releases one.  The last
+    release drops the reconstructed snapshot, closes the mapping, and on
+    the *owner* (publisher) side unlinks the segment.  A :mod:`weakref`
+    finalizer performs the same release at garbage collection, so an
+    abandoned handle cannot leak the segment past process exit.
+    """
+
+    __slots__ = (
+        "shm", "version", "lengths", "owner",
+        "_refs", "_snapshot", "_views", "_finalizer", "__weakref__",
+    )
+
+    def __init__(self, shm, version: int, lengths, owner: bool) -> None:
+        self.shm = shm
+        self.version = version
+        self.lengths = tuple(lengths)
+        self.owner = owner
+        self._refs = 1
+        self._snapshot: Optional[TopologySnapshot] = None
+        self._views = None
+        self._finalizer = weakref.finalize(self, _release_segment, shm, owner)
+
+    # ------------------------------------------------------------------
+    # publication / attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, snapshot: TopologySnapshot) -> "SharedSnapshot":
+        """Copy ``snapshot``'s core arrays into a fresh shared segment."""
+        from multiprocessing import shared_memory
+
+        fields = (
+            snapshot.asns, snapshot.nbr_off, snapshot.nbr,
+            snapshot.cls_off, snapshot.cls_adj,
+        )
+        lengths = tuple(len(field) for field in fields)
+        total = max(sum(lengths) * _SHM_ITEMSIZE, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            offset = 0
+            for field in fields:
+                if isinstance(field, array) and field.itemsize == _SHM_ITEMSIZE:
+                    payload = field.tobytes()
+                else:
+                    payload = array(_SHM_ITEMCODE, field).tobytes()
+                shm.buf[offset:offset + len(payload)] = payload
+                offset += len(payload)
+        except Exception:
+            shm.close()
+            shm.unlink()
+            raise
+        _SHARED_SEGMENTS.labels(event="publish").inc()
+        return cls(shm, snapshot.version, lengths, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: SharedSnapshotDescriptor) -> "SharedSnapshot":
+        """Open the segment named by ``descriptor`` (non-owning handle)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        _SHARED_SEGMENTS.labels(event="attach").inc()
+        return cls(shm, descriptor.version, descriptor.lengths, owner=False)
+
+    def descriptor(self) -> SharedSnapshotDescriptor:
+        return SharedSnapshotDescriptor(
+            self.shm.name, self.version, self.lengths
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the shared segment (the published copy, not the ship)."""
+        return self.shm.size
+
+    # ------------------------------------------------------------------
+    # zero-copy reconstruction
+    # ------------------------------------------------------------------
+    def _field_views(self):
+        if self._views is None:
+            if self._refs <= 0:
+                raise TopologyError("shared snapshot is closed")
+            try:
+                import numpy
+
+                def view(offset: int, length: int):
+                    return numpy.frombuffer(
+                        self.shm.buf, dtype=numpy.int64,
+                        count=length, offset=offset * _SHM_ITEMSIZE,
+                    )
+            except ImportError:
+                buf = self.shm.buf
+
+                def view(offset: int, length: int):
+                    lo = offset * _SHM_ITEMSIZE
+                    hi = lo + length * _SHM_ITEMSIZE
+                    return buf[lo:hi].cast(_SHM_ITEMCODE)
+
+            views = []
+            offset = 0
+            for length in self.lengths:
+                views.append(view(offset, length))
+                offset += length
+            self._views = tuple(views)
+        return self._views
+
+    @property
+    def snapshot(self) -> TopologySnapshot:
+        """The reconstructed snapshot (views built once per handle).
+
+        ``asns`` and the ``asn → index`` map are materialized (tuple and
+        dict semantics cannot be views), but the four adjacency arrays —
+        the O(edges) bulk — index straight into the shared mapping.
+        """
+        if self._snapshot is None:
+            asns_view, nbr_off, nbr, cls_off, cls_adj = self._field_views()
+            self._snapshot = TopologySnapshot(
+                self.version, tuple(asns_view.tolist()),
+                nbr_off, nbr, cls_off, cls_adj,
+            )
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # refcounted lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    @property
+    def closed(self) -> bool:
+        return self._refs <= 0
+
+    def addref(self) -> "SharedSnapshot":
+        """Take an additional reference on the open handle; returns it."""
+        if self._refs <= 0:
+            raise TopologyError("shared snapshot is closed")
+        self._refs += 1
+        return self
+
+    def close(self) -> None:
+        """Release one reference; the last one releases the segment.
+
+        Idempotent once closed.  On the last release the reconstructed
+        snapshot and its views are dropped first (so the mapping's buffer
+        is no longer exported), the mapping is closed, and the owner side
+        unlinks the segment name — attached consumers keep their mappings
+        alive until they close, per POSIX unlink semantics.
+        """
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs:
+            return
+        self._snapshot = None
+        self._views = None
+        self._finalizer.detach()
+        _release_segment(self.shm, self.owner)
+        _SHARED_SEGMENTS.labels(
+            event="unlink" if self.owner else "detach"
+        ).inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedSnapshot({role}, name={self.shm.name!r}, "
+            f"version={self.version}, nbytes={self.nbytes}, "
+            f"refs={self._refs})"
+        )
+
+
+#: Mappings whose close found live zero-copy views: kept referenced so the
+#: mapping object's own ``__del__`` (which would hit the same BufferError
+#: as an unraisable exception) only runs once the views are gone — at
+#: worst, interpreter shutdown.
+_PINNED_MAPPINGS: list = []
+
+
+def _release_segment(shm, owner: bool) -> None:
+    """Close (and for the owner unlink) a segment, tolerating stragglers.
+
+    A ``BufferError`` on close means zero-copy views into the mapping are
+    still alive somewhere; the mapping then stays open until the views
+    die (harmless), but the owner still unlinks the *name* so the segment
+    cannot outlive its last mapping.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        _PINNED_MAPPINGS.append(shm)
+    except Exception:
+        pass
+    if owner:
+        try:
+            shm.unlink()
+        except Exception:
+            pass

@@ -6,7 +6,10 @@ the vectorized batched wave kernel, anything a test registers), the
 legacy dict walk :func:`~repro.bgp.routing.compute_routes_reference`,
 incremental :func:`~repro.bgp.routing.recompute_routes` from a
 pre-mutation table, :class:`~repro.session.SimulationSession` serial
-(cache + derivation), and the session's process-pool fan-out.  The
+(cache + derivation), and the session's sharded shared-memory
+process-pool fan-out (mode ``session-pool-sharded``, forced into
+multiple destination-range shards so the shard boundaries themselves
+are under the contract).  The
 paper's numbers are only credible if they are interchangeable, so the
 oracle computes every destination via every path and reports the first
 divergence as a concrete ``(mode, destination, asn, expected, actual)``
@@ -134,11 +137,13 @@ class DifferentialOracle:
         destinations: Sequence[int],
         max_ancestors: int = 4,
         pool_workers: int = 2,
+        pool_shards: int = 4,
     ) -> None:
         self.graph = graph
         self.destinations = list(destinations)
         self.max_ancestors = max_ancestors
         self.pool_workers = pool_workers
+        self.pool_shards = pool_shards
         self.session = SimulationSession(graph, parallel=False)
         self.checks = 0
         self._history: Dict[int, List[Tuple[int, RoutingTable]]] = {
@@ -158,12 +163,16 @@ class DifferentialOracle:
         serial = self.session.compute_many(self.destinations)
         pool_tables: Optional[Dict[int, RoutingTable]] = None
         if include_pool:
-            pool_session = SimulationSession(
-                self.graph, parallel=True, max_workers=self.pool_workers
-            )
-            pool_tables = pool_session.compute_many(
-                self.destinations, parallel=True
-            )
+            # the sharded shared-memory fan-out, forced into multiple
+            # destination-range shards so shard boundaries themselves are
+            # under the byte-equality contract
+            with SimulationSession(
+                self.graph, parallel=True, max_workers=self.pool_workers,
+                shards=self.pool_shards,
+            ) as pool_session:
+                pool_tables = pool_session.compute_many(
+                    self.destinations, parallel=True
+                )
         snapshot = self.graph.snapshot()
         for destination in self.destinations:
             reference = compute_routes_reference(self.graph, destination)
@@ -203,7 +212,8 @@ class DifferentialOracle:
                         break
             if found is None and pool_tables is not None:
                 found = first_divergence(
-                    reference, pool_tables[destination], "session-pool"
+                    reference, pool_tables[destination],
+                    "session-pool-sharded",
                 )
             if found is not None:
                 _LOG.warning("oracle_divergence", mode=found.mode,

@@ -194,3 +194,59 @@ class TestChurnCommand:
         out = capsys.readouterr().out
         assert "rolling" in out
         assert "flap_storm" not in out
+
+
+class TestPoolFlags:
+    def test_stats_text_renders_pool_section(self, capsys):
+        assert main([
+            "stats", "--profile", "tiny", "--seed", "1",
+            "--parallel", "on", "--workers", "2", "--shards", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fan-out pool:" in out
+        assert "policy / workers:      True / 2" in out
+        assert "shards per fan-out:    3" in out
+        assert "parallel fan-outs:     2" in out
+
+    def test_stats_json_reports_pool(self, tmp_path, capsys):
+        import json as json_module
+
+        target = tmp_path / "stats.json"
+        assert main([
+            "stats", "--profile", "tiny", "--seed", "1",
+            "--parallel", "on", "--workers", "2",
+            "--format", "json", "--out", str(target),
+        ]) == 0
+        payload = json_module.loads(target.read_text())
+        pool = payload["pool"]
+        assert pool["parallel"] is True
+        assert pool["max_workers"] == 2
+        assert pool["parallel_fanouts"] >= 1
+        assert pool["mode"] in ("shm", "pickle")
+        if pool["mode"] == "shm":
+            assert pool["shared_memory"] is True
+            assert 0 < pool["ship_bytes"] < 512
+            assert pool["shared_bytes"] > pool["ship_bytes"]
+
+    def test_parallel_off_skips_pool(self, capsys):
+        assert main([
+            "stats", "--profile", "tiny", "--seed", "1",
+            "--parallel", "off",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parallel fan-outs:     0" in out
+        assert "no pooled fan-out ran" in out
+
+    def test_invalid_workers_rejected(self, capsys):
+        assert main([
+            "stats", "--profile", "tiny",
+            "--parallel", "on", "--workers", "0",
+        ]) == 1
+        assert "max_workers must be >= 1" in capsys.readouterr().err
+
+    def test_route_accepts_pool_flags(self, capsys):
+        assert main([
+            "route", "--profile", "tiny", "--seed", "1",
+            "--destination", "1", "--parallel", "auto", "--shards", "2",
+        ]) == 0
+        assert "->" in capsys.readouterr().out

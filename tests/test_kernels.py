@@ -451,3 +451,74 @@ class TestSessionKernel:
                 small_graph.ases[:18], parallel=True
             )
         assert len(tables) == 18
+
+
+# ----------------------------------------------------------------------
+# settle_many chunk boundaries
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestSettleManyChunking:
+    """The sweep splits destinations into composite waves of
+    ``_CHUNK_ENTRIES // n`` tables each; the boundaries (a sweep exactly
+    filling one chunk, one destination spilling into a second chunk) must
+    be invisible in the output."""
+
+    def _chunked(self, graph, per_chunk, destinations, monkeypatch):
+        from repro.bgp.kernels import batched as batched_module
+
+        snapshot = graph.snapshot()
+        monkeypatch.setattr(
+            batched_module, "_CHUNK_ENTRIES", per_chunk * snapshot.n
+        )
+        assert batched_module._CHUNK_ENTRIES // snapshot.n == per_chunk
+        return snapshot, batched_module.settle_many(snapshot, destinations)
+
+    def _assert_sweep_matches_scalar(self, snapshot, destinations, swept):
+        assert list(swept) == list(dict.fromkeys(destinations))
+        for destination in swept:
+            _assert_tables_byte_equal(
+                compute_routes_snapshot(snapshot, destination),
+                swept[destination],
+            )
+
+    def test_sweep_exactly_filling_one_chunk(self, small_graph, monkeypatch):
+        destinations = small_graph.ases[:4]
+        snapshot, swept = self._chunked(
+            small_graph, len(destinations), destinations, monkeypatch
+        )
+        self._assert_sweep_matches_scalar(snapshot, destinations, swept)
+
+    def test_one_destination_past_the_chunk(self, small_graph, monkeypatch):
+        destinations = small_graph.ases[:5]
+        snapshot, swept = self._chunked(
+            small_graph, len(destinations) - 1, destinations, monkeypatch
+        )
+        self._assert_sweep_matches_scalar(snapshot, destinations, swept)
+
+    def test_single_entry_chunks(self, small_graph, monkeypatch):
+        # degenerate chunk=1: every destination is its own wave
+        destinations = small_graph.ases[:6]
+        snapshot, swept = self._chunked(
+            small_graph, 1, destinations, monkeypatch
+        )
+        self._assert_sweep_matches_scalar(snapshot, destinations, swept)
+
+    def test_duplicates_straddling_chunks_computed_once(
+        self, small_graph, monkeypatch
+    ):
+        base = small_graph.ases[:4]
+        # duplicates interleaved so the deduped order straddles the
+        # 2-entry chunk boundary differently than the raw order would
+        destinations = [base[0], base[1], base[0], base[2], base[1], base[3]]
+        snapshot, swept = self._chunked(
+            small_graph, 2, destinations, monkeypatch
+        )
+        assert list(swept) == base
+        self._assert_sweep_matches_scalar(snapshot, destinations, swept)
+
+    def test_huge_chunk_is_one_wave(self, small_graph, monkeypatch):
+        destinations = small_graph.ases
+        snapshot, swept = self._chunked(
+            small_graph, len(destinations) + 100, destinations, monkeypatch
+        )
+        self._assert_sweep_matches_scalar(snapshot, destinations, swept)

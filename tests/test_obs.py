@@ -487,8 +487,11 @@ class TestSessionInstruments:
     def test_parallel_fanout_merges_worker_spans(self, small_graph):
         from repro.bgp import kernels
 
+        # workers settle whole shards through the sweep entry point: the
+        # batched kernel spans the sweep once, the scalar loop spans each
+        # destination's settle
         settle_span = (
-            "compute_routes_batched"
+            "settle_many"
             if kernels.active().name == "batched" else "compute_routes"
         )
         get_tracer().enable()

@@ -347,11 +347,14 @@ class TestParallelFanout:
 def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
     """An in-process stand-in for ProcessPoolExecutor for fault injection.
 
-    Mirrors the real worker contract: the initializer payload is the
-    frozen topology snapshot, and each job settles on it with the
-    snapshot kernel.  Jobs for destinations in ``fail_for`` raise
-    ``error`` from ``future.result()``; every other job computes the real
-    table and ships a synthetic drained-metrics payload (one
+    Mirrors the real worker contract: jobs carry a ``(mode, version,
+    descriptor, ship_bytes)`` spec — the fake obtains the snapshot the
+    way a worker would (attaching the shared-memory segment from the
+    descriptor, or taking the initializer-shipped snapshot in pickle
+    fallback) — and each job settles on it with the snapshot kernel.
+    Jobs whose destination range touches ``fail_for`` raise ``error``
+    from ``future.result()``; every other job computes the real tables
+    and ships a synthetic drained-metrics payload (one
     ``repro_test_pool_jobs_total`` increment), exactly like a real
     worker's ``obs.drain_worker()``.
     """
@@ -392,22 +395,51 @@ def _fake_pool_executor(fail_for=frozenset(), error=RuntimeError):
 
     class FakeExecutor:
         def __init__(self, max_workers=None, initializer=None, initargs=()):
-            self._snapshot = initargs[0]
+            # pickle-fallback initargs: (obs_state, snapshot, ship_bytes)
+            self._init_snapshot = initargs[1] if len(initargs) > 1 else None
+            self._attached = {}
+
+        def _snapshot_for(self, spec):
+            from repro.topology.snapshot import SharedSnapshot
+
+            mode, version, descriptor, _ship = spec
+            if mode != "shm":
+                return self._init_snapshot
+            if version not in self._attached:
+                self._attached[version] = SharedSnapshot.attach(descriptor)
+            return self._attached[version].snapshot
 
         def submit(self, fn, job):
+            import repro.session as session_module
             from repro.bgp.routing import compute_routes_snapshot
 
-            destination, pinned_items = job
-            if destination in fail_for:
-                return FakeFuture(exc=error(f"injected fault for {destination}"))
-            pinned = dict(pinned_items) if pinned_items else None
-            best = compute_routes_snapshot(
-                self._snapshot, destination, pinned=pinned
-            )
-            return FakeFuture(value=(destination, best, payload_template))
+            if fn is session_module._pool_settle_one:
+                spec, _obs, _kernel, destination, pinned_items = job
+                destinations = (destination,)
+                pinned = dict(pinned_items) if pinned_items else None
+            else:
+                spec, _obs, _kernel, destinations = job
+                pinned = None
+            broken = [d for d in destinations if d in fail_for]
+            if broken:
+                return FakeFuture(exc=error(f"injected fault for {broken[0]}"))
+            snapshot = self._snapshot_for(spec)
+            swept = {
+                d: compute_routes_snapshot(snapshot, d, pinned=pinned)
+                for d in destinations
+            }
+            if fn is session_module._pool_settle_one:
+                return FakeFuture(
+                    value=(destinations[0], swept[destinations[0]],
+                           payload_template)
+                )
+            packed = session_module._encode_shard(destinations, swept)
+            return FakeFuture(value=(destinations, packed, payload_template))
 
         def shutdown(self, wait=True, cancel_futures=False):
-            pass
+            for shared in self._attached.values():
+                shared.close()
+            self._attached.clear()
 
     return FakeExecutor
 
@@ -839,3 +871,272 @@ class TestAutoPrune:
         # the post-failure entry's version is no ancestor of the current
         # state, so it cannot seed derivations and is dropped
         assert session.stats.auto_pruned == 1
+
+
+class TestPersistentPool:
+    """The fan-out pool persists across compute_many calls (no per-call
+    executor churn), publishes the snapshot once per graph version, and
+    tears its workers down deterministically on close()."""
+
+    def _forced(self, graph, **kwargs):
+        kwargs.setdefault("max_workers", 2)
+        return SimulationSession(graph, parallel=True, **kwargs)
+
+    def test_repeated_same_version_fanouts_reuse_workers(self, small_graph):
+        session = self._forced(small_graph)
+        try:
+            session.compute_many(small_graph.ases[:4])
+            executor = session._pool.executor()
+            assert executor is not None
+            pids = set(executor._processes)
+            session.compute_many(small_graph.ases[4:8])
+            assert session._pool.executor() is executor
+            assert set(executor._processes) == pids
+            assert session.stats.parallel_fanouts == 2
+        finally:
+            session.close()
+
+    def test_snapshot_published_once_per_version(self, small_graph):
+        import repro.session as session_module
+
+        session = self._forced(small_graph)
+        try:
+            session.compute_many(small_graph.ases[:4])
+            publishes = session_module._POOL_SHIP_SECONDS.count
+            session.compute_many(small_graph.ases[4:8])
+            # same graph version: no republish, no new executor
+            assert session_module._POOL_SHIP_SECONDS.count == publishes
+            small_graph.remove_link(*next(small_graph.iter_links())[:2])
+            session.clear_cache()
+            session.compute_many(small_graph.ases[:4])
+            assert session_module._POOL_SHIP_SECONDS.count == publishes + 1
+        finally:
+            session.close()
+
+    def test_close_leaves_no_children(self, small_graph):
+        import multiprocessing
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        session = self._forced(small_graph)
+        session.compute_many(small_graph.ases[:4])
+        assert session.stats.parallel_fanouts == 1
+        session.close(wait=True)
+        after = {p.pid for p in multiprocessing.active_children()}
+        # every worker this session spawned has exited; children that
+        # predate the session (other tests' unclosed pools) are not ours
+        assert after <= before
+
+    def test_session_usable_after_close(self, small_graph):
+        session = self._forced(small_graph)
+        try:
+            first = session.compute_many(small_graph.ases[:4])
+            session.close(wait=True)
+            session.clear_cache()
+            second = session.compute_many(small_graph.ases[:4])
+            assert session.stats.parallel_fanouts == 2
+            for destination in small_graph.ases[:4]:
+                assert (
+                    dict(first[destination].items())
+                    == dict(second[destination].items())
+                )
+        finally:
+            session.close()
+
+    def test_context_manager_closes_pool(self, small_graph):
+        with self._forced(small_graph) as session:
+            session.compute_many(small_graph.ases[:4])
+            assert session._pool.executor() is not None
+        assert session._pool.executor() is None
+
+    def test_sharded_fanout_matches_serial_byte_for_byte(self, small_graph):
+        import pickle
+
+        destinations = list(small_graph.ases)
+        serial = SimulationSession(small_graph, parallel=False)
+        serial_tables = serial.compute_many(destinations)
+        with self._forced(small_graph, shards=5) as session:
+            pool_tables = session.compute_many(destinations)
+            assert session.stats.parallel_fanouts == 1
+        for destination in destinations:
+            assert pickle.dumps(dict(pool_tables[destination].items())) == \
+                pickle.dumps(dict(serial_tables[destination].items()))
+
+    def test_explicit_shard_count_respected(self, small_graph):
+        with self._forced(small_graph, shards=3) as session:
+            shards = session._pool.shard(list(small_graph.ases[:10]))
+            assert len(shards) == 3
+            assert [len(s) for s in shards] == [4, 3, 3]
+            assert [d for shard in shards for d in shard] == \
+                list(small_graph.ases[:10])
+
+    def test_default_shards_scale_with_workers(self, small_graph):
+        from repro.session import POOL_SHARD_FACTOR
+
+        with self._forced(small_graph, max_workers=2) as session:
+            misses = list(small_graph.ases[:40])
+            shards = session._pool.shard(misses)
+            assert len(shards) == 2 * POOL_SHARD_FACTOR
+            # never more shards than misses
+            assert len(session._pool.shard(misses[:3])) == 3
+
+    def test_invalid_pool_params_rejected(self, small_graph):
+        with pytest.raises(SessionError):
+            SimulationSession(small_graph, shards=0)
+        with pytest.raises(SessionError):
+            SimulationSession(small_graph, max_workers=0)
+
+
+class TestShipAccounting:
+    """Regression for the per-fan-out vs per-worker ship accounting bug:
+    ship cost is recorded by the worker that actually attaches — once per
+    worker per graph version — not once per fan-out in the parent."""
+
+    def _metrics(self):
+        import repro.session as session_module
+
+        return (
+            session_module._POOL_SHIP_BYTES,
+            session_module._POOL_ATTACH_SECONDS,
+            session_module._POOL_ATTACHES,
+        )
+
+    def _attaches(self, counter, mode):
+        return counter.labels(mode=mode).value
+
+    def test_shm_ship_is_descriptor_sized_per_attach(self, small_graph):
+        ship_bytes, attach_seconds, attaches = self._metrics()
+        with SimulationSession(
+            small_graph, parallel=True, max_workers=2
+        ) as session:
+            session.compute_many(small_graph.ases[:8])
+            session.compute_many(small_graph.ases[8:16])
+            descriptor_bytes = session._pool.ship_bytes
+        attached = self._attaches(attaches, "shm")
+        # one observation per worker that attached — not one per fan-out,
+        # and no re-attach for the second same-version fan-out
+        assert 1 <= attached <= 2
+        assert ship_bytes.count == attached
+        assert attach_seconds.count == attached
+        assert ship_bytes.sum == pytest.approx(descriptor_bytes * attached)
+        assert descriptor_bytes < 512
+
+    def test_pickle_fallback_ships_snapshot_per_worker(
+        self, small_graph, monkeypatch
+    ):
+        import pickle
+
+        import repro.session as session_module
+
+        monkeypatch.setattr(
+            session_module, "shared_memory_available", lambda: False
+        )
+        ship_bytes, attach_seconds, attaches = self._metrics()
+        snapshot_bytes = len(pickle.dumps(small_graph.snapshot()))
+        with SimulationSession(
+            small_graph, parallel=True, max_workers=2
+        ) as session:
+            session.compute_many(small_graph.ases[:8])
+            assert session._pool.mode == "pickle"
+        attached = self._attaches(attaches, "pickle")
+        assert attached >= 1
+        assert self._attaches(attaches, "shm") == 0
+        assert ship_bytes.count == attached
+        assert ship_bytes.sum == pytest.approx(snapshot_bytes * attached)
+
+    def test_version_advance_reattaches_once_per_worker(self, small_graph):
+        ship_bytes, _seconds, attaches = self._metrics()
+        with SimulationSession(
+            small_graph, parallel=True, max_workers=2
+        ) as session:
+            session.compute_many(small_graph.ases[:8])
+            first = self._attaches(attaches, "shm")
+            small_graph.remove_link(*next(small_graph.iter_links())[:2])
+            session.clear_cache()
+            session.compute_many(small_graph.ases[:8])
+            second = self._attaches(attaches, "shm")
+        assert first >= 1
+        # the new version forces fresh attaches, again at most one per
+        # participating worker
+        assert first < second <= first + 2
+        assert ship_bytes.count == second
+
+
+class TestPickleProbeInvalidation:
+    """Regression for the stale _snapshot_pickles memo: the picklability
+    verdict is keyed on graph.version, so a graph whose snapshot becomes
+    (un)picklable after a mutation is re-probed."""
+
+    class _Unpicklable:
+        def __reduce__(self):
+            raise TypeError("deliberately unpicklable")
+
+    def _poison(self, monkeypatch, graph):
+        """Make graph.snapshot() return an unpicklable object."""
+        poison = self._Unpicklable()
+        poison_version = graph.version
+        real_snapshot = type(graph).snapshot
+
+        def snapshot(self):
+            if self.version == poison_version:
+                return poison
+            return real_snapshot(self)
+
+        monkeypatch.setattr(type(graph), "snapshot", snapshot)
+
+    def test_verdict_recovers_after_mutation(self, small_graph, monkeypatch):
+        import repro.session as session_module
+
+        # force the pickle-probe path: without shared memory the pool is
+        # only usable when the snapshot pickles
+        monkeypatch.setattr(
+            session_module, "shared_memory_available", lambda: False
+        )
+        session = SimulationSession(small_graph, parallel=True)
+        self._poison(monkeypatch, small_graph)
+        assert session._use_pool(True, 1) is False
+        stale = session._snapshot_pickles
+        assert stale is not None and stale[1] is False
+        # the mutation moves graph.version off the poisoned one; the memo
+        # must be re-probed, not served stale
+        small_graph.remove_link(*next(small_graph.iter_links())[:2])
+        assert session._use_pool(True, 1) is True
+        fresh = session._snapshot_pickles
+        assert fresh[0] == small_graph.version and fresh[1] is True
+        assert fresh[2] > 0
+
+    def test_verdict_invalidates_when_graph_stops_pickling(
+        self, small_graph, monkeypatch
+    ):
+        import repro.session as session_module
+
+        monkeypatch.setattr(
+            session_module, "shared_memory_available", lambda: False
+        )
+        session = SimulationSession(small_graph, parallel=True)
+        assert session._use_pool(True, 1) is True
+        before = small_graph.version
+        small_graph.remove_link(*next(small_graph.iter_links())[:2])
+        self._poison(monkeypatch, small_graph)
+        assert small_graph.version != before
+        assert session._use_pool(True, 1) is False
+
+    def test_same_version_probe_is_memoized(self, small_graph, monkeypatch):
+        import pickle as pickle_module
+
+        import repro.session as session_module
+
+        monkeypatch.setattr(
+            session_module, "shared_memory_available", lambda: False
+        )
+        session = SimulationSession(small_graph, parallel=True)
+        probes = []
+        real_dumps = pickle_module.dumps
+
+        def counting_dumps(obj, *args, **kwargs):
+            probes.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(session_module.pickle, "dumps", counting_dumps)
+        session._use_pool(True, 1)
+        session._use_pool(True, 1)
+        assert len(probes) == 1

@@ -301,3 +301,161 @@ def test_graph_accessors_still_return_fresh_lists():
         expected = list(first)
         first.append(-1)  # mutating the copy must not corrupt the graph
         assert accessor(asn) == expected
+
+
+# ---------------------------------------------------------------------------
+# shared-memory publication: the zero-copy pool transport
+# ---------------------------------------------------------------------------
+
+class TestSharedSnapshot:
+    def _published(self):
+        from repro.topology.snapshot import SharedSnapshot
+
+        graph = small_graph()
+        snapshot = graph.snapshot()
+        return snapshot, SharedSnapshot.publish(snapshot)
+
+    def test_requires_shared_memory(self):
+        from repro.topology.snapshot import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory in this environment")
+
+    def test_attach_reconstructs_identical_arrays(self):
+        from repro.topology.snapshot import SharedSnapshot
+
+        snapshot, shared = self._published()
+        attached = SharedSnapshot.attach(shared.descriptor())
+        try:
+            rebuilt = attached.snapshot
+            assert rebuilt.version == snapshot.version
+            assert rebuilt.asns == snapshot.asns
+            assert rebuilt.index == snapshot.index
+            assert list(rebuilt.nbr_off) == list(snapshot.nbr_off)
+            assert list(rebuilt.nbr) == list(snapshot.nbr)
+            assert list(rebuilt.cls_off) == list(snapshot.cls_off)
+            assert list(rebuilt.cls_adj) == list(snapshot.cls_adj)
+        finally:
+            attached.close()
+            shared.close()
+
+    def test_attached_tables_byte_equal(self):
+        from repro.bgp.routing import compute_routes_snapshot
+        from repro.topology.snapshot import SharedSnapshot
+
+        snapshot, shared = self._published()
+        attached = SharedSnapshot.attach(shared.descriptor())
+        try:
+            for destination in snapshot.asns[:5]:
+                reference = compute_routes_snapshot(snapshot, destination)
+                rebuilt = compute_routes_snapshot(
+                    attached.snapshot, destination
+                )
+                assert pickle.dumps(reference) == pickle.dumps(rebuilt)
+        finally:
+            attached.close()
+            shared.close()
+
+    def test_descriptor_is_o1_in_topology_size(self):
+        """The ship payload must not scale with the graph — that is the
+        whole point of the shared-memory fan-out."""
+        from repro.topology.snapshot import SharedSnapshot
+
+        small_snapshot = small_graph().snapshot()
+        big_snapshot = generate_named("verify-500", seed=7).snapshot()
+        small_shared = SharedSnapshot.publish(small_snapshot)
+        big_shared = SharedSnapshot.publish(big_snapshot)
+        try:
+            small_ship = len(pickle.dumps(small_shared.descriptor()))
+            big_ship = len(pickle.dumps(big_shared.descriptor()))
+            assert big_shared.nbytes > 3 * small_shared.nbytes
+            assert big_ship < 512
+            assert abs(big_ship - small_ship) < 64
+            assert big_ship < big_shared.nbytes / 100
+        finally:
+            small_shared.close()
+            big_shared.close()
+
+    def test_refcount_lifecycle(self):
+        from repro.topology.snapshot import SharedSnapshot
+
+        _, shared = self._published()
+        assert shared.refs == 1 and not shared.closed
+        assert shared.addref() is shared
+        assert shared.refs == 2
+        shared.close()
+        assert shared.refs == 1 and not shared.closed
+        shared.close()
+        assert shared.closed
+        shared.close()  # idempotent
+        assert shared.closed
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            shared.addref()
+
+    def test_owner_close_unlinks_segment(self):
+        from multiprocessing import shared_memory
+
+        _, shared = self._published()
+        name = shared.descriptor().name
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attached_mapping_survives_owner_unlink(self):
+        """POSIX unlink semantics: consumers attached before the owner
+        closes keep a valid mapping until they close themselves."""
+        from repro.bgp.routing import compute_routes_snapshot
+        from repro.topology.snapshot import SharedSnapshot
+
+        snapshot, shared = self._published()
+        attached = SharedSnapshot.attach(shared.descriptor())
+        shared.close()  # owner gone, segment name unlinked
+        try:
+            destination = snapshot.asns[0]
+            reference = compute_routes_snapshot(snapshot, destination)
+            rebuilt = compute_routes_snapshot(attached.snapshot, destination)
+            assert pickle.dumps(reference) == pickle.dumps(rebuilt)
+        finally:
+            attached.close()
+
+    def test_attach_unknown_segment_raises(self):
+        from repro.topology.snapshot import (
+            SharedSnapshot,
+            SharedSnapshotDescriptor,
+        )
+
+        descriptor = SharedSnapshotDescriptor(
+            name="repro_no_such_segment", version=0,
+            lengths=(1, 2, 1, 5, 1),
+        )
+        with pytest.raises(FileNotFoundError):
+            SharedSnapshot.attach(descriptor)
+
+    def test_memoryview_fallback_without_numpy(self, monkeypatch):
+        """The numpy-free reconstruction path serves the same arrays."""
+        import builtins
+
+        from repro.topology.snapshot import SharedSnapshot
+
+        real_import = builtins.__import__
+
+        def no_numpy(name, *args, **kwargs):
+            if name == "numpy":
+                raise ImportError("numpy disabled for this test")
+            return real_import(name, *args, **kwargs)
+
+        snapshot, shared = self._published()
+        attached = SharedSnapshot.attach(shared.descriptor())
+        monkeypatch.setattr(builtins, "__import__", no_numpy)
+        try:
+            rebuilt = attached.snapshot
+            assert rebuilt.asns == snapshot.asns
+            assert list(rebuilt.cls_adj) == list(snapshot.cls_adj)
+            off, adj = rebuilt.class_lists()
+            assert off == list(snapshot.cls_off)
+            assert adj == list(snapshot.cls_adj)
+        finally:
+            monkeypatch.undo()
+            attached.close()
+            shared.close()

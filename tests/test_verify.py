@@ -418,3 +418,65 @@ class TestVerifyCli:
         out = capsys.readouterr().out
         assert "route-table audit:" in out
         assert "result: PASS" in out
+
+
+class TestShardedPoolOracle:
+    """The sharded shared-memory fan-out is an enumerated oracle path:
+    mode ``session-pool-sharded`` forces the pool into multiple
+    destination-range shards so shard boundaries themselves are under
+    the byte-equality contract, under a real seeded fault campaign."""
+
+    def test_campaign_exercises_sharded_pool_mode(self):
+        from repro.obs import reset
+
+        reset()
+        make = lambda: generate_named("small", seed=7)
+        outcome = run_campaign(
+            make, seed=1, n_events=4, n_destinations=6, include_pool=True
+        )
+        assert outcome.ok
+        checks = oracle_module._ORACLE_CHECKS
+        sharded = checks.labels(mode="session-pool-sharded").value
+        # one pool comparison per destination, on the final state
+        assert sharded == 6
+        divergences = oracle_module._ORACLE_DIVERGENCES
+        assert divergences.labels(mode="session-pool-sharded").value == 0
+
+    def test_oracle_forces_multiple_shards(self, small_graph):
+        oracle = DifferentialOracle(
+            small_graph, small_graph.ases[:8],
+            pool_workers=2, pool_shards=4,
+        )
+        assert oracle.pool_shards == 4
+        result = oracle.check(include_pool=True)
+        assert result.ok
+
+    def test_sharded_pool_divergence_is_attributed(
+        self, small_graph, monkeypatch
+    ):
+        destinations = small_graph.ases[:4]
+        poisoned = destinations[-1]
+
+        class PoisonedSession(SimulationSession):
+            """Corrupts the pool path only: parallel compute_many drops
+            the last entry of one destination's table."""
+
+            def compute_many(self, dests, pinned=None, parallel=None):
+                tables = super().compute_many(dests, pinned, parallel)
+                if parallel and poisoned in tables:
+                    table = tables[poisoned]
+                    best = dict(list(table.items())[:-1])
+                    tables[poisoned] = RoutingTable(
+                        table.graph, table.destination, best
+                    )
+                return tables
+
+        monkeypatch.setattr(
+            oracle_module, "SimulationSession", PoisonedSession
+        )
+        oracle = DifferentialOracle(small_graph, destinations)
+        result = oracle.check(include_pool=True)
+        assert not result.ok
+        modes = {d.mode for d in result.divergences}
+        assert modes == {"session-pool-sharded"}
+        assert {d.destination for d in result.divergences} == {poisoned}
