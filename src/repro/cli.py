@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands::
+Twelve subcommands::
 
     repro topology       generate a topology, print its Table 5.1
                          attributes, optionally dump it in CAIDA format
@@ -17,6 +17,10 @@ Ten subcommands::
                          deployment, negotiation races) on the event engine
     repro stats          run a small instrumented workload and export the
                          metrics snapshot (json / prom / text)
+    repro serve          run the asyncio MIRO query daemon (route lookups,
+                         negotiations, stats) as JSON lines over TCP
+    repro loadgen        drive the query service with a seeded Zipf /
+                         open-loop workload, in-process or over TCP
     repro bench          run the canonical benchmark suites into one
                          BENCH_<sha>.json trajectory, or compare two
                          trajectories and fail on hot-path regressions
@@ -334,9 +338,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     """Run the route-equivalence verification harness (``repro verify``).
 
     Seeded fault-injection campaigns cross-check every route-computation
-    path (full / incremental / session-serial / session-pool-sharded) and the
-    stable-state invariants after every injected event; exit code 1 when
-    anything diverges or violates.
+    path (full / incremental / session-serial / session-pool-sharded /
+    service-batched) and the stable-state invariants after every injected
+    event; exit code 1 when anything diverges or violates.
     """
     from .verify import run_campaigns
 
@@ -358,6 +362,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         n_events=args.events,
         n_destinations=args.destinations,
         include_pool=not args.no_pool,
+        include_service=not args.no_service,
         tunnel_campaigns=args.tunnel_campaigns,
         topology=args.topology or args.profile,
         progress=progress if not args.quiet else None,
@@ -623,6 +628,118 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="distinct destinations per settle batch "
+                             "(default 64)")
+    parser.add_argument("--max-delay", type=float, default=0.002,
+                        help="micro-batching window in seconds (default "
+                             "0.002)")
+    parser.add_argument("--max-pending", type=int, default=1024,
+                        help="in-flight fills before shedding (default 1024)")
+    parser.add_argument("--settle-threads", type=int, default=2,
+                        help="concurrent settle batches (default 2)")
+
+
+def _service_config(args: argparse.Namespace):
+    from .service import ServiceConfig
+
+    return ServiceConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        max_pending=args.max_pending,
+        settle_threads=args.settle_threads,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio MIRO query daemon on a TCP port."""
+    import asyncio
+
+    from .miro.runtime import MiroRuntime
+    from .service import MiroService, serve
+
+    graph = _build_graph(args)
+    session = _build_session(args, graph)
+    runtime = MiroRuntime(graph, seed=args.seed)
+
+    async def run() -> None:
+        async with MiroService(
+            session, _service_config(args), runtime=runtime
+        ) as service:
+            ready = asyncio.get_running_loop().create_future()
+            endpoint = asyncio.get_running_loop().create_task(
+                serve(service, args.host, args.port, ready=ready)
+            )
+            port = await ready
+            print(f"serving {len(graph)} ASes on {args.host}:{port} "
+                  "(Ctrl-C to stop)")
+            try:
+                await endpoint
+            finally:
+                endpoint.cancel()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ndraining... done")
+    finally:
+        _maybe_print_stats(args, session)
+        session.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Generate seeded Zipf/open-loop query load, in-process or remote."""
+    import asyncio
+    import random
+
+    from .service import WorkloadConfig, run_workload, run_workload_client
+
+    graph = _build_graph(args)
+    rng = random.Random(args.workload_seed)
+    population = sorted(rng.sample(graph.ases,
+                                   min(args.destinations, len(graph))))
+    rng.shuffle(population)  # popularity rank independent of AS number
+    config = WorkloadConfig(
+        destinations=tuple(population),
+        requests=args.requests,
+        rate=args.rate,
+        zipf_s=args.zipf,
+        seed=args.workload_seed,
+        churn_every=args.churn_every or None,
+        negotiate_every=args.negotiate_every or None,
+    )
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        result = asyncio.run(
+            run_workload_client(host or "127.0.0.1", int(port), config)
+        )
+        print(result.render())
+        return 0
+
+    from .miro.runtime import MiroRuntime
+    from .service import MiroService
+
+    session = _build_session(args, graph)
+    runtime = MiroRuntime(graph, seed=args.seed)
+
+    async def run():
+        async with MiroService(
+            session, _service_config(args), runtime=runtime
+        ) as service:
+            return await run_workload(service, config)
+
+    try:
+        result = asyncio.run(run())
+        print(result.render())
+        _maybe_print_stats(args, session)
+    finally:
+        session.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -715,6 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tunnel-consistency sub-campaigns (default 2)")
     verify.add_argument("--no-pool", action="store_true",
                         help="skip the process-pool comparison path")
+    verify.add_argument("--no-service", action="store_true",
+                        help="skip the query-daemon batched comparison path")
     verify.add_argument("--quiet", action="store_true",
                         help="suppress per-campaign progress on stderr")
     verify.add_argument("--out", metavar="FILE",
@@ -788,6 +907,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the snapshot here instead of stdout")
     stats.set_defaults(func=_cmd_stats)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio MIRO query daemon (JSON-lines over TCP)",
+    )
+    _add_topology_args(serve)
+    _add_obs_args(serve)
+    _add_kernel_args(serve)
+    _add_session_args(serve)
+    _add_service_args(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7547,
+                       help="TCP port; 0 picks a free one (default 7547)")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the query service with seeded Zipf/open-loop load, "
+             "in-process by default or against --connect HOST:PORT",
+    )
+    _add_topology_args(loadgen)
+    _add_obs_args(loadgen)
+    _add_kernel_args(loadgen)
+    _add_session_args(loadgen)
+    _add_service_args(loadgen)
+    loadgen.add_argument("--requests", type=int, default=10000,
+                         help="lookups to issue (default 10000)")
+    loadgen.add_argument("--rate", type=float, default=0.0,
+                         help="open-loop arrivals per second "
+                              "(default 0: as fast as possible)")
+    loadgen.add_argument("--destinations", type=int, default=64,
+                         help="destination population size (default 64)")
+    loadgen.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf popularity exponent (default 1.1)")
+    loadgen.add_argument("--workload-seed", type=int, default=0,
+                         help="workload seed: destinations, popularity, "
+                              "arrivals (default 0)")
+    loadgen.add_argument("--churn-every", type=int, default=0,
+                         help="flap a link every N requests (in-process "
+                              "only; default off)")
+    loadgen.add_argument("--negotiate-every", type=int, default=0,
+                         help="MIRO negotiation every N requests "
+                              "(in-process only; default off)")
+    loadgen.add_argument("--connect", metavar="HOST:PORT",
+                         help="drive a running `repro serve` endpoint "
+                              "instead of an in-process service "
+                              "(lookup-only; regenerate the same "
+                              "topology args the server used)")
+    loadgen.set_defaults(func=_cmd_loadgen)
+
     bench = sub.add_parser(
         "bench",
         help="run the canonical benchmark suites / gate a trajectory "
@@ -804,7 +973,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_args(bench_run)
     bench_run.add_argument(
         "--suite", action="append",
-        choices=["kernel", "session", "events", "all"],
+        choices=["kernel", "session", "events", "service", "all"],
         help="suite to run (repeatable; default: all)",
     )
     bench_run.add_argument("--destinations", type=int, default=64,

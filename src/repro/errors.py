@@ -78,3 +78,21 @@ class DataPlaneError(ReproError):
 
 class ObservabilityError(ReproError):
     """Instrumentation misuse (bad metric name, label mismatch, ...)."""
+
+
+class ServiceError(ReproError):
+    """Query-service misuse or unavailability (draining, no runtime, ...)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a request because its admission queue is full.
+
+    ``retry_after`` is the suggested back-off in seconds — the
+    ``Retry-After`` of the JSON protocol's overload response.
+    """
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"service overloaded; retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after

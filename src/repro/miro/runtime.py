@@ -13,6 +13,7 @@ behaviour of §4.3:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -63,6 +64,25 @@ class EstablishedTunnel:
     destination: int
 
 
+class _EstablishFlight:
+    """One in-flight negotiation for a (requester, destination) pair.
+
+    Concurrent :meth:`MiroRuntime.establish` calls with the *same*
+    request arguments share the leader's outcome; calls with different
+    arguments on the same pair serialize behind it (negotiating against
+    the post-flight tunnel state) instead of racing the id allocator and
+    the tunnel-table installs.
+    """
+
+    __slots__ = ("signature", "event", "result", "error")
+
+    def __init__(self, signature: Tuple) -> None:
+        self.signature = signature
+        self.event = threading.Event()
+        self.result: Optional[EstablishedTunnel] = None
+        self.error: Optional[BaseException] = None
+
+
 class MiroRuntime:
     """MIRO speakers over a running BGP system."""
 
@@ -83,6 +103,12 @@ class MiroRuntime:
         self._live: List[EstablishedTunnel] = []
         self.clock = 0.0
         self.torn_down: List[Tunnel] = []
+        # Concurrency discipline for the serving plane: one re-entrant
+        # lock guards every tunnel-table mutation (install / remove /
+        # heartbeat / expire and the _live list), and negotiations are
+        # single-flight per (requester, destination) — see establish().
+        self._lock = threading.RLock()
+        self._establish_flights: Dict[Tuple[int, int], _EstablishFlight] = {}
 
     # ------------------------------------------------------------------
     # bring-up
@@ -136,7 +162,52 @@ class MiroRuntime:
         The via path is the requester's *current* route to the responder
         (truncated default path toward the destination when the responder
         lies on it, else the direct link).
+
+        Thread-safe and single-flight per (requester, destination):
+        concurrent identical requests (same responder/policy/constraint)
+        share one negotiation and one installed tunnel — the concurrent
+        analogue of "the AS already asked for this path" — while
+        differing concurrent requests on the pair serialize.  Sequential
+        calls are unaffected: each still negotiates its own tunnel.
         """
+        key = (requester, destination)
+        signature = (responder, policy, constraint)
+        while True:
+            with self._lock:
+                flight = self._establish_flights.get(key)
+                if flight is None:
+                    flight = _EstablishFlight(signature)
+                    self._establish_flights[key] = flight
+                    break
+            flight.event.wait()
+            if flight.signature == signature:
+                if flight.error is not None:
+                    raise flight.error
+                return flight.result
+            # a different request for the same pair was in flight:
+            # loop and negotiate against the post-flight state
+        try:
+            record = self._establish(
+                requester, responder, destination, policy, constraint
+            )
+            flight.result = record
+            return record
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._establish_flights.pop(key, None)
+            flight.event.set()
+
+    def _establish(
+        self,
+        requester: int,
+        responder: int,
+        destination: int,
+        policy: ExportPolicy,
+        constraint: Optional[RouteConstraint],
+    ) -> Optional[EstablishedTunnel]:
         best = self.engine.best(requester, destination)
         via: Optional[Tuple[int, ...]] = None
         if best is not None and responder in best.path:
@@ -167,34 +238,37 @@ class MiroRuntime:
         # handed the same number twice.  Keep drawing from the
         # responder's monotonic allocator until the id is free at both
         # ends (found by the verify harness's tunnel campaign).
-        tunnel_id = self.tunnels[responder].allocate_id()
-        while (
-            self.tunnels[requester].has(tunnel_id)
-            or self.tunnels[responder].has(tunnel_id)
-        ):
+        with self._lock:
             tunnel_id = self.tunnels[responder].allocate_id()
-        tunnel = Tunnel(
-            tunnel_id=tunnel_id,
-            upstream=requester,
-            downstream=responder,
-            destination=destination,
-            path=chosen.path,
-            via_path=via,
-        )
-        mirror = Tunnel(
-            tunnel_id=tunnel_id,
-            upstream=requester,
-            downstream=responder,
-            destination=destination,
-            path=chosen.path,
-            via_path=via,
-        )
-        _MSG_ACCEPT.inc()
-        _MSG_GRANT.inc()
-        self.tunnels[requester].install(tunnel, now=self.clock)
-        self.tunnels[responder].install(mirror, now=self.clock)
-        record = EstablishedTunnel(tunnel, requester, responder, destination)
-        self._live.append(record)
+            while (
+                self.tunnels[requester].has(tunnel_id)
+                or self.tunnels[responder].has(tunnel_id)
+            ):
+                tunnel_id = self.tunnels[responder].allocate_id()
+            tunnel = Tunnel(
+                tunnel_id=tunnel_id,
+                upstream=requester,
+                downstream=responder,
+                destination=destination,
+                path=chosen.path,
+                via_path=via,
+            )
+            mirror = Tunnel(
+                tunnel_id=tunnel_id,
+                upstream=requester,
+                downstream=responder,
+                destination=destination,
+                path=chosen.path,
+                via_path=via,
+            )
+            _MSG_ACCEPT.inc()
+            _MSG_GRANT.inc()
+            self.tunnels[requester].install(tunnel, now=self.clock)
+            self.tunnels[responder].install(mirror, now=self.clock)
+            record = EstablishedTunnel(
+                tunnel, requester, responder, destination
+            )
+            self._live.append(record)
         _TUNNELS_ESTABLISHED.inc()
         _LIVE_TUNNELS.set(len(self.live_tunnels()))
         _LOG.info("tunnel_established", tunnel_id=tunnel_id,
@@ -203,10 +277,11 @@ class MiroRuntime:
         return record
 
     def live_tunnels(self) -> List[EstablishedTunnel]:
-        return [
-            t for t in self._live
-            if self.tunnels[t.requester].has(t.tunnel.tunnel_id)
-        ]
+        with self._lock:
+            return [
+                t for t in self._live
+                if self.tunnels[t.requester].has(t.tunnel.tunnel_id)
+            ]
 
     # ------------------------------------------------------------------
     # §4.3 dynamics
@@ -245,20 +320,23 @@ class MiroRuntime:
         if not self._dirty_destinations:
             return []
         removed: List[Tunnel] = []
-        for record in list(self._live):
-            if record.destination not in self._dirty_destinations:
-                continue
-            if not self.tunnels[record.requester].has(record.tunnel.tunnel_id):
-                continue
-            if self._tunnel_still_valid(record):
-                continue
-            for endpoint in (record.requester, record.responder):
-                if self.tunnels[endpoint].has(record.tunnel.tunnel_id):
-                    self.tunnels[endpoint].remove(record.tunnel.tunnel_id)
-            removed.append(record.tunnel)
-            self._live.remove(record)
-        self._dirty_destinations.clear()
-        self.torn_down.extend(removed)
+        with self._lock:
+            for record in list(self._live):
+                if record.destination not in self._dirty_destinations:
+                    continue
+                if not self.tunnels[record.requester].has(
+                    record.tunnel.tunnel_id
+                ):
+                    continue
+                if self._tunnel_still_valid(record):
+                    continue
+                for endpoint in (record.requester, record.responder):
+                    if self.tunnels[endpoint].has(record.tunnel.tunnel_id):
+                        self.tunnels[endpoint].remove(record.tunnel.tunnel_id)
+                removed.append(record.tunnel)
+                self._live.remove(record)
+            self._dirty_destinations.clear()
+            self.torn_down.extend(removed)
         if removed:
             _TUNNELS_REMOVED.labels(cause="route_change").inc(len(removed))
             _LIVE_TUNNELS.set(len(self.live_tunnels()))
@@ -293,25 +371,29 @@ class MiroRuntime:
 
     def heartbeat(self, requester: int, tunnel_id: int) -> None:
         """One keep-alive exchange refreshing both endpoints (§4.3)."""
-        for record in self._live:
-            if record.tunnel.tunnel_id == tunnel_id and (
-                record.requester == requester
-            ):
-                for endpoint in (record.requester, record.responder):
-                    if self.tunnels[endpoint].has(tunnel_id):
-                        self.tunnels[endpoint].heartbeat(tunnel_id, self.clock)
-                return
+        with self._lock:
+            for record in self._live:
+                if record.tunnel.tunnel_id == tunnel_id and (
+                    record.requester == requester
+                ):
+                    for endpoint in (record.requester, record.responder):
+                        if self.tunnels[endpoint].has(tunnel_id):
+                            self.tunnels[endpoint].heartbeat(
+                                tunnel_id, self.clock
+                            )
+                    return
         raise NegotiationError(
             f"AS {requester} holds no live tunnel {tunnel_id}"
         )
 
     def tick(self, dt: float) -> List[Tunnel]:
         """Advance time and expire silent tunnels at every AS."""
-        self.clock += dt
         expired: List[Tunnel] = []
-        for table in self.tunnels.values():
-            expired.extend(table.expire(self.clock))
-        self.torn_down.extend(expired)
+        with self._lock:
+            self.clock += dt
+            for table in self.tunnels.values():
+                expired.extend(table.expire(self.clock))
+            self.torn_down.extend(expired)
         if expired:
             _TUNNELS_REMOVED.labels(cause="expired").inc(len(expired))
             _LIVE_TUNNELS.set(len(self.live_tunnels()))

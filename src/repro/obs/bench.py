@@ -22,8 +22,10 @@ all of that with one plane:
   time, pool ship bytes/seconds, event-engine throughput, warm-cache
   hit latency — and only those make the comparison fail, which is what
   ``repro bench compare`` turns into a nonzero exit for CI;
-* :func:`run_suites` drives the built-in kernel / session / events
-  suites from the CLI (``repro bench run``).
+* :func:`run_suites` drives the built-in kernel / session / events /
+  service suites from the CLI (``repro bench run``); the service suite
+  is warn-only — it records the daemon's warm lookup throughput into
+  the trajectory without gating CI on event-loop jitter.
 
 The schema is versioned (``repro-bench/1``); :func:`validate_document`
 rejects anything else before a comparison can silently mis-read it.
@@ -520,17 +522,70 @@ def _suite_events(
     suite.record("scheduler_dispatch_seconds", elapsed, "seconds")
 
 
+def _suite_service(
+    reporter: BenchReporter, profile: str, seed: int,
+    destinations: int, clock: Callable[[], float],
+) -> None:
+    """Warm lookup throughput through the asyncio daemon's admission.
+
+    Warn-only (no ``gate=True``): service latency rides on thread
+    scheduling and event-loop jitter, so it lands in the trajectory for
+    trend-watching without failing CI on a noisy run.  The hard 10k/s
+    acceptance bar lives in ``benchmarks/test_service_latency.py``.
+    """
+    import asyncio
+
+    from ..service import MiroService, ServiceConfig
+    from ..session import SimulationSession
+    from ..topology import generate_named
+
+    graph = generate_named(profile, seed=seed)
+    targets = list(graph.ases)[:destinations]
+    n_lookups = 5_000
+    suite = reporter.suite("service")
+
+    async def run() -> Tuple[float, float]:
+        with SimulationSession(
+            graph, parallel=False,
+            max_cached_tables=max(len(targets), 16),
+        ) as session:
+            async with MiroService(session, ServiceConfig()) as service:
+                start = clock()
+                await asyncio.gather(
+                    *[service.lookup(d) for d in targets]
+                )
+                cold = clock() - start
+                start = clock()
+                for i in range(n_lookups):
+                    await service.lookup(targets[i % len(targets)])
+                warm = clock() - start
+        return cold, warm
+
+    cold, warm = asyncio.run(run())
+    suite.record(
+        "cold_gather_seconds", cold, "seconds",
+        topology=profile, topology_size=len(graph),
+    )
+    suite.record(
+        "warm_lookups_per_second",
+        n_lookups / warm if warm else 0.0,
+        "lookups/s", better="higher",
+        topology=profile, topology_size=len(graph),
+    )
+
+
 #: The built-in `repro bench run` suites, in execution order.
 BENCH_SUITES: Dict[str, Callable[..., None]] = {
     "kernel": _suite_kernel,
     "session": _suite_session,
     "events": _suite_events,
+    "service": _suite_service,
 }
 
 
 def run_suites(
     reporter: BenchReporter,
-    suites: Sequence[str] = ("kernel", "session", "events"),
+    suites: Sequence[str] = ("kernel", "session", "events", "service"),
     profile: str = "verify-500",
     seed: int = 0,
     destinations: int = 64,

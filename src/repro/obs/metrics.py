@@ -26,9 +26,17 @@ mirroring the Prometheus data model so the text exposition renders with
   instrument identity so module-level handles stay valid (used by tests
   and long-lived sessions).
 
-Hot-path cost is one attribute load plus one float add per event;
-instrument *creation* is locked, but increments are plain GIL-atomic
-arithmetic on ``__slots__`` attributes.
+Hot-path cost is one attribute load, one uncontended lock round-trip and
+one float add per event.  Every *update* (``inc``/``set``/``dec``/
+``observe``), merge and snapshot is guarded by a per-instrument lock:
+``value += amount`` is a read-modify-write that loses updates when the
+serving plane's event loop, its settle threads, and the session's
+single-flight leaders hit one counter concurrently — and a histogram's
+``(sum, count, counts)`` triple must change atomically for
+:meth:`MetricsRegistry.snapshot` to export a consistent view.  The
+locked fast path stays cheap enough that the instrumentation-overhead
+budget (<5 % on a settled 500-AS table, re-proven by
+``benchmarks/test_metrics_contention.py``) holds.
 """
 
 from __future__ import annotations
@@ -71,51 +79,60 @@ DEFAULT_SIM_TIME_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.  Updates are thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counters only go up; cannot add {amount}"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def _sample(self) -> Dict[str, Any]:
         return {"value": self.value}
 
     def _absorb(self, sample: Dict[str, Any]) -> None:
-        self.value += sample["value"]
+        with self._lock:
+            self.value += sample["value"]
 
 
 class Gauge:
-    """A value that can go up and down (a level, not a total)."""
+    """A value that can go up and down (a level, not a total).
+    Updates are thread-safe."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def _reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def _sample(self) -> Dict[str, Any]:
         return {"value": self.value}
@@ -133,7 +150,7 @@ class Histogram:
     cumulative ``_bucket{le=...}`` form.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
     kind = "histogram"
 
     def __init__(self, bounds: Sequence[float]) -> None:
@@ -146,15 +163,19 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        self.counts[bisect_left(self.bounds, value)] += 1
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            self.counts[index] += 1
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by interpolating inside buckets.
@@ -171,41 +192,38 @@ class Histogram:
             raise ObservabilityError(
                 f"quantile must be in [0, 1], got {q}"
             )
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for i, bucket_count in enumerate(self.counts[:-1]):
-            if not bucket_count:
-                continue
-            if cumulative + bucket_count >= target:
-                upper = self.bounds[i]
-                lower = self.bounds[i - 1] if i else min(0.0, upper)
-                fraction = (target - cumulative) / bucket_count
-                return lower + (upper - lower) * max(0.0, fraction)
-            cumulative += bucket_count
-        return self.bounds[-1]
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        return _interpolate_quantile(self.bounds, counts, count, q)
 
     def quantiles(self) -> Dict[str, float]:
         """The p50/p90/p99 summary every exporter surfaces."""
-        return {
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-        }
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        return _quantile_summary(self.bounds, counts, count)
 
     def _reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.sum = 0.0
+            self.count = 0
 
     def _sample(self) -> Dict[str, Any]:
+        # one consistent cut: (sum, count, counts) are copied under the
+        # lock so a concurrent observe cannot leave the exported triple
+        # disagreeing with itself
+        with self._lock:
+            total = self.sum
+            count = self.count
+            counts = list(self.counts)
         return {
-            "sum": self.sum,
-            "count": self.count,
+            "sum": total,
+            "count": count,
             "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "quantiles": self.quantiles(),
+            "counts": counts,
+            "quantiles": _quantile_summary(self.bounds, counts, count),
         }
 
     def _absorb(self, sample: Dict[str, Any]) -> None:
@@ -213,10 +231,42 @@ class Histogram:
             raise ObservabilityError(
                 "cannot merge histograms with different buckets"
             )
-        self.sum += sample["sum"]
-        self.count += sample["count"]
-        for i, n in enumerate(sample["counts"]):
-            self.counts[i] += n
+        with self._lock:
+            self.sum += sample["sum"]
+            self.count += sample["count"]
+            for i, n in enumerate(sample["counts"]):
+                self.counts[i] += n
+
+
+def _interpolate_quantile(
+    bounds: Tuple[float, ...], counts: Sequence[int], count: int, q: float
+) -> float:
+    """Prometheus-style bucket interpolation over a consistent copy of a
+    histogram's state (see :meth:`Histogram.quantile` for semantics)."""
+    if not count:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for i, bucket_count in enumerate(counts[:-1]):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            upper = bounds[i]
+            lower = bounds[i - 1] if i else min(0.0, upper)
+            fraction = (target - cumulative) / bucket_count
+            return lower + (upper - lower) * max(0.0, fraction)
+        cumulative += bucket_count
+    return bounds[-1]
+
+
+def _quantile_summary(
+    bounds: Tuple[float, ...], counts: Sequence[int], count: int
+) -> Dict[str, float]:
+    return {
+        "p50": _interpolate_quantile(bounds, counts, count, 0.50),
+        "p90": _interpolate_quantile(bounds, counts, count, 0.90),
+        "p99": _interpolate_quantile(bounds, counts, count, 0.99),
+    }
 
 
 Instrument = Union[Counter, Gauge, Histogram]

@@ -1,0 +1,38 @@
+"""The MIRO serving plane: asyncio query daemon, protocol, workload.
+
+``repro.service`` turns a thread-safe :class:`~repro.session.SessionCore`
+into a long-running query service — the operational shape MIRO argues
+for, where alternate routes are *asked for on demand* rather than
+precomputed.  Three layers:
+
+* :mod:`~repro.service.daemon` — :class:`MiroService`, the asyncio
+  admission pipeline (peek fast path, per-destination coalescing,
+  micro-batched ``compute_many`` fills, bounded-queue backpressure,
+  graceful drain).
+* :mod:`~repro.service.server` — the newline-delimited-JSON TCP front
+  end behind ``repro serve``.
+* :mod:`~repro.service.workload` — seeded Zipf/open-loop load
+  generation behind ``repro loadgen``.
+"""
+
+from .daemon import MiroService, ServiceConfig
+from .server import handle_request, serve
+from .workload import (
+    WorkloadConfig,
+    WorkloadResult,
+    ZipfSampler,
+    run_workload,
+    run_workload_client,
+)
+
+__all__ = [
+    "MiroService",
+    "ServiceConfig",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "ZipfSampler",
+    "handle_request",
+    "run_workload",
+    "run_workload_client",
+    "serve",
+]

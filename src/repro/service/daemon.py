@@ -1,0 +1,431 @@
+"""The asyncio MIRO query service: batched admission over a SessionCore.
+
+MIRO's operational story is on-demand negotiation — an AS that wants an
+alternate path asks for one when traffic needs it (§3.3), which makes
+the evaluation workload a *query-serving* workload: heavy streams of
+route lookups punctuated by negotiation requests and topology churn.
+:class:`MiroService` is that serving plane, built directly on the
+thread-safe :class:`~repro.session.core.SessionCore`:
+
+* **Fast path.**  A lookup first probes the core's cache
+  (:meth:`SessionCore.peek` — microseconds under the session lock, no
+  settling), so a warm working set is answered entirely on the event
+  loop.
+* **Coalescing.**  A miss registers one future per destination in
+  ``_pending``; every later request for the same destination awaits
+  that future instead of queueing again.  Combined with the core's own
+  single-flight fills, N concurrent misses on one destination settle
+  exactly once (``repro_session_cache_events_total{event="fill"}``
+  moves by 1).
+* **Micro-batched admission.**  Distinct missed destinations join a
+  queue drained by the batcher task, which waits up to ``max_delay``
+  for up to ``max_batch`` destinations and hands the whole batch to
+  :meth:`SessionCore.compute_many` in a worker thread — one
+  ``settle_many`` sweep (or sharded pool fan-out) instead of N scalar
+  settles.
+* **Backpressure.**  Admission is bounded: when ``max_pending``
+  distinct destinations are already in flight, new misses are *shed*
+  with :class:`~repro.errors.ServiceOverloadError` carrying a
+  ``Retry-After``-style hint, so overload degrades into fast failures
+  instead of unbounded queues.
+* **Graceful drain.**  :meth:`drain` stops admission, lets every
+  accepted request finish, stops the batcher, and shuts the executor
+  down — nothing accepted is dropped.
+
+SLO instrumentation (all in the process registry, so they land in the
+bench trajectory): ``repro_service_request_seconds{op}`` latency
+histograms, ``repro_service_requests_total{op,outcome}``,
+``repro_service_batch_destinations``, ``repro_service_queue_depth``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Deque, Dict, Optional, Set, Union
+
+from ..bgp.routing import RoutingTable
+from ..errors import ServiceError, ServiceOverloadError
+from ..miro.policies import ExportPolicy
+from ..miro.runtime import EstablishedTunnel, MiroRuntime
+from ..obs import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    get_logger,
+    get_registry,
+)
+from ..session import SessionCore, SimulationSession
+
+_LOG = get_logger("service")
+
+_REQ_SECONDS = get_registry().histogram(
+    "repro_service_request_seconds",
+    "End-to-end request latency at the service, by operation",
+    labels=("op",),
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+_REQUESTS = get_registry().counter(
+    "repro_service_requests_total",
+    "Service requests by operation and outcome (ok/shed/error)",
+    labels=("op", "outcome"),
+)
+_BATCH_SIZE = get_registry().histogram(
+    "repro_service_batch_destinations",
+    "Distinct destinations per admitted settle batch",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
+_QUEUE_DEPTH = get_registry().gauge(
+    "repro_service_queue_depth",
+    "Destinations waiting in the admission queue",
+)
+_PENDING = get_registry().gauge(
+    "repro_service_pending_fills",
+    "Distinct destinations with an in-flight service fill",
+)
+_COALESCED = get_registry().counter(
+    "repro_service_coalesced_total",
+    "Requests that joined another request's in-flight fill",
+)
+_SHED = get_registry().counter(
+    "repro_service_shed_total",
+    "Requests shed by admission backpressure",
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for the admission pipeline.
+
+    ``max_batch``/``max_delay`` trade latency for sweep amortization:
+    the batcher dispatches as soon as ``max_batch`` distinct misses are
+    queued, or ``max_delay`` seconds after the first one, whichever
+    comes first.  ``max_pending`` bounds the number of distinct
+    destinations with fills in flight (queued + settling); beyond it
+    new misses are shed with ``retry_after`` as the back-off hint.
+    ``settle_threads`` bounds how many batches settle concurrently in
+    the thread executor.
+    """
+
+    max_batch: int = 64
+    max_delay: float = 0.002
+    max_pending: int = 1024
+    retry_after: float = 0.05
+    settle_threads: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ServiceError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.settle_threads < 1:
+            raise ServiceError(
+                f"settle_threads must be >= 1, got {self.settle_threads}"
+            )
+
+
+class MiroService:
+    """Asyncio route-lookup / MIRO-negotiation daemon over one core.
+
+    Construct from a :class:`SimulationSession` (unwrapped to its core)
+    or a :class:`SessionCore` directly; use as an async context manager
+    or call :meth:`start` / :meth:`drain` explicitly.  All request
+    methods must be called from the event loop the service was started
+    on.
+    """
+
+    def __init__(
+        self,
+        session: Union[SimulationSession, SessionCore],
+        config: Optional[ServiceConfig] = None,
+        runtime: Optional[MiroRuntime] = None,
+    ) -> None:
+        self.core = session.core if isinstance(session, SimulationSession) \
+            else session
+        self.config = config or ServiceConfig()
+        self.runtime = runtime
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._queue: Deque[int] = deque()
+        self._wake = asyncio.Event()
+        self._batcher: Optional[asyncio.Task] = None
+        self._settles: Set[asyncio.Task] = set()
+        self._settle_gate: Optional[asyncio.Semaphore] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._started = False
+        # negotiation-side state lives on executor threads: guard the
+        # originated-prefix set with a plain lock, not the event loop
+        self._originated: Set[int] = set()
+        self._originate_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "MiroService":
+        if self._started:
+            raise ServiceError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.settle_threads,
+            thread_name_prefix="repro-service",
+        )
+        self._settle_gate = asyncio.Semaphore(self.config.settle_threads)
+        self._batcher = self._loop.create_task(
+            self._batch_loop(), name="repro-service-batcher"
+        )
+        self._started = True
+        self._draining = False
+        _LOG.info("service_started", max_batch=self.config.max_batch,
+                  max_delay=self.config.max_delay,
+                  max_pending=self.config.max_pending)
+        return self
+
+    async def drain(self) -> None:
+        """Stop admission, finish every accepted request, shut down.
+
+        Idempotent.  After drain the service rejects new requests with
+        :class:`ServiceError`; a fresh :meth:`start` re-arms it.
+        """
+        if not self._started:
+            return
+        self._draining = True
+        self._wake.set()
+        # every accepted fill resolves (the batcher keeps draining the
+        # queue until it is empty), then the batcher exits
+        if self._batcher is not None:
+            await self._batcher
+            self._batcher = None
+        if self._settles:
+            await asyncio.gather(*self._settles, return_exceptions=True)
+        pending = [f for f in self._pending.values() if not f.done()]
+        if pending:
+            await asyncio.wait(pending)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+        _LOG.info("service_drained")
+
+    async def __aenter__(self) -> "MiroService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    def _check_accepting(self, op: str) -> None:
+        if not self._started or self._draining:
+            _REQUESTS.labels(op=op, outcome="error").inc()
+            raise ServiceError("service is not accepting requests")
+
+    # ------------------------------------------------------------------
+    # route lookups
+    # ------------------------------------------------------------------
+    async def lookup(self, destination: int) -> RoutingTable:
+        """The stable-state routing table for ``destination``.
+
+        Cache hits are answered inline on the event loop; misses are
+        coalesced per destination and batched into the admission queue.
+        Raises :class:`ServiceOverloadError` when admission is full.
+        """
+        start = time.perf_counter()
+        self._check_accepting("lookup")
+        try:
+            table = self.core.peek(destination)
+            if table is None:
+                table = await self._admit(destination)
+        except ServiceOverloadError:
+            _REQUESTS.labels(op="lookup", outcome="shed").inc()
+            raise
+        except ServiceError:
+            raise
+        except BaseException:
+            _REQUESTS.labels(op="lookup", outcome="error").inc()
+            raise
+        _REQUESTS.labels(op="lookup", outcome="ok").inc()
+        _REQ_SECONDS.labels(op="lookup").observe(time.perf_counter() - start)
+        return table
+
+    async def _admit(self, destination: int) -> RoutingTable:
+        """Join the in-flight fill for ``destination`` or queue a new one."""
+        future = self._pending.get(destination)
+        if future is not None:
+            _COALESCED.inc()
+            return await asyncio.shield(future)
+        if len(self._pending) >= self.config.max_pending:
+            _SHED.inc()
+            raise ServiceOverloadError(self.config.retry_after)
+        future = self._loop.create_future()
+        self._pending[destination] = future
+        _PENDING.set(len(self._pending))
+        self._queue.append(destination)
+        _QUEUE_DEPTH.set(len(self._queue))
+        self._wake.set()
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    # the batcher
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            # wait for work only when the queue is actually empty — a
+            # batch dispatch below can leave a remainder behind, and
+            # sleeping on the (possibly already-cleared) wake event with
+            # queued destinations would strand their futures forever
+            while not self._queue:
+                if self._draining:
+                    return
+                await self._wake.wait()
+                self._wake.clear()
+            # micro-batching window: from the first queued miss, wait up
+            # to max_delay for the batch to fill before dispatching
+            if len(self._queue) < cfg.max_batch and not self._draining:
+                deadline = self._loop.time() + cfg.max_delay
+                while len(self._queue) < cfg.max_batch:
+                    timeout = deadline - self._loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        await asyncio.wait_for(self._wake.wait(), timeout)
+                        self._wake.clear()
+                    except asyncio.TimeoutError:
+                        break
+                    if self._draining:
+                        break
+            while self._queue:
+                size = min(cfg.max_batch, len(self._queue))
+                batch = [self._queue.popleft() for _ in range(size)]
+                _QUEUE_DEPTH.set(len(self._queue))
+                await self._settle_gate.acquire()
+                task = self._loop.create_task(self._settle_batch(batch))
+                self._settles.add(task)
+                task.add_done_callback(self._settles.discard)
+                if len(self._queue) < cfg.max_batch and not self._draining:
+                    # leave the remainder to the next batching window
+                    break
+
+    async def _settle_batch(self, batch: list) -> None:
+        """One admitted batch: settle off-loop, resolve the futures."""
+        _BATCH_SIZE.observe(len(batch))
+        try:
+            tables = await self._loop.run_in_executor(
+                self._executor,
+                partial(self.core.compute_many, batch),
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            _LOG.warning("batch_failed", destinations=len(batch),
+                         error=type(exc).__name__)
+            for destination in batch:
+                future = self._pending.pop(destination, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            _PENDING.set(len(self._pending))
+            return
+        finally:
+            self._settle_gate.release()
+        for destination in batch:
+            future = self._pending.pop(destination, None)
+            if future is not None and not future.done():
+                future.set_result(tables[destination])
+        _PENDING.set(len(self._pending))
+
+    # ------------------------------------------------------------------
+    # MIRO negotiation
+    # ------------------------------------------------------------------
+    async def negotiate(
+        self,
+        requester: int,
+        responder: int,
+        destination: int,
+        policy: ExportPolicy = ExportPolicy.FLEXIBLE,
+    ) -> Optional[EstablishedTunnel]:
+        """Negotiate a MIRO tunnel through the live runtime.
+
+        Requires the service to have been constructed with a
+        :class:`MiroRuntime`.  The destination is originated into the
+        runtime's BGP engine on first use; the establish itself runs on
+        an executor thread (the runtime's single-flight makes concurrent
+        identical requests share one negotiation).
+        """
+        start = time.perf_counter()
+        self._check_accepting("negotiate")
+        if self.runtime is None:
+            _REQUESTS.labels(op="negotiate", outcome="error").inc()
+            raise ServiceError("service has no MIRO runtime configured")
+        try:
+            record = await self._loop.run_in_executor(
+                self._executor,
+                partial(self._negotiate_blocking, requester, responder,
+                        destination, policy),
+            )
+        except BaseException:
+            _REQUESTS.labels(op="negotiate", outcome="error").inc()
+            raise
+        _REQUESTS.labels(op="negotiate", outcome="ok").inc()
+        _REQ_SECONDS.labels(op="negotiate").observe(
+            time.perf_counter() - start
+        )
+        return record
+
+    def _negotiate_blocking(
+        self, requester: int, responder: int, destination: int,
+        policy: ExportPolicy,
+    ) -> Optional[EstablishedTunnel]:
+        with self._originate_lock:
+            if destination not in self._originated:
+                self.runtime.engine.originate(destination)
+                self.runtime.engine.run()
+                self._originated.add(destination)
+        return self.runtime.establish(
+            requester, responder, destination, policy
+        )
+
+    # ------------------------------------------------------------------
+    # topology churn
+    # ------------------------------------------------------------------
+    async def apply_churn(self, fn) -> object:
+        """Apply a topology mutation through the core's writer gate.
+
+        ``fn(graph)`` runs once every in-flight fill has landed (see
+        :meth:`SessionCore.mutate`); typically a
+        :meth:`~repro.topology.delta.TopologyDelta.apply` or an
+        :meth:`~repro.topology.delta.AppliedDelta.revert`.
+        """
+        start = time.perf_counter()
+        self._check_accepting("churn")
+        result = await self._loop.run_in_executor(
+            self._executor, partial(self.core.mutate, fn)
+        )
+        _REQUESTS.labels(op="churn", outcome="ok").inc()
+        _REQ_SECONDS.labels(op="churn").observe(time.perf_counter() - start)
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, object]:
+        """JSON-ready service state, for the protocol's ``stats`` op."""
+        quantile = _REQ_SECONDS.labels(op="lookup")
+        return {
+            "accepting": self._started and not self._draining,
+            "queue_depth": len(self._queue),
+            "pending_fills": len(self._pending),
+            "max_batch": self.config.max_batch,
+            "max_delay": self.config.max_delay,
+            "max_pending": self.config.max_pending,
+            "shed_total": _SHED.value,
+            "coalesced_total": _COALESCED.value,
+            "lookup_p50_ms": quantile.quantile(0.5) * 1000.0,
+            "lookup_p99_ms": quantile.quantile(0.99) * 1000.0,
+            "session": self.core.stats.to_dict(),
+            "pool": self.core.pool_info(),
+        }

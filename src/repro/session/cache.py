@@ -1,0 +1,272 @@
+"""Cache keys, telemetry, and the LRU route-table memo.
+
+This module is the state side of the session package: the
+``(graph.version, destination, pinned-key)`` cache key, the
+:class:`SessionStats` counters every telemetry surface reads, and the
+:class:`RouteTableCache` LRU with its derivation-parent index.  None of
+it takes locks — :class:`repro.session.core.SessionCore` owns the one
+lock and calls in here only while holding it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..bgp.route import Route
+from ..bgp.routing import RoutingTable
+from ..errors import SessionError
+from ..obs import get_logger, get_registry
+from ..topology.graph import ASGraph
+
+_LOG = get_logger("session")
+
+# ----------------------------------------------------------------------
+# instrumentation (repro.obs): cache events land in the process-wide
+# registry (aggregated across sessions); SessionStats stays the
+# per-session view the existing telemetry APIs read.
+# ----------------------------------------------------------------------
+_CACHE_EVENTS = get_registry().counter(
+    "repro_session_cache_events_total",
+    "Route-table cache events (hit/miss/fill/coalesced/derive/evict/prune)",
+    labels=("event",),
+)
+_EV_HIT = _CACHE_EVENTS.labels(event="hit")
+_EV_MISS = _CACHE_EVENTS.labels(event="miss")
+_EV_DERIVE = _CACHE_EVENTS.labels(event="derive")
+_EV_EVICT = _CACHE_EVENTS.labels(event="evict")
+_EV_PRUNE = _CACHE_EVENTS.labels(event="prune")
+#: One ``fill`` per table actually settled/derived by a single-flight
+#: leader — the serving plane's coalescing proof: N concurrent misses on
+#: one destination must move this by exactly 1.
+_EV_FILL = _CACHE_EVENTS.labels(event="fill")
+#: One ``coalesced`` per lookup that waited on another thread's
+#: in-flight fill instead of settling the same destination again.
+_EV_COALESCED = _CACHE_EVENTS.labels(event="coalesced")
+_CACHED_TABLES = get_registry().gauge(
+    "repro_session_cached_tables",
+    "Routing tables currently held by session caches",
+)
+
+#: Cache-key component for the pinned-route set (None when nothing pinned).
+PinnedKey = Optional[FrozenSet[Tuple[int, Route]]]
+
+#: Full cache key: (graph version, destination, pinned key).
+CacheKey = Tuple[int, int, PinnedKey]
+
+
+def pinned_key(pinned: Optional[Dict[int, Route]]) -> PinnedKey:
+    """Canonical, hashable form of a ``pinned`` route mapping."""
+    if not pinned:
+        return None
+    return frozenset(pinned.items())
+
+
+@dataclass
+class SessionStats:
+    """Routing-cost telemetry for one :class:`SimulationSession`.
+
+    All counters are cumulative over the session's lifetime; a *fan-out* is
+    one :meth:`SimulationSession.compute_many` call.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    tables_computed: int = 0
+    tables_derived: int = 0
+    affected_ases_total: int = 0
+    auto_pruned: int = 0
+    fanouts: int = 0
+    parallel_fanouts: int = 0
+    coalesced: int = 0
+    last_fanout_seconds: float = 0.0
+    total_compute_seconds: float = 0.0
+    peak_cached_tables: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_affected_size(self) -> float:
+        """Mean affected-set size across derived tables (0.0 when none)."""
+        if not self.tables_derived:
+            return 0.0
+        return self.affected_ases_total / self.tables_derived
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready snapshot (counters plus the derived hit rate).
+
+        The single serialization path: ``--stats`` rendering, the JSON
+        exporter (:func:`repro.experiments.export.export_results`), and
+        the ``repro stats`` snapshot all read this dict.  All duration
+        fields are ``time.perf_counter()`` deltas (monotonic seconds).
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "tables_computed": self.tables_computed,
+            "tables_derived": self.tables_derived,
+            "mean_affected_size": self.mean_affected_size,
+            "auto_pruned": self.auto_pruned,
+            "fanouts": self.fanouts,
+            "parallel_fanouts": self.parallel_fanouts,
+            "coalesced": self.coalesced,
+            "last_fanout_seconds": self.last_fanout_seconds,
+            "total_compute_seconds": self.total_compute_seconds,
+            "peak_cached_tables": self.peak_cached_tables,
+            "evictions": self.evictions,
+        }
+
+    #: Backward-compatible alias (pre-observability name).
+    as_dict = to_dict
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for reports and ``--stats``."""
+        d = self.to_dict()
+        return "\n".join([
+            "routing-cost telemetry:",
+            f"  cache hits / misses:   {d['hits']} / {d['misses']}"
+            f"  ({d['hit_rate']:.1%} hit rate)",
+            f"  tables computed:       {d['tables_computed']}",
+            f"  tables derived:        {d['tables_derived']}"
+            f" (mean affected set {d['mean_affected_size']:.1f} ASes)",
+            f"  fan-outs:              {d['fanouts']}"
+            f" ({d['parallel_fanouts']} parallel)",
+            f"  compute wall-clock:    {d['total_compute_seconds']:.3f} s"
+            f" (last fan-out {d['last_fanout_seconds']:.3f} s)",
+            f"  peak cached tables:    {d['peak_cached_tables']}"
+            f" ({d['evictions']} evicted, {d['auto_pruned']} auto-pruned)",
+        ])
+
+
+class RouteTableCache:
+    """LRU-bounded memo of routing tables keyed on :data:`CacheKey`.
+
+    Keys embed the owning graph's mutation counter, so entries computed
+    against a stale topology are never served again after a mutation — they
+    simply age out of the LRU order.  Not internally locked: the owning
+    :class:`~repro.session.core.SessionCore` serializes access.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise SessionError(f"cache needs room for at least 1 table, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, RoutingTable]" = OrderedDict()
+        self.peak_size = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[RoutingTable]:
+        table = self._entries.get(key)
+        if table is not None:
+            self._entries.move_to_end(key)
+        return table
+
+    def put(self, key: CacheKey, table: RoutingTable) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = table
+        # the peak is the pre-eviction size: a put that overflows the LRU
+        # bound momentarily holds maxsize+1 tables, and that pressure is
+        # exactly what the telemetry must report (an always-full cache
+        # capped at maxsize would otherwise be indistinguishable from a
+        # comfortably sized one)
+        self.peak_size = max(self.peak_size, len(self._entries))
+        while len(self._entries) > self.maxsize:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            _EV_EVICT.inc()
+            _LOG.debug("cache_evict", destination=evicted_key[1],
+                       version=evicted_key[0])
+
+    def prune_stale(self, current_version: int) -> int:
+        """Drop entries for graph versions other than ``current_version``."""
+        stale = [k for k in self._entries if k[0] != current_version]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def prune_superseded(self, graph: ASGraph) -> int:
+        """Drop stale entries, keeping usable derivation parents.
+
+        Unlike :meth:`prune_stale` this keeps, per destination, the one
+        unpinned stale entry closest to the current graph state (fewest
+        changed links on the version chain) — the entry
+        :meth:`derivation_parent` would pick, so an incremental
+        recomputation after the mutation still has its seed.  Entries for
+        versions that are not ancestors of the current one (or pinned
+        entries, which cannot seed a derivation) are dropped outright.
+
+        A destination that already has an unpinned current-version table
+        needs no seed at all — lookups hit that table and nothing is
+        derived — so its stale entries are dropped too, instead of one
+        of them surviving as dead, never-useful work.
+        """
+        current = graph.version
+        covered = {
+            key[1] for key in self._entries
+            if key[0] == current and key[2] is None
+        }
+        nearest: Dict[int, Tuple[int, CacheKey]] = {}
+        stale: List[CacheKey] = []
+        for key in self._entries:
+            version, destination, pk = key
+            if version == current:
+                continue
+            changed = graph.changed_links_since(version)
+            if changed is None or pk is not None or destination in covered:
+                stale.append(key)
+                continue
+            kept = nearest.get(destination)
+            if kept is None or len(changed) < kept[0]:
+                if kept is not None:
+                    stale.append(kept[1])
+                nearest[destination] = (len(changed), key)
+            else:
+                stale.append(key)
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def derivation_parent(
+        self, graph: ASGraph, destination: int
+    ) -> Optional[Tuple[RoutingTable, FrozenSet[Tuple[int, int]]]]:
+        """The best cached seed for incrementally recomputing ``destination``.
+
+        Scans unpinned entries for the destination whose version is an
+        ancestor of the current graph state and returns the nearest one
+        (fewest changed links) with its changed-link set, or None when no
+        cached table can be derived from.
+        """
+        best: Optional[Tuple[int, RoutingTable, FrozenSet[Tuple[int, int]]]]
+        best = None
+        for key, table in self._entries.items():
+            version, dest, pk = key
+            if dest != destination or pk is not None or version == graph.version:
+                continue
+            changed = graph.changed_links_since(version)
+            if changed is None:
+                continue
+            if best is None or len(changed) < best[0]:
+                best = (len(changed), table, changed)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def clear(self) -> None:
+        self._entries.clear()

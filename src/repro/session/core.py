@@ -1,0 +1,728 @@
+"""SessionCore: the concurrency-safe route-computation engine.
+
+This is the session stack's state machine, extracted from the old
+monolithic ``session.py`` so a serving plane can drive it from many
+threads (asyncio executor workers, the event loop, background churn)
+at once.  :class:`~repro.session.facade.SimulationSession` wraps it
+1:1 for the existing single-threaded callers.
+
+Lock discipline — the rules :mod:`tools.check_locks` enforces by AST:
+
+* **One lock.**  A single :class:`threading.Condition` guards the LRU
+  cache, the derivation index, the stats counters, and the in-flight
+  fill registry.  There is no lock ordering problem because there is
+  nothing to order (the fan-out pool's internal lock is leaf-level:
+  nothing is acquired while holding it).
+* **Nothing slow under it.**  Settling (``compute_routes`` /
+  ``recompute_routes`` / ``kernels.settle_many``), pool publication
+  (``pool.ensure``) and job submission (``executor.submit``) all run
+  with the lock *released*.  Under the lock the core only classifies
+  lookups, moves OrderedDict entries, and bumps counters — microsecond
+  work, which is what lets a serving event loop take the fast hit path
+  thousands of times per second without convoying.
+* **Single-flight fills.**  A miss registers a :class:`_Flight` keyed
+  on the full :data:`~repro.session.cache.CacheKey`; concurrent misses
+  on the same key block on the flight instead of settling the same
+  destination N times.  Leaders always resolve their own flights
+  *before* waiting on anyone else's, so cross-thread fill graphs cannot
+  deadlock.  ``repro_session_cache_events_total{event="fill"}`` moves
+  once per table a leader actually settled — the serving plane's
+  coalescing proof — and ``event="coalesced"`` once per lookup that
+  waited instead.
+* **Writers drain fills.**  :meth:`mutate` applies a topology change
+  only once no fill is in flight (``_fills_active`` is the condition
+  variable's predicate), so settling never observes a half-applied
+  delta and the version embedded in a flight key cannot go stale
+  mid-fill.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import weakref
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from .. import obs
+from ..bgp import kernels
+from ..bgp.route import Route
+from ..bgp.routing import (
+    RoutingTable,
+    affected_ases,
+    compute_routes,
+    recompute_routes,
+)
+from ..errors import ReproError, SessionError
+from ..obs import get_logger, get_tracer
+from ..topology.graph import ASGraph
+from ..topology.snapshot import TopologySnapshot
+from .cache import (
+    _CACHED_TABLES,
+    _EV_COALESCED,
+    _EV_DERIVE,
+    _EV_FILL,
+    _EV_HIT,
+    _EV_MISS,
+    _EV_PRUNE,
+    CacheKey,
+    RouteTableCache,
+    SessionStats,
+    pinned_key,
+)
+from .pool import (
+    _FANOUTS_TOTAL,
+    _POOL_SHARD_SIZE,
+    POOL_SHARD_FACTOR,
+    _decode_table,
+    _FanoutPool,
+    _pool_settle_one,
+    _pool_settle_shard,
+)
+
+_TRACER = get_tracer()
+_LOG = get_logger("session")
+
+#: ``parallel="auto"`` only spins up a pool for at least this many misses.
+AUTO_PARALLEL_THRESHOLD = 16
+
+
+def _seam():
+    """The ``repro.session`` package namespace (the test monkeypatch seam)."""
+    from repro import session
+
+    return session
+
+
+class _Flight:
+    """One in-flight cache fill: followers block on it, the leader
+    publishes the settled table (or the settling error) through it."""
+
+    __slots__ = ("event", "table", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.table: Optional[RoutingTable] = None
+        self.error: Optional[BaseException] = None
+
+
+#: A captured derivation seed: (ancestor table, changed-link set).
+_Parent = Optional[Tuple[RoutingTable, FrozenSet[Tuple[int, int]]]]
+
+
+class SessionCore:
+    """Thread-safe cached route computation over one :class:`ASGraph`.
+
+    Owns the LRU table cache, the per-session stats, and the persistent
+    fan-out pool; every public method is safe to call from any thread.
+    See the module docstring for the lock discipline.  The
+    single-threaded ergonomics (context manager, ``ensure_session``)
+    live on the :class:`~repro.session.facade.SimulationSession` facade.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        max_cached_tables: int = 1024,
+        parallel: Union[bool, str] = "auto",
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        if parallel not in (True, False, "auto"):
+            raise SessionError(
+                f"parallel must be True, False, or 'auto', got {parallel!r}"
+            )
+        self._graph = graph
+        self._cache = RouteTableCache(maxsize=max_cached_tables)
+        self._stats = SessionStats()
+        self._parallel = parallel
+        self._max_workers = max_workers
+        self._pool = _FanoutPool(max_workers=max_workers, shards=shards)
+        # (version, picklable, pickled bytes) — the probe is version-keyed
+        # so a graph that becomes (un)picklable after mutation re-probes
+        # instead of keeping a stale verdict forever.
+        self._snapshot_pickles: Optional[Tuple[int, bool, int]] = None
+        self._seen_version = graph.version
+        self._lock = threading.Condition(threading.Lock())
+        self._flights: Dict[CacheKey, _Flight] = {}
+        self._fills_active = 0
+        self._finalizer = weakref.finalize(self, self._pool.close)
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    @property
+    def stats(self) -> SessionStats:
+        with self._lock:
+            self._stats.peak_cached_tables = self._cache.peak_size
+            self._stats.evictions = self._cache.evictions
+        return self._stats
+
+    @property
+    def tables_cached(self) -> int:
+        return len(self._cache)
+
+    def pool_info(self) -> Dict[str, object]:
+        """JSON-ready view of the fan-out pool, for ``repro stats``."""
+        pool = self._pool
+        return {
+            "parallel": self._parallel
+            if isinstance(self._parallel, str) else bool(self._parallel),
+            "max_workers": pool.workers,
+            "shards": pool.shards,
+            "shard_factor": POOL_SHARD_FACTOR,
+            "shared_memory": _seam().shared_memory_available(),
+            "mode": pool.mode,
+            "published_version": pool.version,
+            "shared_bytes": pool.shared_bytes,
+            "ship_bytes": pool.ship_bytes,
+            "alive": pool.alive,
+            "parallel_fanouts": self._stats.parallel_fanouts,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Shut down the persistent worker pool and release shared memory.
+
+        Idempotent, callable with fills in flight (a cancelled pool job
+        just falls back to the serial path), and the core stays usable —
+        a later pooled fan-out respawns workers.
+        """
+        self._pool.close(wait=wait)
+
+    # ------------------------------------------------------------------
+    # mutation gate
+    # ------------------------------------------------------------------
+    def mutate(self, fn: Callable[[ASGraph], object]) -> object:
+        """Apply ``fn(graph)`` once no cache fill is in flight.
+
+        The single-writer gate of the serving plane: settling threads
+        hold ``_fills_active`` non-zero for the duration of a fill, so a
+        topology change (churn delta, link failure injection) waits for
+        the in-flight tables to land and no fill ever spans a version
+        boundary.  New lookups arriving while the writer waits simply
+        miss against the new version afterwards.  Runs ``fn`` under the
+        session lock — keep it to graph mutation (delta apply/revert),
+        never settling.
+        """
+        with self._lock:
+            while self._fills_active:
+                self._lock.wait()
+            result = fn(self._graph)
+            self._auto_prune_locked()
+            return result
+
+    # ------------------------------------------------------------------
+    # lock-held helpers (fast, never settle)
+    # ------------------------------------------------------------------
+    def _key(
+        self, destination: int, pinned: Optional[Dict[int, Route]]
+    ) -> CacheKey:
+        return (self._graph.version, destination, pinned_key(pinned))
+
+    def _auto_prune_locked(self) -> None:
+        """Reclaim superseded cache entries once per version advance.
+
+        Runs lazily at the next lookup after the graph's version moved,
+        keeping only the nearest derivation parent per destination (see
+        :meth:`RouteTableCache.prune_superseded`).  A revert that
+        restores an earlier version also counts as an advance — entries
+        for the abandoned branch are then the stale ones.
+        """
+        if self._graph.version == self._seen_version:
+            return
+        self._seen_version = self._graph.version
+        pruned = self._cache.prune_superseded(self._graph)
+        self._stats.auto_pruned += pruned
+        if pruned:
+            _EV_PRUNE.inc(pruned)
+            _LOG.debug("cache_auto_prune", pruned=pruned,
+                       version=self._graph.version)
+
+    def _resolve_flights_locked(
+        self,
+        flights: List[Tuple[CacheKey, _Flight]],
+        tables: Optional[Dict[CacheKey, RoutingTable]],
+        error: Optional[BaseException],
+    ) -> None:
+        """Publish results (or the error) to followers and drop the
+        flights; wakes any writer waiting in :meth:`mutate`."""
+        for key, flight in flights:
+            self._flights.pop(key, None)
+            if tables is not None:
+                flight.table = tables.get(key)
+            flight.error = error
+            flight.event.set()
+        self._fills_active -= 1
+        self._lock.notify_all()
+
+    # ------------------------------------------------------------------
+    # settle helpers (always run with the lock released)
+    # ------------------------------------------------------------------
+    def _derive_outside(
+        self, parent: _Parent
+    ) -> Optional[Tuple[RoutingTable, int]]:
+        """Incrementally recompute from a captured ancestor, or None.
+
+        Returns ``(table, affected_count)`` when the changed-link window
+        bounds the affected region (pure failures); the caller computes
+        from scratch otherwise.  A derivation still counts as a cache
+        miss — only the *cost* of the miss shrinks.
+        """
+        if parent is None:
+            return None
+        old_table, changed = parent
+        affected = affected_ases(self._graph, old_table, changed)
+        if affected is None:
+            return None
+        table = recompute_routes(
+            self._graph, old_table, changed, affected=affected
+        )
+        return table, len(affected)
+
+    # ------------------------------------------------------------------
+    # single-table interface
+    # ------------------------------------------------------------------
+    def compute(
+        self, destination: int, pinned: Optional[Dict[int, Route]] = None
+    ) -> RoutingTable:
+        """Cached, single-flight equivalent of
+        :func:`~repro.bgp.routing.compute_routes`.
+
+        On a miss after a topology mutation the table is *derived* from
+        the nearest cached pre-mutation table via incremental
+        recomputation whenever possible, instead of being recomputed
+        from scratch.  Concurrent misses on the same key block on the
+        first caller's fill and share its table.
+        """
+        pk = pinned_key(pinned)
+        while True:
+            with self._lock:
+                self._auto_prune_locked()
+                key = (self._graph.version, destination, pk)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._stats.hits += 1
+                    _EV_HIT.inc()
+                    return cached
+                flight = self._flights.get(key)
+                if flight is None:
+                    self._stats.misses += 1
+                    _EV_MISS.inc()
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    self._fills_active += 1
+                    parent: _Parent = (
+                        self._cache.derivation_parent(self._graph, destination)
+                        if pinned is None else None
+                    )
+                    break
+                self._stats.coalesced += 1
+                _EV_COALESCED.inc()
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            if flight.table is not None:
+                return flight.table
+            # leader resolved without a table (only possible on teardown
+            # races); fall through and look up again
+
+        # leader: settle with the lock released
+        start = time.perf_counter()
+        derived_affected: Optional[int] = None
+        try:
+            table: Optional[RoutingTable] = None
+            result = self._derive_outside(parent)
+            if result is not None:
+                table, derived_affected = result
+            if table is None:
+                table = compute_routes(self._graph, destination, pinned=pinned)
+        except BaseException as exc:
+            with self._lock:
+                self._resolve_flights_locked([(key, flight)], None, exc)
+            raise
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._stats.total_compute_seconds += elapsed
+            if derived_affected is not None:
+                self._stats.tables_derived += 1
+                self._stats.affected_ases_total += derived_affected
+                _EV_DERIVE.inc()
+            else:
+                self._stats.tables_computed += 1
+            self._cache.put(key, table)
+            _CACHED_TABLES.set(len(self._cache))
+            _EV_FILL.inc()
+            self._resolve_flights_locked([(key, flight)], {key: table}, None)
+        return table
+
+    def peek(
+        self, destination: int, pinned: Optional[Dict[int, Route]] = None
+    ) -> Optional[RoutingTable]:
+        """Cached table for the current graph version, or None.
+
+        Never settles and never blocks on another thread's fill — the
+        serving plane's event-loop fast path: a hit is a dict read under
+        the lock, a miss returns immediately so the caller can queue the
+        destination for batched admission instead of stalling the loop.
+        A hit counts toward :class:`SessionStats`; a miss does not (the
+        batch fill that follows will record it).
+        """
+        with self._lock:
+            self._auto_prune_locked()
+            key = self._key(destination, pinned)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._stats.hits += 1
+                _EV_HIT.inc()
+            return cached
+
+    def adopt(
+        self, table: RoutingTable, pinned: Optional[Dict[int, Route]] = None
+    ) -> None:
+        """Insert an externally computed table for the current graph state.
+
+        Lets callers that already hold a :class:`RoutingTable` (e.g. the
+        data-plane forwarder's constructor arguments) seed the cache
+        instead of recomputing.  Rejects tables built on a different
+        graph.
+        """
+        if table.graph is not self._graph:
+            raise SessionError(
+                "cannot adopt a routing table computed on a different graph"
+            )
+        with self._lock:
+            self._cache.put(self._key(table.destination, pinned), table)
+
+    # ------------------------------------------------------------------
+    # fan-out interface
+    # ------------------------------------------------------------------
+    def compute_many(
+        self,
+        destinations: Iterable[int],
+        pinned: Optional[Dict[int, Route]] = None,
+        parallel: Optional[Union[bool, str]] = None,
+    ) -> Dict[int, RoutingTable]:
+        """Routing tables for many destinations, cache-first.
+
+        Returns ``{destination: table}`` in the order destinations were
+        given (duplicates collapsed), regardless of which worker
+        finished first.  ``parallel`` overrides the session-wide
+        dispatch policy for this one call.  Destinations another
+        thread is already filling are joined, not recomputed; the rest
+        become this call's own single batch fill.
+        """
+        pk = pinned_key(pinned)
+        ordered = list(dict.fromkeys(destinations))
+        start = time.perf_counter()
+        with _TRACER.span("compute_many", destinations=len(ordered)) as span:
+            tables: Dict[int, RoutingTable] = {}
+            followers: List[Tuple[int, _Flight]] = []
+            leaders: List[int] = []
+            flights: List[Tuple[CacheKey, _Flight]] = []
+            parents: Dict[int, _Parent] = {}
+            snapshot: Optional[TopologySnapshot] = None
+            with self._lock:
+                self._auto_prune_locked()
+                version = self._graph.version
+                for destination in ordered:
+                    key = (version, destination, pk)
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._stats.hits += 1
+                        _EV_HIT.inc()
+                        tables[destination] = cached
+                        continue
+                    flight = self._flights.get(key)
+                    if flight is not None:
+                        self._stats.coalesced += 1
+                        _EV_COALESCED.inc()
+                        followers.append((destination, flight))
+                        continue
+                    self._stats.misses += 1
+                    _EV_MISS.inc()
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    flights.append((key, flight))
+                    leaders.append(destination)
+                    if pinned is None:
+                        parents[destination] = self._cache.derivation_parent(
+                            self._graph, destination
+                        )
+                if leaders:
+                    self._fills_active += 1
+                    # capture under the lock: the snapshot this fill
+                    # settles on is exactly the version its keys embed
+                    snapshot = self._graph.snapshot()
+            span.set(misses=len(leaders), coalesced=len(followers))
+
+            used_pool = False
+            if leaders:
+                try:
+                    filled, derived, computed, used_pool = self._fill_batch(
+                        snapshot, leaders, pinned, parallel, parents
+                    )
+                except BaseException as exc:
+                    with self._lock:
+                        self._resolve_flights_locked(flights, None, exc)
+                    raise
+                with self._lock:
+                    keyed: Dict[CacheKey, RoutingTable] = {}
+                    for destination in leaders:
+                        key = (version, destination, pk)
+                        table = filled[destination]
+                        keyed[key] = table
+                        self._cache.put(key, table)
+                        tables[destination] = table
+                    _CACHED_TABLES.set(len(self._cache))
+                    _EV_FILL.inc(len(leaders))
+                    for count in derived:
+                        self._stats.tables_derived += 1
+                        self._stats.affected_ases_total += count
+                        _EV_DERIVE.inc()
+                    self._stats.tables_computed += computed
+                    self._resolve_flights_locked(flights, keyed, None)
+            span.set(pool=used_pool)
+
+            # only after resolving our own flights do we wait on other
+            # threads' fills — the ordering that makes deadlock impossible
+            for destination, flight in followers:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.table is not None:
+                    tables[destination] = flight.table
+                else:
+                    tables[destination] = self.compute(destination, pinned)
+
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._stats.fanouts += 1
+            self._stats.parallel_fanouts += 1 if used_pool else 0
+            self._stats.last_fanout_seconds = elapsed
+            self._stats.total_compute_seconds += elapsed
+        _FANOUTS_TOTAL.labels(mode="parallel" if used_pool else "serial").inc()
+        return {destination: tables[destination] for destination in ordered}
+
+    def _fill_batch(
+        self,
+        snapshot: TopologySnapshot,
+        leaders: List[int],
+        pinned: Optional[Dict[int, Route]],
+        parallel: Optional[Union[bool, str]],
+        parents: Dict[int, _Parent],
+    ) -> Tuple[Dict[int, RoutingTable], List[int], int, bool]:
+        """Settle every leader destination, lock released throughout.
+
+        Returns ``(tables, derived_affected_counts, computed, used_pool)``
+        where ``computed`` is the number of tables settled from scratch
+        (the post-derivation remainder, matching the historical
+        ``tables_computed`` accounting).
+        """
+        filled: Dict[int, RoutingTable] = {}
+        derived: List[int] = []
+        remaining: List[int] = []
+        if pinned is None:
+            # derive what we can from pre-mutation tables; only the
+            # remainder is worth fanning out to a pool
+            for destination in leaders:
+                result = self._derive_outside(parents.get(destination))
+                if result is not None:
+                    filled[destination], affected = result
+                    derived.append(affected)
+                else:
+                    remaining.append(destination)
+        else:
+            remaining = list(leaders)
+
+        used_pool = False
+        if remaining:
+            policy = self._parallel if parallel is None else parallel
+            if self._use_pool(policy, len(remaining)):
+                used_pool = self._fanout_pool(
+                    snapshot, remaining, pinned, filled
+                )
+            rest = [d for d in remaining if d not in filled]
+            if rest and pinned is None:
+                # Unpinned remainder: sweep it through the active kernel
+                # backend in one batch — backends with a settle_many
+                # entry point (the batched wave kernel) amortize their
+                # per-wave cost over the whole sweep.
+                swept = kernels.settle_many(snapshot, rest)
+                for destination in rest:
+                    filled[destination] = RoutingTable(
+                        self._graph, destination, swept[destination]
+                    )
+            else:
+                for destination in rest:
+                    filled[destination] = compute_routes(
+                        self._graph, destination, pinned=pinned
+                    )
+        return filled, derived, len(remaining), used_pool
+
+    # ------------------------------------------------------------------
+    # pool dispatch (lock released)
+    # ------------------------------------------------------------------
+    def _snapshot_pickle_bytes(self) -> Optional[int]:
+        """Pickled snapshot size for the current version, or None.
+
+        The verdict is memoized *per graph version*: a mutation discards
+        it, so a graph that becomes (un)picklable after the transition
+        is re-probed instead of keeping the stale answer forever.
+        """
+        import pickle
+
+        version = self._graph.version
+        memo = self._snapshot_pickles
+        if memo is None or memo[0] != version:
+            try:
+                nbytes = len(pickle.dumps(self._graph.snapshot()))
+                memo = (version, True, nbytes)
+            except Exception:
+                memo = (version, False, 0)
+            self._snapshot_pickles = memo
+        return memo[2] if memo[1] else None
+
+    def _use_pool(self, policy: Union[bool, str], n_misses: int) -> bool:
+        if policy is False:
+            return False
+        if policy == "auto" and (
+            (os.cpu_count() or 1) < 2 or n_misses < AUTO_PARALLEL_THRESHOLD
+        ):
+            return False
+        # Shared memory needs no picklable snapshot — only the pickle
+        # fallback does, and only that path pays the probe.
+        if _seam().shared_memory_available():
+            return True
+        return self._snapshot_pickle_bytes() is not None
+
+    def _fanout_pool(
+        self,
+        snapshot: TopologySnapshot,
+        misses: List[int],
+        pinned: Optional[Dict[int, Route]],
+        tables: Dict[int, RoutingTable],
+    ) -> bool:
+        """Dispatch ``misses`` across the persistent pool; True if any ran.
+
+        Unpinned misses are sharded into contiguous destination ranges —
+        several per worker, pulled from the executor's shared call
+        queue, so an idle worker steals the next range instead of
+        waiting out a straggler.  Pinned misses stay per-destination
+        jobs (a pinned set pins *one* destination's computation).  A job
+        that fails on pool infrastructure (spawn refused, broken worker,
+        pickling quirk) is simply left out of ``tables`` and the caller
+        recomputes its destinations serially, while every *successful*
+        job's drained metrics/spans payload is absorbed exactly once — a
+        failed job ships no payload, so nothing is lost with it and
+        nothing is double-counted when its tables are recomputed in the
+        parent.  Library errors — e.g. an invalid pinned route —
+        propagate unchanged.  Returns False only when no job completed
+        (the fan-out was effectively serial).
+        """
+        try:
+            executor, spec = self._pool.ensure(
+                snapshot, self._snapshot_pickle_bytes
+            )
+        except Exception:
+            return False
+        # Workers settle on the parent's active backend — unless it opts
+        # out of pool use, in which case they run the scalar default.
+        backend = kernels.resolve()
+        kernel = backend.name if backend.pool else kernels.DEFAULT_KERNEL
+        obs_state = obs.worker_state()
+        futures: List[Tuple[Tuple[int, ...], object]] = []
+        try:
+            if pinned is not None:
+                pinned_items = tuple(pinned.items())
+                for destination in misses:
+                    futures.append((
+                        (destination,),
+                        executor.submit(
+                            _pool_settle_one,
+                            (spec, obs_state, kernel, destination,
+                             pinned_items),
+                        ),
+                    ))
+            else:
+                for shard in self._pool.shard(misses):
+                    _POOL_SHARD_SIZE.observe(len(shard))
+                    futures.append((
+                        shard,
+                        executor.submit(
+                            _pool_settle_shard,
+                            (spec, obs_state, kernel, shard),
+                        ),
+                    ))
+        except Exception:
+            if not futures:
+                return False
+        succeeded = 0
+        for shard, future in futures:
+            try:
+                result = future.result()
+            except ReproError:
+                raise
+            except Exception:
+                _LOG.warning(
+                    "pool_job_failed", destinations=len(shard),
+                    first=shard[0],
+                )
+                continue
+            if pinned is not None:
+                dest, best, payload = result
+                obs.absorb_worker(payload)
+                if best is None:
+                    # the worker could not settle this job in index
+                    # space; the caller's serial loop picks it up
+                    continue
+                bests: List[object] = [best]
+                dests: Tuple[int, ...] = (dest,)
+            else:
+                dests, packed, payload = result
+                obs.absorb_worker(payload)
+                if packed is None:
+                    continue
+                # decode lazily: each table gets a thunk over its slice
+                # of the shard's packed buffer, so Route materialization
+                # is paid on first read, not inside the fan-out
+                offsets, blob = packed
+                words = memoryview(blob).cast("q")
+                bests = [
+                    (lambda words=words, lo=offsets[k], hi=offsets[k + 1]:
+                     _decode_table(words, lo, hi))
+                    for k in range(len(dests))
+                ]
+            for dest, best in zip(dests, bests):
+                tables[dest] = RoutingTable(self._graph, dest, best)
+            succeeded += 1
+        return succeeded > 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def prune_stale(self) -> int:
+        """Evict tables for superseded graph versions; return the count.
+
+        Purely a memory optimisation — stale entries can never be served
+        (their keys embed old versions) but do occupy LRU slots until
+        they age out.
+        """
+        with self._lock:
+            return self._cache.prune_stale(self._graph.version)
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SessionCore(graph={self._graph!r}, "
+            f"cached={len(self._cache)}, version={self._graph.version})"
+        )

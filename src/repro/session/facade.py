@@ -1,0 +1,216 @@
+"""SimulationSession: the historical single-caller session API.
+
+Every pre-existing consumer — the CLI, the experiment samplers, the
+traffic models, the data-plane forwarder, the verification oracle —
+holds a :class:`SimulationSession`.  Since the concurrency refactor it
+is a thin facade over :class:`~repro.session.core.SessionCore`: same
+constructor, same methods, same private attributes the test-suite's
+transport fixtures reach for (``_pool``, ``_use_pool``,
+``_snapshot_pickles``), with all behavior — caching, derivation,
+fan-out, telemetry — living in the core.  Code that needs the
+thread-safe surface directly (the asyncio service) unwraps
+:attr:`SimulationSession.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..bgp.route import Route
+from ..bgp.routing import RoutingTable
+from ..errors import SessionError
+from ..topology.graph import ASGraph
+from .cache import RouteTableCache, SessionStats
+from .core import SessionCore
+from .pool import _FanoutPool
+
+
+class SimulationSession:
+    """A shared route-computation context bound to one :class:`ASGraph`.
+
+    One session threads through a whole evaluation run (CLI command,
+    figure regeneration, forwarder bring-up) so every layer draws from
+    the same cache and the same telemetry counters.
+
+    ``parallel`` picks the :meth:`compute_many` dispatch policy:
+
+    * ``"auto"`` (default) — use the worker pool when a transport to the
+      workers exists (shared memory, or a picklable snapshot) and at
+      least :data:`~repro.session.core.AUTO_PARALLEL_THRESHOLD`
+      destinations miss the cache;
+    * ``True`` — always try the pool for misses (still falls back to
+      serial when the pool cannot start);
+    * ``False`` — always compute serially.
+
+    The pool itself is *persistent*: workers spawn on the first pooled
+    fan-out and are reused by every later one, with the snapshot
+    republished only when the graph version moves.  ``shards``
+    overrides how many destination ranges an unpinned miss list is
+    split into.  Sessions are context managers; :meth:`close` (or
+    ``with``) shuts the workers down deterministically, and garbage
+    collection of an unclosed session does the same.
+
+    All methods are additionally safe to call from multiple threads —
+    concurrency semantics (single-flight fills, the mutation gate) are
+    documented on :class:`~repro.session.core.SessionCore`.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        max_cached_tables: int = 1024,
+        parallel: Union[bool, str] = "auto",
+        max_workers: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        self.core = SessionCore(
+            graph,
+            max_cached_tables=max_cached_tables,
+            parallel=parallel,
+            max_workers=max_workers,
+            shards=shards,
+        )
+
+    # ------------------------------------------------------------------
+    # public surface (unchanged since the monolithic session.py)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ASGraph:
+        return self.core.graph
+
+    @property
+    def stats(self) -> SessionStats:
+        return self.core.stats
+
+    @property
+    def tables_cached(self) -> int:
+        return self.core.tables_cached
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the persistent worker pool and release shared memory.
+
+        Idempotent, and the session stays usable — a later pooled
+        fan-out simply respawns workers.  ``wait`` blocks until worker
+        processes have exited, which is what "no children survive" tests
+        and clean interpreter shutdown want.
+        """
+        self.core.close(wait=wait)
+
+    def __enter__(self) -> "SimulationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def pool_info(self) -> Dict[str, object]:
+        """JSON-ready view of the fan-out pool, for ``repro stats``."""
+        return self.core.pool_info()
+
+    def compute(
+        self, destination: int, pinned: Optional[Dict[int, Route]] = None
+    ) -> RoutingTable:
+        """Cached equivalent of :func:`~repro.bgp.routing.compute_routes`.
+
+        On a miss after a topology mutation the table is *derived* from
+        the nearest cached pre-mutation table via incremental
+        recomputation whenever possible, instead of being recomputed
+        from scratch.
+        """
+        return self.core.compute(destination, pinned=pinned)
+
+    def adopt(
+        self, table: RoutingTable, pinned: Optional[Dict[int, Route]] = None
+    ) -> None:
+        """Insert an externally computed table for the current graph state."""
+        self.core.adopt(table, pinned=pinned)
+
+    def compute_many(
+        self,
+        destinations: Iterable[int],
+        pinned: Optional[Dict[int, Route]] = None,
+        parallel: Optional[Union[bool, str]] = None,
+    ) -> Dict[int, RoutingTable]:
+        """Routing tables for many destinations, cache-first.
+
+        Returns ``{destination: table}`` in the order destinations were
+        given (duplicates collapsed), regardless of which worker
+        finished first.  ``parallel`` overrides the session-wide
+        dispatch policy for this one call.
+        """
+        return self.core.compute_many(
+            destinations, pinned=pinned, parallel=parallel
+        )
+
+    def prune_stale(self) -> int:
+        """Evict tables for superseded graph versions; return the count."""
+        return self.core.prune_stale()
+
+    def clear_cache(self) -> None:
+        self.core.clear_cache()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationSession(graph={self.core.graph!r}, "
+            f"cached={self.core.tables_cached}, "
+            f"version={self.core.graph.version})"
+        )
+
+    # ------------------------------------------------------------------
+    # compatibility passthroughs: the private attributes the transport
+    # tests and benchmarks have always reached for stay addressable on
+    # the facade, backed by the core's state.
+    # ------------------------------------------------------------------
+    @property
+    def _pool(self) -> _FanoutPool:
+        return self.core._pool
+
+    @property
+    def _cache(self) -> RouteTableCache:
+        return self.core._cache
+
+    @property
+    def _stats(self) -> SessionStats:
+        return self.core._stats
+
+    @property
+    def _parallel(self) -> Union[bool, str]:
+        return self.core._parallel
+
+    @property
+    def _snapshot_pickles(self) -> Optional[Tuple[int, bool, int]]:
+        return self.core._snapshot_pickles
+
+    def _use_pool(self, policy: Union[bool, str], n_misses: int) -> bool:
+        return self.core._use_pool(policy, n_misses)
+
+    def _snapshot_pickle_bytes(self) -> Optional[int]:
+        return self.core._snapshot_pickle_bytes()
+
+    def _fanout_pool(
+        self,
+        misses: List[int],
+        pinned: Optional[Dict[int, Route]],
+        tables: Dict[int, RoutingTable],
+    ) -> bool:
+        return self.core._fanout_pool(
+            self.core.graph.snapshot(), misses, pinned, tables
+        )
+
+
+def ensure_session(
+    graph: ASGraph, session: Optional[SimulationSession] = None
+) -> SimulationSession:
+    """Return ``session`` (validated against ``graph``) or a fresh one.
+
+    The helper every layer uses to accept an optional shared session
+    while staying usable stand-alone: callers that thread a session
+    through get cross-layer caching; callers that do not get a private
+    session with identical semantics.
+    """
+    if session is None:
+        return SimulationSession(graph)
+    if session.graph is not graph:
+        raise SessionError(
+            "session is bound to a different graph than the one passed in"
+        )
+    return session

@@ -288,6 +288,7 @@ def run_campaign(
     n_events: int = 8,
     n_destinations: int = 6,
     include_pool: bool = True,
+    include_service: bool = True,
     check_invariants: bool = True,
     minimize: bool = True,
 ) -> CampaignOutcome:
@@ -296,10 +297,11 @@ def run_campaign(
     Verifies the clean graph, then applies ``n_events`` generated events,
     re-running the differential oracle (and, optionally, the invariant
     checkers on the reference tables) after each.  The process-pool path
-    is compared once, on the final state, where the campaign's cache
-    history makes the comparison most meaningful.  On the first
-    divergence the campaign stops and (when ``minimize``) shrinks the
-    recorded stream to a minimized reproduction.
+    and the query daemon's batched admission path are compared once, on
+    the final state, where the campaign's cache history makes the
+    comparison most meaningful.  On the first divergence the campaign
+    stops and (when ``minimize``) shrinks the recorded stream to a
+    minimized reproduction.
     """
     graph = make_graph()
     rng = random.Random(seed * 100_003 + campaign)
@@ -322,7 +324,10 @@ def run_campaign(
                 )
                 outcome.steps += 1
             final = step == n_events
-            result = oracle.check(include_pool=include_pool and final)
+            result = oracle.check(
+                include_pool=include_pool and final,
+                include_service=include_service and final,
+            )
             outcome.checks += 1
             if check_invariants:
                 for table in result.references.values():
@@ -499,6 +504,7 @@ def run_campaigns(
     n_events: int = 8,
     n_destinations: int = 6,
     include_pool: bool = True,
+    include_service: bool = True,
     tunnel_campaigns: int = 2,
     topology: str = "topology",
     minimize: bool = True,
@@ -521,7 +527,7 @@ def run_campaigns(
             outcome = run_campaign(
                 make_graph, seed, campaign=campaign, n_events=n_events,
                 n_destinations=n_destinations, include_pool=include_pool,
-                minimize=minimize,
+                include_service=include_service, minimize=minimize,
             )
             report.outcomes.append(outcome)
             report.steps += outcome.steps

@@ -6,10 +6,13 @@ the vectorized batched wave kernel, anything a test registers), the
 legacy dict walk :func:`~repro.bgp.routing.compute_routes_reference`,
 incremental :func:`~repro.bgp.routing.recompute_routes` from a
 pre-mutation table, :class:`~repro.session.SimulationSession` serial
-(cache + derivation), and the session's sharded shared-memory
+(cache + derivation), the session's sharded shared-memory
 process-pool fan-out (mode ``session-pool-sharded``, forced into
 multiple destination-range shards so the shard boundaries themselves
-are under the contract).  The
+are under the contract), and the asyncio query daemon's micro-batched
+admission path (mode ``service-batched``, with ``max_batch`` forced
+below the destination count so coalescing and batch splits are under
+the contract too).  The
 paper's numbers are only credible if they are interchangeable, so the
 oracle computes every destination via every path and reports the first
 divergence as a concrete ``(mode, destination, asn, expected, actual)``
@@ -150,7 +153,9 @@ class DifferentialOracle:
             destination: [] for destination in self.destinations
         }
 
-    def check(self, include_pool: bool = False) -> OracleCheck:
+    def check(
+        self, include_pool: bool = False, include_service: bool = False
+    ) -> OracleCheck:
         """Compare all paths for every destination.
 
         Stops at the first divergence per destination (later ASes of a
@@ -161,6 +166,9 @@ class DifferentialOracle:
         divergences: List[Divergence] = []
         references: Dict[int, RoutingTable] = {}
         serial = self.session.compute_many(self.destinations)
+        service_tables: Optional[Dict[int, RoutingTable]] = None
+        if include_service:
+            service_tables = self._service_tables()
         pool_tables: Optional[Dict[int, RoutingTable]] = None
         if include_pool:
             # the sharded shared-memory fan-out, forced into multiple
@@ -215,12 +223,45 @@ class DifferentialOracle:
                     reference, pool_tables[destination],
                     "session-pool-sharded",
                 )
+            if found is None and service_tables is not None:
+                found = first_divergence(
+                    reference, service_tables[destination],
+                    "service-batched",
+                )
             if found is not None:
                 _LOG.warning("oracle_divergence", mode=found.mode,
                              destination=found.destination, asn=found.asn)
                 divergences.append(found)
             self._remember(destination, reference)
         return OracleCheck(divergences, references)
+
+    def _service_tables(self) -> Dict[int, RoutingTable]:
+        """Every destination served through the daemon's batched path.
+
+        A fresh cold session behind a :class:`~repro.service.MiroService`
+        answers all destinations as concurrent lookups, with ``max_batch``
+        forced below the destination count so the admission queue splits
+        the work across several ``compute_many`` batches — the batch
+        boundaries themselves are under the byte-equality contract.
+        """
+        import asyncio
+
+        from ..service import MiroService, ServiceConfig
+
+        config = ServiceConfig(
+            max_batch=max(1, len(self.destinations) // 2),
+            max_delay=0.005,
+        )
+
+        async def run() -> Dict[int, RoutingTable]:
+            with SimulationSession(self.graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    tables = await asyncio.gather(
+                        *[service.lookup(d) for d in self.destinations]
+                    )
+            return dict(zip(self.destinations, tables))
+
+        return asyncio.run(run())
 
     def _remember(self, destination: int, table: RoutingTable) -> None:
         history = self._history[destination]

@@ -1,0 +1,91 @@
+"""The lock-discipline guard itself, as a tier-1 test.
+
+Mirrors ``tools/check_locks.py`` (the standalone CI entry point): no
+settling, pool publication, or job submission may run lexically inside
+a ``with self._lock:`` block in :mod:`repro.session.core` — that is the
+"nothing slow under the lock" rule the SessionCore docstring promises
+and the serving plane's fast path depends on.
+"""
+
+import importlib.util
+import pathlib
+import textwrap
+
+_TOOL = pathlib.Path(__file__).resolve().parent.parent / "tools" / "check_locks.py"
+
+
+def _load_guard():
+    spec = importlib.util.spec_from_file_location("check_locks", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_session_core_never_settles_under_the_lock():
+    guard = _load_guard()
+    assert guard.find_lock_violations() == []
+
+
+def test_guard_flags_a_settle_under_the_lock():
+    guard = _load_guard()
+    source = textwrap.dedent("""
+        def compute(self, destination):
+            with self._lock:
+                return compute_routes(self._graph, destination)
+    """)
+    violations = guard.check_source(source)
+    assert [(line, call) for _, line, call in violations] == [
+        (4, "compute_routes")
+    ]
+
+
+def test_guard_flags_pool_calls_and_nested_blocks():
+    guard = _load_guard()
+    source = textwrap.dedent("""
+        def fanout(self, snapshot, misses):
+            with self._lock:
+                if misses:
+                    executor, spec = self._pool.ensure(snapshot)
+                    for destination in misses:
+                        executor.submit(job, destination)
+    """)
+    flagged = {call for _, _, call in guard.check_source(source)}
+    assert flagged == {"ensure", "submit"}
+
+
+def test_guard_allows_slow_calls_outside_the_lock():
+    guard = _load_guard()
+    source = textwrap.dedent("""
+        def compute(self, destination):
+            with self._lock:
+                key = self._key(destination)
+                cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            table = compute_routes(self._graph, destination)
+            with self._lock:
+                self._cache.put(key, table)
+            return table
+    """)
+    assert guard.check_source(source) == []
+
+
+def test_guard_allows_fast_work_and_condition_waits():
+    guard = _load_guard()
+    source = textwrap.dedent("""
+        def mutate(self, fn):
+            with self._lock:
+                while self._fills_active:
+                    self._lock.wait()
+                result = fn(self._graph)
+                self._lock.notify_all()
+                return result
+    """)
+    assert guard.check_source(source) == []
+
+
+def test_guard_covers_session_core():
+    guard = _load_guard()
+    assert "src/repro/session/core.py" in guard.GUARDED_FILES
+    assert {"compute_routes", "recompute_routes", "settle_many",
+            "submit", "ensure"} <= set(guard.SLOW_CALLS)

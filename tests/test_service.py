@@ -1,0 +1,621 @@
+"""The serving plane: admission, coalescing, backpressure, protocol.
+
+No pytest-asyncio in the toolchain, so every test drives its own loop
+with ``asyncio.run`` — which also keeps each test's service lifecycle
+(start → requests → drain) explicit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.service import (
+    MiroService,
+    ServiceConfig,
+    WorkloadConfig,
+    WorkloadResult,
+    ZipfSampler,
+    handle_request,
+    run_workload,
+    run_workload_client,
+    serve,
+)
+from repro.service.daemon import _COALESCED, _SHED
+from repro.session import _CACHE_EVENTS, SimulationSession
+from repro.miro.runtime import MiroRuntime
+
+import random
+
+
+def fills() -> float:
+    return _CACHE_EVENTS.labels(event="fill").value
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.max_batch >= 1
+        assert config.max_pending >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_delay": -0.1},
+        {"max_pending": 0},
+        {"settle_threads": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# lookups: fast path, coalescing, batching
+# ----------------------------------------------------------------------
+class TestLookup:
+    def test_lookup_returns_routing_table(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    destination = tiny_graph.ases[0]
+                    table = await service.lookup(destination)
+                    assert table.destination == destination
+                    assert table.routed_ases()
+
+        asyncio.run(main())
+
+    def test_warm_lookup_uses_peek_not_queue(self, tiny_graph):
+        """A cache hit is answered inline: no future, no batch."""
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    destination = tiny_graph.ases[0]
+                    await service.lookup(destination)
+                    before = fills()
+                    for _ in range(20):
+                        await service.lookup(destination)
+                    assert fills() == before
+                    assert not service._pending
+                    assert session.stats.hits >= 20
+
+        asyncio.run(main())
+
+    def test_concurrent_same_destination_settles_once(self, tiny_graph):
+        """The coalescing proof: N concurrent misses → exactly 1 fill."""
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    destination = tiny_graph.ases[3]
+                    before = fills()
+                    coalesced_before = _COALESCED.value
+                    tables = await asyncio.gather(
+                        *[service.lookup(destination) for _ in range(40)]
+                    )
+                    assert fills() - before == 1
+                    assert _COALESCED.value - coalesced_before == 39
+                    first = tables[0]
+                    assert all(t is first for t in tables)
+
+        asyncio.run(main())
+
+    def test_distinct_misses_are_batched(self, tiny_graph):
+        """Distinct destinations in one window land in few settle batches."""
+        async def main():
+            config = ServiceConfig(max_batch=64, max_delay=0.05)
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    destinations = tiny_graph.ases[:12]
+                    await asyncio.gather(
+                        *[service.lookup(d) for d in destinations]
+                    )
+                    # one compute_many batch (or two if the window split),
+                    # never one settle per destination
+                    assert session.stats.fanouts <= 2
+                    assert session.stats.tables_computed + \
+                        session.stats.tables_derived >= len(destinations)
+
+        asyncio.run(main())
+
+    def test_batches_respect_max_batch(self, tiny_graph):
+        async def main():
+            config = ServiceConfig(max_batch=4, max_delay=0.05)
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    destinations = tiny_graph.ases[:12]
+                    await asyncio.gather(
+                        *[service.lookup(d) for d in destinations]
+                    )
+                    assert session.stats.fanouts >= 3
+
+        asyncio.run(main())
+
+    def test_lookup_error_propagates_and_clears_pending(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    with pytest.raises(Exception):
+                        await service.lookup(999999)  # unknown AS
+                    assert not service._pending
+                    # the service stays usable afterwards
+                    table = await service.lookup(tiny_graph.ases[0])
+                    assert table is not None
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_overload_sheds_with_retry_after(self, small_graph):
+        async def main():
+            config = ServiceConfig(
+                max_batch=2, max_delay=0.5, max_pending=3, retry_after=0.123,
+                settle_threads=1,
+            )
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    shed_before = _SHED.value
+                    results = await asyncio.gather(
+                        *[service.lookup(d) for d in small_graph.ases[:30]],
+                        return_exceptions=True,
+                    )
+                    shed = [r for r in results
+                            if isinstance(r, ServiceOverloadError)]
+                    ok = [r for r in results
+                          if not isinstance(r, BaseException)]
+                    assert shed, "expected sheds beyond max_pending=3"
+                    assert ok, "accepted requests must still complete"
+                    assert all(s.retry_after == 0.123 for s in shed)
+                    assert _SHED.value - shed_before == len(shed)
+
+        asyncio.run(main())
+
+    def test_coalesced_joins_do_not_count_against_pending(self, tiny_graph):
+        """Same-destination joins ride the existing future — never shed."""
+        async def main():
+            config = ServiceConfig(max_pending=1, max_delay=0.02)
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    destination = tiny_graph.ases[5]
+                    tables = await asyncio.gather(
+                        *[service.lookup(destination) for _ in range(25)]
+                    )
+                    assert len(tables) == 25
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_requests_rejected_before_start_and_after_drain(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                service = MiroService(session)
+                with pytest.raises(ServiceError):
+                    await service.lookup(tiny_graph.ases[0])
+                await service.start()
+                await service.lookup(tiny_graph.ases[0])
+                await service.drain()
+                with pytest.raises(ServiceError):
+                    await service.lookup(tiny_graph.ases[0])
+
+        asyncio.run(main())
+
+    def test_drain_completes_accepted_requests(self, small_graph):
+        async def main():
+            config = ServiceConfig(max_delay=0.05)
+            with SimulationSession(small_graph, parallel=False) as session:
+                service = MiroService(session, config)
+                await service.start()
+                pending = [
+                    asyncio.ensure_future(service.lookup(d))
+                    for d in small_graph.ases[:8]
+                ]
+                await asyncio.sleep(0)  # let them reach the queue
+                await service.drain()
+                tables = await asyncio.gather(*pending)
+                assert len(tables) == 8
+                assert all(t is not None for t in tables)
+
+        asyncio.run(main())
+
+    def test_drain_is_idempotent_and_restartable(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                service = MiroService(session)
+                await service.start()
+                await service.drain()
+                await service.drain()
+                await service.start()
+                table = await service.lookup(tiny_graph.ases[1])
+                assert table is not None
+                await service.drain()
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# churn and negotiation through the service
+# ----------------------------------------------------------------------
+class TestServiceOps:
+    def test_apply_churn_invalidates_served_tables(self, paper_graph):
+        from repro.topology.delta import TopologyDelta
+
+        async def main():
+            with SimulationSession(paper_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    before = await service.lookup(6)
+                    applied = await service.apply_churn(
+                        TopologyDelta.link_down(5, 6).apply
+                    )
+                    after = await service.lookup(6)
+                    assert before.default_path(2) != after.default_path(2)
+                    await service.apply_churn(lambda g: applied.revert())
+                    again = await service.lookup(6)
+                    assert again.default_path(2) == before.default_path(2)
+
+        asyncio.run(main())
+
+    def test_negotiate_requires_runtime(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    with pytest.raises(ServiceError):
+                        await service.negotiate(1, 2, tiny_graph.ases[0])
+
+        asyncio.run(main())
+
+    def test_negotiate_through_runtime(self, paper_graph):
+        async def main():
+            runtime = MiroRuntime(paper_graph, seed=1)
+            with SimulationSession(paper_graph, parallel=False) as session:
+                async with MiroService(session, runtime=runtime) as service:
+                    # B (2) asks C (3) for an alternate toward F (6):
+                    # the Fig. 3.1 negotiation
+                    record = await service.negotiate(2, 3, 6)
+                    assert record is not None
+                    assert record.tunnel.path[0] == 3
+                    assert record.tunnel.path[-1] == 6
+
+        asyncio.run(main())
+
+    def test_info_is_json_ready(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    await service.lookup(tiny_graph.ases[0])
+                    info = service.info()
+                    json.dumps(info)
+                    assert info["accepting"] is True
+                    assert info["lookup_p50_ms"] >= 0
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# the JSON protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def run(self, graph, requests, runtime=None, config=None):
+        async def main():
+            with SimulationSession(graph, parallel=False) as session:
+                async with MiroService(
+                    session, config, runtime=runtime
+                ) as service:
+                    return [
+                        await handle_request(service, request)
+                        for request in requests
+                    ]
+
+        return asyncio.run(main())
+
+    def test_lookup_all_paths(self, paper_graph):
+        [response] = self.run(
+            paper_graph, [{"op": "lookup", "destination": 6}]
+        )
+        assert response["ok"] is True
+        assert response["paths"]["2"] == [2, 5, 6]
+
+    def test_lookup_single_source(self, paper_graph):
+        [response] = self.run(
+            paper_graph,
+            [{"op": "lookup", "destination": 6, "source": 1}],
+        )
+        assert response == {"ok": True, "destination": 6,
+                            "path": [1, 2, 5, 6]}
+
+    def test_stats_op(self, tiny_graph):
+        [response] = self.run(tiny_graph, [{"op": "stats"}])
+        assert response["ok"] is True
+        assert "session" in response["stats"]
+
+    def test_unknown_op_and_bad_request(self, tiny_graph):
+        responses = self.run(tiny_graph, [
+            {"op": "bogus"},
+            {"op": "lookup"},
+            {"op": "lookup", "destination": "not-a-number"},
+        ])
+        assert all(r["ok"] is False for r in responses)
+
+    def test_negotiate_op(self, paper_graph):
+        runtime = MiroRuntime(paper_graph, seed=1)
+        [response] = self.run(
+            paper_graph,
+            [{"op": "negotiate", "requester": 2, "responder": 3,
+              "destination": 6, "policy": "flexible"}],
+            runtime=runtime,
+        )
+        assert response["ok"] is True
+        assert response["established"] is True
+        assert response["path"][-1] == 6
+
+    def test_overload_is_a_response_not_an_exception(self, small_graph):
+        config = ServiceConfig(max_batch=1, max_delay=0.5, max_pending=1,
+                               retry_after=0.05, settle_threads=1)
+
+        async def main():
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    requests = [
+                        handle_request(
+                            service, {"op": "lookup", "destination": d}
+                        )
+                        for d in small_graph.ases[:20]
+                    ]
+                    return await asyncio.gather(*requests)
+
+        responses = asyncio.run(main())
+        overloaded = [r for r in responses if r.get("error") == "overloaded"]
+        assert overloaded
+        assert all(r["retry_after"] == 0.05 for r in overloaded)
+
+
+# ----------------------------------------------------------------------
+# TCP server
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_round_trip_over_tcp(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    ready = asyncio.get_running_loop().create_future()
+                    endpoint = asyncio.get_running_loop().create_task(
+                        serve(service, "127.0.0.1", 0, ready=ready)
+                    )
+                    port = await ready
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    destination = tiny_graph.ases[0]
+                    source = tiny_graph.ases[-1]
+                    for i, request in enumerate([
+                        {"op": "lookup", "destination": destination,
+                         "source": source},
+                        {"op": "stats"},
+                    ]):
+                        writer.write(
+                            (json.dumps(dict(request, id=i)) + "\n").encode()
+                        )
+                    writer.write(b"garbage\n")
+                    await writer.drain()
+                    responses = [
+                        json.loads(await reader.readline()) for _ in range(3)
+                    ]
+                    writer.close()
+                    await writer.wait_closed()
+                    endpoint.cancel()
+                    with pytest.raises(asyncio.CancelledError):
+                        await endpoint
+                    return responses
+
+        responses = asyncio.run(main())
+        by_id = {r.get("id"): r for r in responses}
+        assert by_id[0]["ok"] is True
+        assert isinstance(by_id[0]["path"], list)
+        assert by_id[1]["ok"] is True
+        assert by_id[None]["ok"] is False
+
+    def test_client_loadgen_against_server(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    ready = asyncio.get_running_loop().create_future()
+                    endpoint = asyncio.get_running_loop().create_task(
+                        serve(service, "127.0.0.1", 0, ready=ready)
+                    )
+                    port = await ready
+                    config = WorkloadConfig(
+                        destinations=tuple(tiny_graph.ases[:8]),
+                        requests=200, rate=0.0, seed=11,
+                    )
+                    result = await run_workload_client(
+                        "127.0.0.1", port, config
+                    )
+                    endpoint.cancel()
+                    try:
+                        await endpoint
+                    except asyncio.CancelledError:
+                        pass
+                    return result
+
+        result = asyncio.run(main())
+        assert result.sent == 200
+        assert result.ok == 200
+        assert result.shed == result.errors == 0
+        assert result.latency_quantile(0.99) > 0
+
+
+# ----------------------------------------------------------------------
+# workload generation
+# ----------------------------------------------------------------------
+class TestZipfSampler:
+    def test_rank_one_dominates(self):
+        sampler = ZipfSampler(tuple(range(100)), s=1.1)
+        rng = random.Random(7)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        top = draws.count(0)
+        mid = draws.count(50)
+        assert top > 500           # rank 1 well above uniform's 50
+        assert top > 10 * max(mid, 1)
+
+    def test_zero_exponent_is_uniform_support(self):
+        sampler = ZipfSampler((1, 2, 3), s=0.0)
+        rng = random.Random(3)
+        assert {sampler.sample(rng) for _ in range(200)} == {1, 2, 3}
+
+    def test_rejects_empty_population_and_negative_s(self):
+        with pytest.raises(ServiceError):
+            ZipfSampler(())
+        with pytest.raises(ServiceError):
+            ZipfSampler((1,), s=-1)
+
+    def test_deterministic_under_seed(self):
+        sampler = ZipfSampler(tuple(range(50)), s=1.0)
+        a = [sampler.sample(random.Random(9)) for _ in range(1)]
+        b = [sampler.sample(random.Random(9)) for _ in range(1)]
+        assert a == b
+
+
+class TestWorkload:
+    def test_counts_add_up(self, tiny_graph):
+        async def main():
+            with SimulationSession(tiny_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    config = WorkloadConfig(
+                        destinations=tuple(tiny_graph.ases[:10]),
+                        requests=300, rate=0.0, seed=5,
+                    )
+                    return await run_workload(service, config)
+
+        result = asyncio.run(main())
+        assert result.sent == 300
+        assert result.ok + result.shed + result.errors == 300
+        assert result.errors == 0
+        assert result.qps > 0
+        assert len(result.latencies) == result.ok
+
+    def test_churn_restores_topology(self, small_graph):
+        version_before = small_graph.version
+        links_before = sorted(
+            (a, b, rel) for a, b, rel in small_graph.iter_links()
+        )
+
+        async def main():
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    config = WorkloadConfig(
+                        destinations=tuple(small_graph.ases[:8]),
+                        requests=120, rate=0.0, seed=2, churn_every=30,
+                    )
+                    return await run_workload(service, config)
+
+        result = asyncio.run(main())
+        assert result.churn_events > 0
+        assert small_graph.version == version_before
+        assert sorted(
+            (a, b, rel) for a, b, rel in small_graph.iter_links()
+        ) == links_before
+
+    def test_negotiations_happen(self, small_graph):
+        async def main():
+            runtime = MiroRuntime(small_graph, seed=3)
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session, runtime=runtime) as service:
+                    config = WorkloadConfig(
+                        destinations=tuple(small_graph.ases[:8]),
+                        requests=150, rate=0.0, seed=4, negotiate_every=25,
+                    )
+                    return await run_workload(service, config)
+
+        result = asyncio.run(main())
+        assert result.negotiations + result.errors > 0
+
+    def test_result_render_and_dict(self):
+        result = WorkloadResult(sent=10, ok=8, shed=1, errors=1,
+                                duration_seconds=2.0,
+                                latencies=[0.001] * 8)
+        d = result.to_dict()
+        assert d["qps"] == 4.0
+        assert d["latency_p99_ms"] == 1.0
+        assert "p99" in result.render()
+
+    def test_client_rejects_churn_config(self):
+        config = WorkloadConfig(destinations=(1,), churn_every=5)
+        with pytest.raises(ServiceError):
+            asyncio.run(run_workload_client("127.0.0.1", 1, config))
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            WorkloadConfig(destinations=(1,), requests=0)
+        with pytest.raises(ServiceError):
+            WorkloadConfig(destinations=(1,), rate=-1.0)
+
+
+# ----------------------------------------------------------------------
+# concurrency: event loop + settle threads + churn writer
+# ----------------------------------------------------------------------
+class TestServiceConcurrency:
+    def test_lookups_and_churn_interleaved(self, small_graph):
+        """Lookups racing topology churn neither deadlock nor corrupt."""
+        from repro.topology.delta import TopologyDelta
+
+        async def main():
+            config = ServiceConfig(max_delay=0.001, settle_threads=2)
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session, config) as service:
+                    destinations = small_graph.ases[:10]
+                    links = [
+                        (a, b) for a, b, _ in small_graph.iter_links()
+                    ][:3]
+
+                    async def churn_loop():
+                        for a, b in links:
+                            applied = await service.apply_churn(
+                                TopologyDelta.link_down(a, b).apply
+                            )
+                            await service.apply_churn(
+                                lambda g, ap=applied: ap.revert()
+                            )
+
+                    lookups = [
+                        service.lookup(destinations[i % len(destinations)])
+                        for i in range(60)
+                    ]
+                    results = await asyncio.gather(
+                        churn_loop(), *lookups
+                    )
+                    for table in results[1:]:
+                        assert table.routed_ases()
+
+        asyncio.run(main())
+
+    def test_external_thread_compute_against_service(self, small_graph):
+        """Direct core access from another thread coexists with serving."""
+        async def main():
+            with SimulationSession(small_graph, parallel=False) as session:
+                async with MiroService(session) as service:
+                    destination = small_graph.ases[7]
+                    outcome = {}
+
+                    def hammer():
+                        outcome["table"] = session.compute(destination)
+
+                    thread = threading.Thread(target=hammer)
+                    thread.start()
+                    table = await service.lookup(destination)
+                    thread.join(timeout=30)
+                    assert not thread.is_alive()
+                    assert outcome["table"].destination == destination
+                    assert table.destination == destination
+
+        asyncio.run(main())

@@ -480,3 +480,81 @@ class TestShardedPoolOracle:
         modes = {d.mode for d in result.divergences}
         assert modes == {"session-pool-sharded"}
         assert {d.destination for d in result.divergences} == {poisoned}
+
+
+class TestServiceOracle:
+    """The asyncio daemon's micro-batched admission is an enumerated
+    oracle path: mode ``service-batched`` serves every destination
+    through :class:`~repro.service.MiroService` with ``max_batch``
+    forced below the destination count, so coalescing and batch splits
+    are under the byte-equality contract."""
+
+    def test_check_exercises_service_mode(self, small_graph):
+        destinations = small_graph.ases[:6]
+        oracle = DifferentialOracle(small_graph, destinations)
+        before = oracle_module._ORACLE_CHECKS.labels(
+            mode="service-batched"
+        ).value
+        result = oracle.check(include_service=True)
+        assert result.ok
+        checks = oracle_module._ORACLE_CHECKS.labels(
+            mode="service-batched"
+        ).value
+        # one service comparison per destination
+        assert checks - before == len(destinations)
+        assert oracle_module._ORACLE_DIVERGENCES.labels(
+            mode="service-batched"
+        ).value == 0
+
+    def test_service_mode_survives_mutation(self, small_graph):
+        destinations = small_graph.ases[:4]
+        oracle = DifferentialOracle(small_graph, destinations)
+        applied = TopologyDelta.link_down(
+            *next((a, b) for a, b, _ in small_graph.iter_links())
+        ).apply(small_graph)
+        assert oracle.check(include_service=True).ok
+        applied.revert()
+        assert oracle.check(include_service=True).ok
+
+    def test_service_divergence_is_attributed(
+        self, small_graph, monkeypatch
+    ):
+        destinations = small_graph.ases[:4]
+        poisoned = destinations[-1]
+        oracle = DifferentialOracle(small_graph, destinations)
+        real = DifferentialOracle._service_tables
+
+        def poisoned_tables(self):
+            tables = real(self)
+            table = tables[poisoned]
+            best = dict(list(table.items())[:-1])
+            tables[poisoned] = RoutingTable(
+                table.graph, table.destination, best
+            )
+            return tables
+
+        monkeypatch.setattr(
+            DifferentialOracle, "_service_tables", poisoned_tables
+        )
+        result = oracle.check(include_service=True)
+        assert not result.ok
+        modes = {d.mode for d in result.divergences}
+        assert modes == {"service-batched"}
+        assert {d.destination for d in result.divergences} == {poisoned}
+
+    def test_campaign_exercises_service_mode(self):
+        from repro.obs import reset
+
+        reset()
+        make = lambda: generate_named("small", seed=7)
+        outcome = run_campaign(
+            make, seed=2, n_events=3, n_destinations=5,
+            include_service=True,
+        )
+        assert outcome.ok
+        checks = oracle_module._ORACLE_CHECKS
+        batched = checks.labels(mode="service-batched").value
+        # one service comparison per destination, on the final state
+        assert batched == 5
+        divergences = oracle_module._ORACLE_DIVERGENCES
+        assert divergences.labels(mode="service-batched").value == 0

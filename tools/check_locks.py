@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI guard: nothing slow ever runs under the session lock.
+
+:class:`repro.session.core.SessionCore` promises in its module
+docstring that settling (``compute_routes`` / ``recompute_routes`` /
+``kernels.settle`` / ``kernels.settle_many``), pool publication
+(``pool.ensure``) and job submission (``executor.submit``) always run
+with its one Condition lock *released* — under the lock the core only
+classifies lookups, moves OrderedDict entries and bumps counters.  The
+serving plane's event loop leans on that: a warm ``peek`` is a dict
+read, so thousands of lookups per second share the lock without
+convoying, and a settling thread can never hold every reader hostage.
+
+A refactor that drags a settle call inside a ``with self._lock:`` block
+would pass every functional test (the answers stay right, only the
+concurrency collapses), so this guard makes it a CI failure instead: it
+walks the AST of the guarded files and flags any call whose terminal
+name is on the slow list lexically inside a ``with self._lock`` (or
+``with core._lock``) block.
+
+Run from the repo root: ``PYTHONPATH=src python tools/check_locks.py``.
+Exits 0 when no guarded file settles under the lock, 1 otherwise
+(listing ``file:line: call`` for each violation).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files whose ``with self._lock:`` blocks are under the guard.
+GUARDED_FILES = (
+    "src/repro/session/core.py",
+)
+
+#: Terminal callee names that must never run under the session lock:
+#: the settling entry points, the batch helpers that wrap them, and the
+#: pool's publication / submission calls.
+SLOW_CALLS = frozenset({
+    "compute_routes",
+    "compute_routes_reference",
+    "recompute_routes",
+    "settle",
+    "settle_many",
+    "submit",
+    "ensure",
+    "_fill_batch",
+    "_derive_outside",
+    "_fanout_pool",
+})
+
+
+def _terminal_name(func: ast.expr) -> str:
+    """The rightmost name of a callee: ``kernels.settle_many`` -> ``settle_many``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """True for ``<anything>._lock`` — ``self._lock``, ``core._lock``."""
+    return isinstance(node, ast.Attribute) and node.attr == "_lock"
+
+
+def _guards_lock(with_node: ast.With) -> bool:
+    return any(_is_lock_expr(item.context_expr) for item in with_node.items)
+
+
+class _LockWalker(ast.NodeVisitor):
+    """Collects slow calls lexically inside a lock-guarded ``with``.
+
+    Nested function definitions are still flagged: a closure defined
+    under the lock is almost always *called* under it too, and the rare
+    legitimate exception should restructure rather than silence the
+    guard.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.depth = 0
+        self.violations: List[Tuple[str, int, str]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = _guards_lock(node)
+        if guarded:
+            self.depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self.depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.depth > 0:
+            name = _terminal_name(node.func)
+            if name in SLOW_CALLS:
+                self.violations.append((self.path, node.lineno, name))
+        self.generic_visit(node)
+
+
+def find_lock_violations(paths=GUARDED_FILES) -> List[Tuple[str, int, str]]:
+    """Return ``[(path, line, call)]`` for slow calls under the lock."""
+    violations: List[Tuple[str, int, str]] = []
+    for rel in paths:
+        path = REPO_ROOT / rel
+        tree = ast.parse(path.read_text(), filename=str(path))
+        walker = _LockWalker(rel)
+        walker.visit(tree)
+        violations.extend(walker.violations)
+    return sorted(violations)
+
+
+def check_source(source: str, path: str = "<string>") -> List[Tuple[str, int, str]]:
+    """Lint one source string (the tests' fixture entry point)."""
+    walker = _LockWalker(path)
+    walker.visit(ast.parse(source, filename=path))
+    return sorted(walker.violations)
+
+
+def main() -> int:
+    violations = find_lock_violations()
+    if violations:
+        print("slow calls under the session lock:")
+        for path, line, call in violations:
+            print(f"  {path}:{line}: {call}() must run with the lock "
+                  f"released — see the SessionCore lock discipline")
+        return 1
+    print(f"lock guard: no settling, pool publication, or job submission "
+          f"under the lock in {', '.join(GUARDED_FILES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
